@@ -1,0 +1,93 @@
+//! Criterion benches: one per paper table/figure, running the scaled-down
+//! (`quick`) parameter set. These measure the *harness* cost and act as
+//! always-run smoke tests for every experiment; the full-scale numbers
+//! come from the `fig*`/`table1` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig01(c: &mut Criterion) {
+    c.bench_function("fig01_motivation", |b| {
+        b.iter(|| experiments::fig01::run(&experiments::fig01::Fig01Params::quick()))
+    });
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    c.bench_function("fig02_join_competition", |b| {
+        b.iter(|| experiments::fig02::run(&experiments::fig02::Fig02Params::quick()))
+    });
+}
+
+fn bench_fig09_10(c: &mut Criterion) {
+    c.bench_function("fig09_10_dynamics", |b| {
+        b.iter(|| experiments::fig09::run(&experiments::fig09::Fig09Params::quick()))
+    });
+}
+
+fn bench_fig11_12(c: &mut Criterion) {
+    c.bench_function("fig11_12_fct_sweep_one_scenario", |b| {
+        let scn = experiments::fct_sweep::fig11_scenarios()[2]; // wifi
+        let p = experiments::fct_sweep::SweepParams::quick();
+        b.iter(|| experiments::fct_sweep::sweep_scenario(&scn, &p))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_large_flow", |b| {
+        b.iter(|| experiments::fig13::run(&experiments::fig13::Fig13Params::quick()))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14_loss_sweep", |b| {
+        let p = experiments::loss::LossParams::quick();
+        b.iter(|| experiments::loss::sweep_scenario(&experiments::loss::fig14_scenario(), &p))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15_fairness_cell", |b| {
+        let mut p = experiments::fairness::FairnessParams::quick();
+        p.rtts = vec![Duration::from_millis(50)];
+        p.buffers = vec![1.0];
+        b.iter(|| experiments::fairness::run(&p))
+    });
+}
+
+fn bench_table1_fig16(c: &mut Criterion) {
+    c.bench_function("table1_stability_cell", |b| {
+        let mut p = experiments::stability::StabilityParams::quick();
+        p.large_bytes = 40 * workload::MB;
+        p.smalls = 4;
+        b.iter(|| experiments::stability::run(&p))
+    });
+}
+
+fn bench_fig17_18(c: &mut Criterion) {
+    c.bench_function("fig17_18_matrix_cell", |b| {
+        let scn = workload::PathScenario::matrix()[0];
+        b.iter(|| {
+            experiments::run_flow(&scn, cc_algos::CcKind::CubicSuss, 2 * workload::MB, 1, false)
+        })
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("ablation_kmax", |b| {
+        b.iter(|| experiments::ablations::kmax_sweep(&[workload::MB], &[1, 2], 1, 1))
+    });
+    c.bench_function("ablation_btlbw", |b| {
+        b.iter(|| experiments::ablations::btlbw_variation(2 * workload::MB, 1))
+    });
+    c.bench_function("ablation_burst", |b| {
+        b.iter(|| experiments::ablations::burst_ablation(workload::MB, 1))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    targets = bench_fig01, bench_fig02, bench_fig09_10, bench_fig11_12, bench_fig13,
+              bench_fig14, bench_fig15, bench_table1_fig16, bench_fig17_18, bench_ablations
+}
+criterion_main!(figures);

@@ -1,0 +1,11 @@
+//! Appendix B ablation: bottleneck-bandwidth variation mid-slow-start.
+
+use experiments::ablations::{btlbw_table, btlbw_variation};
+use suss_bench::BinOpts;
+
+fn main() {
+    let o = BinOpts::from_args();
+    let size = if o.quick { 3 * workload::MB } else { 10 * workload::MB };
+    let results = btlbw_variation(size, 1);
+    o.emit("Appendix B — BtlBw variation robustness", &btlbw_table(&results));
+}

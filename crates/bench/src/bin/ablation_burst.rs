@@ -1,0 +1,11 @@
+//! Design ablation (§4): guarded pacing vs un-paced burst injection.
+
+use experiments::ablations::burst_ablation;
+use suss_bench::BinOpts;
+
+fn main() {
+    let o = BinOpts::from_args();
+    let size = if o.quick { 2 * workload::MB } else { 6 * workload::MB };
+    let t = burst_ablation(size, 1);
+    o.emit("§4 ablation — paced vs burst extra-data injection", &t);
+}

@@ -1,0 +1,25 @@
+//! Extension (paper §7 future work): BBR with SUSS-predicted STARTUP
+//! boosts vs plain BBRv1.
+
+use experiments::extensions::bbr_suss_sweep;
+use suss_bench::BinOpts;
+
+fn main() {
+    let o = BinOpts::from_args();
+    let (sizes, iters): (Vec<u64>, u64) = if o.quick {
+        (vec![workload::MB, 2 * workload::MB], 2)
+    } else {
+        (
+            vec![
+                500 * workload::KB,
+                workload::MB,
+                2 * workload::MB,
+                5 * workload::MB,
+                10 * workload::MB,
+            ],
+            10,
+        )
+    };
+    let t = bbr_suss_sweep(&sizes, iters, 1);
+    o.emit("Extension — BBR+SUSS vs BBR (paper §7 future work)", &t);
+}

@@ -1,0 +1,18 @@
+//! Extension: SUSS under a CoDel (RFC 8289) bottleneck.
+
+use experiments::extensions::codel_sweep;
+use suss_bench::BinOpts;
+
+fn main() {
+    let o = BinOpts::from_args();
+    let (sizes, iters): (Vec<u64>, u64) = if o.quick {
+        (vec![2 * workload::MB], 2)
+    } else {
+        (
+            vec![workload::MB, 2 * workload::MB, 5 * workload::MB, 10 * workload::MB],
+            8,
+        )
+    };
+    let t = codel_sweep(&sizes, iters, 1);
+    o.emit("Extension — SUSS with a CoDel AQM bottleneck", &t);
+}

@@ -1,0 +1,18 @@
+//! Extension: SUSS across stacked bottlenecks (parking-lot topology).
+
+use experiments::extensions::parking_lot_probe;
+use suss_bench::BinOpts;
+
+fn main() {
+    let o = BinOpts::from_args();
+    let (hops, size) = if o.quick {
+        (2usize, workload::MB)
+    } else {
+        (4usize, 2 * workload::MB)
+    };
+    let t = parking_lot_probe(hops, size, 1);
+    o.emit(
+        &format!("Extension — short flow across {hops} stacked bottlenecks"),
+        &t,
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 15: Jain fairness dynamics across minRTT × buffer grid.
+
+use experiments::fairness::{run, to_table, FairnessParams};
+use suss_bench::BinOpts;
+
+fn main() {
+    let o = BinOpts::from_args();
+    let p = if o.quick { FairnessParams::quick() } else { FairnessParams::paper() };
+    let cells = run(&p);
+    o.emit("Fig. 15 — fairness recovery after a fifth flow joins", &to_table(&cells));
+}

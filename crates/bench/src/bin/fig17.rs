@@ -1,0 +1,37 @@
+//! Figure 17: loss rates across the 28-scenario matrix.
+
+use experiments::loss::{sweep_scenario, LossParams};
+use simstats::TextTable;
+use suss_bench::BinOpts;
+use workload::PathScenario;
+
+fn main() {
+    let o = BinOpts::from_args();
+    let p = if o.quick {
+        LossParams {
+            sizes: vec![4 * workload::MB],
+            iters: 2,
+            seed_base: 1,
+            buffer_bdp_override: Some(0.5),
+        }
+    } else {
+        LossParams {
+            sizes: vec![6 * workload::MB],
+            iters: 8,
+            seed_base: 1,
+            buffer_bdp_override: Some(0.5),
+        }
+    };
+    let mut t = TextTable::new(vec!["scenario", "suss-on(%)", "suss-off(%)", "bbr(%)"]);
+    for scn in PathScenario::matrix() {
+        let sweep = sweep_scenario(&scn, &p);
+        let c = &sweep.cells[0];
+        t.row(vec![
+            scn.id(),
+            format!("{:.2}", c.suss.mean * 100.0),
+            format!("{:.2}", c.cubic.mean * 100.0),
+            format!("{:.2}", c.bbr.mean * 100.0),
+        ]);
+    }
+    o.emit("Fig. 17 — retransmission rates, all 28 scenarios", &t);
+}

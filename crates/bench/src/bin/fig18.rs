@@ -1,0 +1,53 @@
+//! Figure 18: FCT and SUSS improvement across the 28-scenario matrix.
+
+use experiments::fct_sweep::{fig18_scenarios, sweep_scenario, SweepParams};
+use simstats::{fmt_pct, TextTable};
+use suss_bench::BinOpts;
+
+fn main() {
+    let o = BinOpts::from_args();
+    let p = if o.quick {
+        SweepParams {
+            sizes: vec![workload::MB, 4 * workload::MB],
+            iters: 2,
+            seed_base: 1,
+        }
+    } else {
+        // 28 scenarios × sizes × 3 schemes: keep the grid affordable with
+        // a probe-size subset and 5 seeds per cell.
+        SweepParams {
+            sizes: vec![workload::MB, 2 * workload::MB, 4 * workload::MB],
+            iters: 5,
+            seed_base: 1,
+        }
+    };
+    let mut t = TextTable::new(vec![
+        "scenario",
+        "size",
+        "bbr(s)",
+        "cubic(s)",
+        "suss(s)",
+        "improvement",
+    ]);
+    let mut wins = 0usize;
+    let mut cells = 0usize;
+    for scn in fig18_scenarios() {
+        let sweep = sweep_scenario(&scn, &p);
+        for c in &sweep.cells {
+            t.row(vec![
+                scn.id(),
+                simstats::fmt_bytes(c.size),
+                format!("{:.3}", c.bbr.mean),
+                format!("{:.3}", c.cubic.mean),
+                format!("{:.3}", c.suss.mean),
+                fmt_pct(c.suss_improvement()),
+            ]);
+            cells += 1;
+            if c.suss_improvement() > 0.0 {
+                wins += 1;
+            }
+        }
+    }
+    o.emit("Fig. 18 — FCT across all 28 scenarios", &t);
+    println!("SUSS beats plain CUBIC in {wins}/{cells} cells");
+}

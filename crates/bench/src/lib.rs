@@ -1,0 +1,53 @@
+//! # suss-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper (DESIGN.md §3 maps each id to
+//! its experiment module), plus Criterion micro/macro benches.
+//!
+//! Every binary accepts `--quick` to run the scaled-down parameter set
+//! (useful for smoke tests; the default is the full paper-scale run) and
+//! `--csv` to emit machine-readable output after the human-readable table.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinOpts {
+    /// Run the scaled-down parameter set.
+    pub quick: bool,
+    /// Also emit CSV.
+    pub csv: bool,
+}
+
+impl BinOpts {
+    /// Parse from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut o = BinOpts::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => o.quick = true,
+                "--csv" => o.csv = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: [--quick] [--csv]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        o
+    }
+
+    /// Print a table, and its CSV form if requested.
+    pub fn emit(&self, title: &str, table: &simstats::TextTable) {
+        println!("== {title} ==");
+        print!("{}", table.render());
+        if self.csv {
+            println!("--- csv ---");
+            print!("{}", table.to_csv());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,303 @@
+//! Ablation experiments beyond the paper's figures:
+//!
+//! * **k_max sweep** (Appendix A): growth-factor lookahead depth 1–3;
+//! * **BtlBw variation** (Appendix B): the bottleneck rate drops or rises
+//!   mid-slow-start;
+//! * **burst shaping** (motivates §4): SUSS with the paced extra data
+//!   injected as an un-paced burst, quantifying why the clocking+pacing
+//!   combination is needed.
+
+use crate::runner::{run_flow, FlowOutcome, IW, MSS};
+use cc_algos::{CcKind, CubicSuss};
+use netsim::{Bandwidth, FlowId, RateSchedule, Sim, SimTime};
+use simstats::{fmt_bytes, fmt_pct, improvement, TextTable};
+use suss_core::SussConfig;
+use tcp_sim::flow::{install_flow, wire_flow};
+use tcp_sim::receiver::AckPolicy;
+use tcp_sim::sender::{SenderConfig, SenderEndpoint};
+use workload::{LastHop, PathScenario, ServerSite};
+
+/// Appendix A: FCT vs. k_max on a clean large-BDP path.
+pub fn kmax_sweep(sizes: &[u64], kmaxes: &[u8], iters: u64, seed_base: u64) -> TextTable {
+    let scenario = PathScenario::new(ServerSite::GoogleTokyo, LastHop::Wired);
+    let mut t = TextTable::new(vec!["size", "k=0(off)", "k=1", "k=2", "k=3", "best-improv"]);
+    for &size in sizes {
+        let mean = |kind: CcKind| {
+            let xs: Vec<f64> = (0..iters)
+                .map(|i| run_flow(&scenario, kind, size, seed_base + i, false).fct_secs())
+                .filter(|f| f.is_finite())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len().max(1) as f64
+        };
+        let off = mean(CcKind::Cubic);
+        let mut cols = vec![fmt_bytes(size), format!("{off:.3}")];
+        let mut best = off;
+        for &k in kmaxes {
+            let v = mean(CcKind::CubicSussKmax(k));
+            best = best.min(v);
+            cols.push(format!("{v:.3}"));
+        }
+        while cols.len() < 5 {
+            cols.push("-".into());
+        }
+        cols.push(fmt_pct(improvement(off, best)));
+        t.row(cols);
+    }
+    t
+}
+
+/// Appendix B result: FCT and loss with a mid-slow-start bandwidth change.
+#[derive(Debug)]
+pub struct BtlBwResult {
+    /// Description of the rate change.
+    pub label: String,
+    /// SUSS on.
+    pub suss: FlowOutcome,
+    /// SUSS off.
+    pub cubic: FlowOutcome,
+}
+
+/// Run one flow over a path whose bottleneck follows `sched`.
+fn run_scheduled(
+    kind: CcKind,
+    sched: RateSchedule,
+    flow_bytes: u64,
+    owd_ms: u64,
+    seed: u64,
+) -> FlowOutcome {
+    let mut sim = Sim::new(seed);
+    let cfg = SenderConfig::bulk(flow_bytes).with_tracing();
+    let ends = install_flow(
+        &mut sim,
+        FlowId(1),
+        cfg,
+        cc_algos::make_controller(kind, IW, MSS),
+        AckPolicy::default(),
+    );
+    let rtt = std::time::Duration::from_millis(2 * owd_ms);
+    let data = netsim::LinkSpec::clean(sched.base_rate(), std::time::Duration::from_millis(owd_ms))
+        .with_rate_schedule(sched)
+        .with_queue_bdp(rtt, 1.0);
+    let ack = netsim::LinkSpec::clean(
+        Bandwidth::from_mbps(1000),
+        std::time::Duration::from_millis(owd_ms),
+    );
+    let s2r = sim.add_half_link(ends.sender, ends.receiver, data);
+    let r2s = sim.add_half_link(ends.receiver, ends.sender, ack);
+    wire_flow(&mut sim, ends, s2r, r2s);
+    sim.run_while(SimTime::from_secs(600), |sim| {
+        !sim.agent::<SenderEndpoint>(ends.sender).is_done()
+    });
+    let drops = sim.link_queue_stats(s2r).dropped_pkts;
+    let snd = sim.agent::<SenderEndpoint>(ends.sender);
+    FlowOutcome {
+        fct: snd.stats.fct(),
+        fct_receiver: snd.stats.fct(),
+        segs_sent: snd.stats.segs_sent,
+        segs_retransmitted: snd.stats.segs_retransmitted,
+        retransmit_rate: snd.stats.retransmit_rate(),
+        bottleneck_drops: drops,
+        exit_cwnd: None,
+        suss_pacings: 0,
+        trace: snd.trace.clone(),
+    }
+}
+
+/// Appendix B: bandwidth drop and rise cases.
+pub fn btlbw_variation(flow_bytes: u64, seed: u64) -> Vec<BtlBwResult> {
+    // The change lands mid-slow-start (~2 RTTs in on a 150 ms path).
+    let drop = RateSchedule::steps(vec![
+        (SimTime::ZERO, Bandwidth::from_mbps(100)),
+        (SimTime::from_millis(400), Bandwidth::from_mbps(40)),
+    ]);
+    let rise = RateSchedule::steps(vec![
+        (SimTime::ZERO, Bandwidth::from_mbps(40)),
+        (SimTime::from_millis(400), Bandwidth::from_mbps(100)),
+    ]);
+    [("drop 100→40 Mbps", drop), ("rise 40→100 Mbps", rise)]
+        .into_iter()
+        .map(|(label, sched)| BtlBwResult {
+            label: label.to_string(),
+            suss: run_scheduled(CcKind::CubicSuss, sched.clone(), flow_bytes, 75, seed),
+            cubic: run_scheduled(CcKind::Cubic, sched, flow_bytes, 75, seed),
+        })
+        .collect()
+}
+
+/// Render the Appendix B comparison.
+pub fn btlbw_table(results: &[BtlBwResult]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "case",
+        "suss-fct(s)",
+        "cubic-fct(s)",
+        "improv",
+        "suss-drops",
+        "cubic-drops",
+    ]);
+    for r in results {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.3}", r.suss.fct_secs()),
+            format!("{:.3}", r.cubic.fct_secs()),
+            fmt_pct(improvement(r.cubic.fct_secs(), r.suss.fct_secs())),
+            format!("{}", r.suss.bottleneck_drops),
+            format!("{}", r.cubic.bottleneck_drops),
+        ]);
+    }
+    t
+}
+
+/// Burst-shaping ablation: run CUBIC+SUSS with the extra data injected as
+/// an immediate cwnd jump (no pacing window) and compare drops/loss to the
+/// paper's guarded pacing. Implemented by executing the SUSS plan with an
+/// effectively infinite pacing rate.
+pub struct BurstVariant;
+
+impl BurstVariant {
+    /// Build the burst-mode controller: paper SUSS but the pacing window
+    /// collapses to an instantaneous cwnd jump.
+    pub fn controller(iw: u64, mss: u64) -> Box<dyn tcp_sim::cc::CongestionControl> {
+        Box::new(BurstSuss {
+            inner: CubicSuss::new(iw, mss, SussConfig::default()),
+        })
+    }
+}
+
+/// CUBIC+SUSS with pacing disabled: when the guard timer fires the window
+/// jumps straight to the round target and the extra packets leave as an
+/// ACK-clocked burst (what §4 warns against).
+struct BurstSuss {
+    inner: CubicSuss,
+}
+
+impl tcp_sim::cc::CongestionControl for BurstSuss {
+    fn name(&self) -> &'static str {
+        "cubic+suss-burst"
+    }
+    fn cwnd(&self) -> u64 {
+        self.inner.cwnd()
+    }
+    fn in_slow_start(&self) -> bool {
+        self.inner.in_slow_start()
+    }
+    fn on_ack(&mut self, ack: &tcp_sim::cc::AckView) {
+        self.inner.on_ack(ack)
+    }
+    fn on_congestion_event(&mut self, loss: &tcp_sim::cc::LossView) {
+        self.inner.on_congestion_event(loss)
+    }
+    fn on_sent(&mut self, now: u64, bytes: u64, snd_nxt: u64) {
+        self.inner.on_sent(now, bytes, snd_nxt)
+    }
+    fn pacing_rate(&self) -> Option<f64> {
+        None // never pace: the ablation point
+    }
+    fn next_timer(&self) -> Option<u64> {
+        self.inner.next_timer()
+    }
+    fn on_timer(&mut self, now: u64) {
+        // Drain the inner state machine's whole pacing window at once.
+        self.inner.on_timer(now);
+        while let Some(t) = self.inner.next_timer() {
+            if t > now.saturating_add(500_000_000) {
+                break; // a future plan, not this window
+            }
+            self.inner.on_timer(t.max(now));
+        }
+    }
+    fn ssthresh(&self) -> Option<u64> {
+        self.inner.ssthresh()
+    }
+    fn take_events(&mut self) -> Vec<tcp_sim::cc::CcEvent> {
+        self.inner.take_events()
+    }
+}
+
+/// Compare burst-mode SUSS against paced SUSS on a shallow buffer.
+pub fn burst_ablation(flow_bytes: u64, seed: u64) -> TextTable {
+    let mut scn = PathScenario::new(ServerSite::GoogleTokyo, LastHop::FiveG);
+    scn.buffer_bdp = 0.35; // shallow: bursts visibly overflow
+
+    let run_with = |cc: Box<dyn tcp_sim::cc::CongestionControl>| -> (FlowOutcome, f64) {
+        let mut sim = Sim::new(seed);
+        let cfg = SenderConfig::bulk(flow_bytes);
+        let ends = install_flow(&mut sim, FlowId(1), cfg, cc, AckPolicy::default());
+        let s2r = sim.add_half_link(ends.sender, ends.receiver, scn.data_link());
+        let r2s = sim.add_half_link(ends.receiver, ends.sender, scn.ack_link());
+        wire_flow(&mut sim, ends, s2r, r2s);
+        sim.run_while(SimTime::from_secs(600), |sim| {
+            !sim.agent::<SenderEndpoint>(ends.sender).is_done()
+        });
+        // Burstiness proxy: the bottleneck queue's high-water mark. A burst
+        // arriving faster than the drain rate piles up; paced arrivals at
+        // cwnd/minRTT (below the bottleneck rate while cwnd < BDP) do not.
+        let bursty = sim.link_queue_stats(s2r).max_backlog_bytes as f64
+            / scn.bdp_bytes().max(1) as f64;
+        let drops = sim.link_queue_stats(s2r).dropped_pkts;
+        let snd = sim.agent::<SenderEndpoint>(ends.sender);
+        (FlowOutcome {
+            fct: snd.stats.fct(),
+            fct_receiver: snd.stats.fct(),
+            segs_sent: snd.stats.segs_sent,
+            segs_retransmitted: snd.stats.segs_retransmitted,
+            retransmit_rate: snd.stats.retransmit_rate(),
+            bottleneck_drops: drops,
+            exit_cwnd: None,
+            suss_pacings: 0,
+            trace: snd.trace.clone(),
+        }, bursty)
+    };
+
+    let (paced, paced_bursty) = run_with(cc_algos::make_controller(CcKind::CubicSuss, IW, MSS));
+    let (burst, burst_bursty) = run_with(BurstVariant::controller(IW, MSS));
+    let mut t = TextTable::new(vec!["variant", "fct(s)", "rtx-rate(%)", "drops", "peak-queue(BDP)"]);
+    t.row(vec![
+        "paced (paper)".to_string(),
+        format!("{:.3}", paced.fct_secs()),
+        format!("{:.2}", paced.retransmit_rate * 100.0),
+        format!("{}", paced.bottleneck_drops),
+        format!("{:.2}", paced_bursty),
+    ]);
+    t.row(vec![
+        "burst (ablation)".to_string(),
+        format!("{:.3}", burst.fct_secs()),
+        format!("{:.2}", burst.retransmit_rate * 100.0),
+        format!("{}", burst.bottleneck_drops),
+        format!("{:.2}", burst_bursty),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::MB;
+
+    #[test]
+    fn kmax_table_shape() {
+        let t = kmax_sweep(&[MB], &[1, 2], 2, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn btlbw_drop_does_not_break_suss() {
+        let results = btlbw_variation(3 * MB, 1);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.suss.fct_secs().is_finite(), "{}: suss incomplete", r.label);
+            assert!(r.cubic.fct_secs().is_finite());
+            // Appendix B: SUSS stays competitive under rate variation.
+            let rel = r.suss.fct_secs() / r.cubic.fct_secs();
+            assert!(rel < 1.15, "{}: suss/cubic FCT ratio {rel:.2}", r.label);
+        }
+    }
+
+    #[test]
+    fn pacing_beats_bursting_on_shallow_buffers() {
+        let t = burst_ablation(3 * MB, 1);
+        assert_eq!(t.len(), 2);
+        // Structural check only here; the CSV carries the numbers. The
+        // stronger property (burst drops >= paced drops) is asserted in
+        // the integration suite where more iterations amortize noise.
+    }
+}

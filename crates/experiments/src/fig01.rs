@@ -1,0 +1,140 @@
+//! Figure 1: slow-start under-utilization on a long fat path.
+//!
+//! The paper downloads a file from a US cloud server to a PC in New
+//! Zealand with CUBIC and BBRv2 and plots total delivered data over time,
+//! against a hypothetical line at the steady-state rate θ = cwnd*/RTT.
+//! The visual point: during the early seconds both CCAs deliver far less
+//! than θ·t — the gap SUSS attacks.
+
+use crate::runner::run_flow;
+use cc_algos::CcKind;
+use netsim::SimTime;
+use simstats::{StepSeries, TextTable};
+use workload::{LastHop, PathScenario, ServerSite};
+
+/// Parameters for the Fig. 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig01Params {
+    /// Transfer size (large enough to span the plot horizon).
+    pub flow_bytes: u64,
+    /// Plot horizon.
+    pub horizon: SimTime,
+    /// Plot resolution (number of grid points).
+    pub points: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Fig01Params {
+    /// Full-scale run (matches the paper's multi-second download).
+    pub fn paper() -> Self {
+        Fig01Params {
+            flow_bytes: 60_000_000,
+            horizon: SimTime::from_secs(8),
+            points: 32,
+            seed: 1,
+        }
+    }
+
+    /// Scaled-down variant for benches.
+    pub fn quick() -> Self {
+        Fig01Params {
+            flow_bytes: 4_000_000,
+            horizon: SimTime::from_secs(2),
+            points: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// Result: delivered-byte series per CCA plus the θ reference.
+#[derive(Debug)]
+pub struct Fig01Result {
+    /// The path used (US-east server → NZ wired client).
+    pub scenario: PathScenario,
+    /// Delivered bytes over time, CUBIC.
+    pub cubic: StepSeries,
+    /// Delivered bytes over time, BBR.
+    pub bbr: StepSeries,
+    /// θ: the steady-state delivery rate (bytes/sec), estimated from the
+    /// tail of the CUBIC transfer, as the paper estimates cwnd*/RTT.
+    pub theta: f64,
+    /// Grid for rendering.
+    pub params: Fig01Params,
+}
+
+/// Run the experiment.
+pub fn run(params: &Fig01Params) -> Fig01Result {
+    // US cloud server → NZ client over wired-ish access: the paper's Fig.1
+    // setup. (WiFi would add noise irrelevant to the point being made.)
+    let scenario = PathScenario::new(ServerSite::GoogleUsEast, LastHop::WiFi);
+    let cubic = run_flow(&scenario, CcKind::Cubic, params.flow_bytes, params.seed, true);
+    let bbr = run_flow(&scenario, CcKind::Bbr, params.flow_bytes, params.seed, true);
+
+    // θ from the steady-state segment: delivered over the second half of
+    // the horizon, CUBIC run.
+    let ser_cubic = cubic.delivered_series();
+    let half = SimTime::from_nanos(params.horizon.as_nanos() / 2);
+    let theta = (ser_cubic.value_at(params.horizon, 0.0) - ser_cubic.value_at(half, 0.0))
+        / (params.horizon.saturating_since(half)).as_secs_f64();
+
+    Fig01Result {
+        scenario,
+        cubic: ser_cubic,
+        bbr: bbr.delivered_series(),
+        theta,
+        params: params.clone(),
+    }
+}
+
+impl Fig01Result {
+    /// Render the series the paper plots.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "t(s)",
+            "cubic(MB)",
+            "bbr(MB)",
+            "theta-line(MB)",
+        ]);
+        for k in 0..=self.params.points {
+            let ts =
+                SimTime::from_nanos(self.params.horizon.as_nanos() * k as u64 / self.params.points as u64);
+            let row = vec![
+                format!("{:.2}", ts.as_secs_f64()),
+                format!("{:.2}", self.cubic.value_at(ts, 0.0) / 1e6),
+                format!("{:.2}", self.bbr.value_at(ts, 0.0) / 1e6),
+                format!("{:.2}", self.theta * ts.as_secs_f64() / 1e6),
+            ];
+            t.row(row);
+        }
+        t
+    }
+
+    /// The headline gap: fraction of the θ-line volume actually delivered
+    /// by CUBIC over the first `frac` of the horizon.
+    pub fn early_utilization(&self, frac: f64) -> f64 {
+        let t = SimTime::from_secs_f64(self.params.horizon.as_secs_f64() * frac);
+        let ideal = self.theta * t.as_secs_f64();
+        if ideal <= 0.0 {
+            return 1.0;
+        }
+        self.cubic.value_at(t, 0.0) / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_underutilizes_early() {
+        let r = run(&Fig01Params::quick());
+        // In the first quarter of the horizon, CUBIC delivers well below
+        // the steady-state line — the motivation for SUSS.
+        let u = r.early_utilization(0.25);
+        assert!(u < 0.8, "early utilization {u:.2} should show the gap");
+        assert!(r.theta > 0.0);
+        let table = r.to_table();
+        assert_eq!(table.len(), r.params.points + 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Figures 9 & 10: cwnd/RTT dynamics and total delivered data with SUSS
+//! on vs. off on a 4G path (US-east server → NZ 4G client).
+//!
+//! The paper's observations, which this module's tests assert:
+//! * SUSS reaches the slow-start exit cwnd in roughly half the time;
+//! * both variants exit exponential growth at about the same cwnd;
+//! * RTT stays flat during the accelerated rounds (pacing absorbs the
+//!   extra packets);
+//! * total delivered data at t = 2 s is a multiple of the SUSS-off run.
+
+use crate::runner::{run_flow, FlowOutcome, MSS};
+use cc_algos::CcKind;
+use netsim::SimTime;
+use simstats::TextTable;
+use workload::{LastHop, PathScenario, ServerSite};
+
+/// Parameters for the Fig. 9/10 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig09Params {
+    /// Transfer size (long enough to pass slow start).
+    pub flow_bytes: u64,
+    /// Plot horizon.
+    pub horizon: SimTime,
+    /// Plot resolution.
+    pub points: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Fig09Params {
+    /// Full-scale run.
+    pub fn paper() -> Self {
+        Fig09Params {
+            flow_bytes: 40_000_000,
+            horizon: SimTime::from_secs(10),
+            points: 40,
+            seed: 1,
+        }
+    }
+
+    /// Scaled-down variant.
+    pub fn quick() -> Self {
+        Fig09Params {
+            flow_bytes: 6_000_000,
+            horizon: SimTime::from_secs(3),
+            points: 12,
+            seed: 1,
+        }
+    }
+}
+
+/// Result: the two traced runs.
+#[derive(Debug)]
+pub struct Fig09Result {
+    /// The 4G path used.
+    pub scenario: PathScenario,
+    /// CUBIC with SUSS on.
+    pub suss_on: FlowOutcome,
+    /// CUBIC with SUSS off.
+    pub suss_off: FlowOutcome,
+    /// Parameters.
+    pub params: Fig09Params,
+}
+
+/// Run the experiment.
+pub fn run(params: &Fig09Params) -> Fig09Result {
+    let scenario = PathScenario::new(ServerSite::GoogleUsEast, LastHop::FourG);
+    Fig09Result {
+        suss_on: run_flow(&scenario, CcKind::CubicSuss, params.flow_bytes, params.seed, true),
+        suss_off: run_flow(&scenario, CcKind::Cubic, params.flow_bytes, params.seed, true),
+        scenario,
+        params: params.clone(),
+    }
+}
+
+impl Fig09Result {
+    /// Time for cwnd to first reach `segs` segments, per variant.
+    pub fn time_to_cwnd(&self, out: &FlowOutcome, segs: u64) -> Option<SimTime> {
+        out.trace
+            .samples
+            .iter()
+            .find(|s| s.cwnd >= segs * MSS)
+            .map(|s| s.t)
+    }
+
+    /// Fig. 9 series: cwnd (segments) and RTT (ms) over time.
+    pub fn to_table(&self) -> TextTable {
+        let c_on = self.suss_on.cwnd_series();
+        let c_off = self.suss_off.cwnd_series();
+        let r_on = self.suss_on.rtt_series();
+        let r_off = self.suss_off.rtt_series();
+        let base_rtt = self.scenario.min_rtt().as_secs_f64() * 1e3;
+        let mut t = TextTable::new(vec![
+            "t(s)",
+            "cwnd-on(seg)",
+            "cwnd-off(seg)",
+            "rtt-on(ms)",
+            "rtt-off(ms)",
+        ]);
+        for k in 0..=self.params.points {
+            let ts = SimTime::from_nanos(
+                self.params.horizon.as_nanos() * k as u64 / self.params.points as u64,
+            );
+            t.row(vec![
+                format!("{:.2}", ts.as_secs_f64()),
+                format!("{:.0}", c_on.value_at(ts, 10.0)),
+                format!("{:.0}", c_off.value_at(ts, 10.0)),
+                format!("{:.1}", r_on.value_at(ts, base_rtt)),
+                format!("{:.1}", r_off.value_at(ts, base_rtt)),
+            ]);
+        }
+        t
+    }
+
+    /// Fig. 10 series: delivered MB over time plus the ratio at 2 s.
+    pub fn to_delivered_table(&self) -> TextTable {
+        let d_on = self.suss_on.delivered_series();
+        let d_off = self.suss_off.delivered_series();
+        let mut t = TextTable::new(vec!["t(s)", "delivered-on(MB)", "delivered-off(MB)"]);
+        for k in 0..=self.params.points {
+            let ts = SimTime::from_nanos(
+                self.params.horizon.as_nanos() * k as u64 / self.params.points as u64,
+            );
+            t.row(vec![
+                format!("{:.2}", ts.as_secs_f64()),
+                format!("{:.2}", d_on.value_at(ts, 0.0) / 1e6),
+                format!("{:.2}", d_off.value_at(ts, 0.0) / 1e6),
+            ]);
+        }
+        t
+    }
+
+    /// Delivered-bytes ratio (on/off) at time `t`.
+    pub fn delivered_ratio(&self, t: SimTime) -> f64 {
+        let on = self.suss_on.delivered_series().value_at(t, 0.0);
+        let off = self.suss_off.delivered_series().value_at(t, 0.0);
+        if off <= 0.0 {
+            f64::NAN
+        } else {
+            on / off
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suss_halves_ramp_time_without_rtt_cost() {
+        let r = run(&Fig09Params::quick());
+        // Both exit slow start; exit cwnds comparable (Fig. 9 top).
+        let (e_on, e_off) = (
+            r.suss_on.exit_cwnd.expect("suss-on exits"),
+            r.suss_off.exit_cwnd.expect("suss-off exits"),
+        );
+        let ratio = e_on as f64 / e_off as f64;
+        assert!((0.6..=1.6).contains(&ratio), "exit cwnd ratio {ratio:.2}");
+
+        // SUSS reaches a mid-slow-start cwnd substantially sooner.
+        let probe = (e_off / MSS).min(e_on / MSS) / 2;
+        let t_on = r.time_to_cwnd(&r.suss_on, probe).unwrap();
+        let t_off = r.time_to_cwnd(&r.suss_off, probe).unwrap();
+        assert!(
+            t_on.as_secs_f64() <= 0.75 * t_off.as_secs_f64(),
+            "ramp time on {t_on} vs off {t_off}"
+        );
+
+        // Delivered ratio early in the transfer is well above 1 (the paper
+        // reports ~3x at 2 s on its slower real-world path; the exact
+        // instant depends on path speed, so probe 1 s here).
+        let ratio = r.delivered_ratio(SimTime::from_secs(1));
+        assert!(ratio > 1.4, "delivered ratio at 1 s: {ratio:.2}");
+
+        // RTT flat in early rounds: max RTT within the first second close
+        // between the runs.
+        let early = SimTime::from_secs(1);
+        let max_rtt = |o: &FlowOutcome| {
+            o.trace
+                .samples
+                .iter()
+                .take_while(|s| s.t <= early)
+                .filter_map(|s| s.rtt)
+                .max()
+                .unwrap()
+        };
+        let (m_on, m_off) = (max_rtt(&r.suss_on), max_rtt(&r.suss_off));
+        assert!(
+            m_on.as_secs_f64() <= m_off.as_secs_f64() * 1.2,
+            "early max RTT on {m_on:?} vs off {m_off:?}"
+        );
+    }
+}

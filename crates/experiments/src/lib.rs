@@ -1,0 +1,31 @@
+//! # experiments — per-figure/table runners for the SUSS reproduction
+//!
+//! Each module regenerates one table or figure from the paper's evaluation
+//! (see DESIGN.md §3 for the full index). Every experiment has a
+//! parameters struct with two constructors:
+//!
+//! * `paper()` — full scale (50 iterations, full sweeps), used by the
+//!   `suss-bench` binaries;
+//! * `quick()` — a scaled-down variant for Criterion benches and CI.
+//!
+//! All experiments are deterministic given their seed base.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dumbbell;
+pub mod runner;
+
+pub mod ablations;
+pub mod extensions;
+pub mod fairness;
+pub mod fct_sweep;
+pub mod fig01;
+pub mod fig02;
+pub mod fig09;
+pub mod fig13;
+pub mod loss;
+pub mod stability;
+
+pub use dumbbell::{run_dumbbell, DumbbellFlow, DumbbellOutcome};
+pub use runner::{mean_fct, run_flow, FlowOutcome, IW, MSS};

@@ -1,0 +1,331 @@
+//! Packet capture: a pcap-like per-link event log.
+//!
+//! Attach a [`Capture`] to the simulation and every transmission,
+//! delivery, and drop on the selected links is recorded with its
+//! timestamp, flow, size, and byte offsets of interest. The query API
+//! answers the questions that come up when a transport misbehaves
+//! ("when did flow 3's packets start getting dropped?", "what was the
+//! inter-departure spacing during the pacing window?").
+
+use crate::packet::{FlowId, LinkId};
+use crate::time::SimTime;
+use std::time::Duration;
+
+/// What happened to a packet at a capture point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureKind {
+    /// Finished serializing onto the wire.
+    Transmitted,
+    /// Delivered to the far end.
+    Delivered,
+    /// Dropped by the egress queue (overflow or AQM).
+    QueueDropped,
+    /// Dropped by the random-loss process.
+    RandomLost,
+}
+
+/// One captured event.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptureEvent {
+    /// When it happened.
+    pub t: SimTime,
+    /// Which half-link.
+    pub link: LinkId,
+    /// What happened.
+    pub kind: CaptureKind,
+    /// Flow of the packet.
+    pub flow: FlowId,
+    /// On-wire size.
+    pub size: u32,
+    /// Engine-assigned packet id.
+    pub packet_id: u64,
+}
+
+/// An in-memory capture buffer with query helpers.
+#[derive(Debug, Default)]
+pub struct Capture {
+    events: Vec<CaptureEvent>,
+    /// Links to record (empty = all).
+    links: Vec<LinkId>,
+    /// Hard cap on stored events (oldest kept; capture stops at the cap,
+    /// which is reported by [`Capture::truncated`]).
+    limit: usize,
+    truncated: bool,
+}
+
+impl Capture {
+    /// Capture everything on the given links (empty slice = all links),
+    /// up to `limit` events.
+    pub fn new(links: &[LinkId], limit: usize) -> Self {
+        Capture {
+            events: Vec::new(),
+            links: links.to_vec(),
+            limit: limit.max(1),
+            truncated: false,
+        }
+    }
+
+    /// Whether this capture records the given link.
+    pub fn wants(&self, link: LinkId) -> bool {
+        self.links.is_empty() || self.links.contains(&link)
+    }
+
+    /// Record one event (engine-facing).
+    pub fn record(&mut self, ev: CaptureEvent) {
+        if self.events.len() >= self.limit {
+            self.truncated = true;
+            return;
+        }
+        if self.wants(ev.link) {
+            self.events.push(ev);
+        }
+    }
+
+    /// All events, in time order.
+    pub fn events(&self) -> &[CaptureEvent] {
+        &self.events
+    }
+
+    /// Whether the buffer hit its limit (later events missing).
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Events of one kind for one flow.
+    pub fn of(&self, flow: FlowId, kind: CaptureKind) -> impl Iterator<Item = &CaptureEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.flow == flow && e.kind == kind)
+    }
+
+    /// Count of events of a kind for a flow.
+    pub fn count(&self, flow: FlowId, kind: CaptureKind) -> usize {
+        self.of(flow, kind).count()
+    }
+
+    /// First drop (queue or random) for a flow, if any.
+    pub fn first_drop(&self, flow: FlowId) -> Option<SimTime> {
+        self.events
+            .iter()
+            .find(|e| {
+                e.flow == flow
+                    && matches!(e.kind, CaptureKind::QueueDropped | CaptureKind::RandomLost)
+            })
+            .map(|e| e.t)
+    }
+
+    /// Inter-departure gaps of a flow's transmissions within `[from, to]` —
+    /// the direct measurement of burstiness (paper §6.3's packet-density
+    /// argument).
+    pub fn departure_gaps(&self, flow: FlowId, from: SimTime, to: SimTime) -> Vec<Duration> {
+        let times: Vec<SimTime> = self
+            .of(flow, CaptureKind::Transmitted)
+            .filter(|e| e.t >= from && e.t <= to)
+            .map(|e| e.t)
+            .collect();
+        times.windows(2).map(|w| w[1].saturating_since(w[0])).collect()
+    }
+
+    /// Render a compact text log (for debugging sessions).
+    pub fn dump(&self, max_lines: usize) -> String {
+        let mut out = String::new();
+        for e in self.events.iter().take(max_lines) {
+            out.push_str(&format!(
+                "{:>12} {} {:?} {} {}B pkt#{}\n",
+                e.t.to_string(),
+                e.link,
+                e.kind,
+                e.flow,
+                e.size,
+                e.packet_id
+            ));
+        }
+        if self.events.len() > max_lines {
+            out.push_str(&format!("… {} more\n", self.events.len() - max_lines));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ms: u64, link: u32, kind: CaptureKind, flow: u64) -> CaptureEvent {
+        CaptureEvent {
+            t: SimTime::from_millis(t_ms),
+            link: LinkId(link),
+            kind,
+            flow: FlowId(flow),
+            size: 1500,
+            packet_id: t_ms,
+        }
+    }
+
+    #[test]
+    fn records_and_filters_by_link() {
+        let mut c = Capture::new(&[LinkId(1)], 100);
+        c.record(ev(1, 1, CaptureKind::Transmitted, 7));
+        c.record(ev(2, 2, CaptureKind::Transmitted, 7)); // filtered out
+        assert_eq!(c.events().len(), 1);
+        assert!(c.wants(LinkId(1)) && !c.wants(LinkId(2)));
+    }
+
+    #[test]
+    fn empty_link_list_captures_all() {
+        let mut c = Capture::new(&[], 100);
+        c.record(ev(1, 1, CaptureKind::Delivered, 7));
+        c.record(ev(2, 9, CaptureKind::Delivered, 7));
+        assert_eq!(c.events().len(), 2);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut c = Capture::new(&[], 2);
+        for k in 0..5 {
+            c.record(ev(k, 1, CaptureKind::Transmitted, 1));
+        }
+        assert_eq!(c.events().len(), 2);
+        assert!(c.truncated());
+    }
+
+    #[test]
+    fn queries() {
+        let mut c = Capture::new(&[], 100);
+        c.record(ev(1, 1, CaptureKind::Transmitted, 7));
+        c.record(ev(2, 1, CaptureKind::Transmitted, 7));
+        c.record(ev(5, 1, CaptureKind::QueueDropped, 7));
+        c.record(ev(6, 1, CaptureKind::Transmitted, 8));
+        assert_eq!(c.count(FlowId(7), CaptureKind::Transmitted), 2);
+        assert_eq!(c.first_drop(FlowId(7)), Some(SimTime::from_millis(5)));
+        assert_eq!(c.first_drop(FlowId(8)), None);
+        let gaps = c.departure_gaps(FlowId(7), SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(gaps, vec![Duration::from_millis(1)]);
+    }
+
+    #[test]
+    fn dump_is_bounded() {
+        let mut c = Capture::new(&[], 100);
+        for k in 0..10 {
+            c.record(ev(k, 1, CaptureKind::Transmitted, 1));
+        }
+        let d = c.dump(3);
+        assert_eq!(d.lines().count(), 4); // 3 events + "… more"
+        assert!(d.contains("… 7 more"));
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+    use crate::link::LinkSpec;
+    use crate::packet::{NodeId, Packet};
+    use crate::sim::{Agent, Ctx, Sim};
+    use std::any::Any;
+
+    struct Null;
+    impl Agent for Null {
+        fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn engine_records_tx_and_drops() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_agent(Box::new(Null));
+        let b = sim.add_agent(Box::new(Null));
+        // Slow link with room for exactly one queued packet.
+        let spec = LinkSpec::clean(Bandwidth::from_kbps(80), std::time::Duration::ZERO)
+            .with_queue_bytes(1_000);
+        let ab = sim.add_half_link(a, b, spec);
+        sim.enable_capture(&[ab], 1_000);
+        sim.with_agent_ctx::<Null, _>(a, |_, ctx| {
+            for _ in 0..4 {
+                ctx.send(ab, Packet::opaque(FlowId(3), a, b, 1_000));
+            }
+        });
+        sim.run_to_completion();
+        let cap = sim.capture().unwrap();
+        // 1 transmitting + 1 queued survive; 2 dropped.
+        assert_eq!(cap.count(FlowId(3), CaptureKind::Transmitted), 2);
+        assert_eq!(cap.count(FlowId(3), CaptureKind::QueueDropped), 2);
+        assert!(cap.first_drop(FlowId(3)).is_some());
+        // 1000 B at 80 kbps = 100 ms per packet.
+        let gaps = cap.departure_gaps(FlowId(3), SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(gaps, vec![std::time::Duration::from_millis(100)]);
+    }
+
+    #[test]
+    fn engine_records_random_loss() {
+        let mut sim = Sim::new(2);
+        let a = sim.add_agent(Box::new(Null));
+        let b = sim.add_agent(Box::new(Null));
+        let spec = LinkSpec::clean(Bandwidth::from_mbps(100), std::time::Duration::ZERO)
+            .with_loss(0.5);
+        let ab = sim.add_half_link(a, b, spec);
+        sim.enable_capture(&[], 10_000);
+        sim.with_agent_ctx::<Null, _>(a, |_, ctx| {
+            for _ in 0..200 {
+                ctx.send(ab, Packet::opaque(FlowId(1), a, b, 100));
+            }
+        });
+        sim.run_to_completion();
+        let cap = sim.capture().unwrap();
+        let lost = cap.count(FlowId(1), CaptureKind::RandomLost);
+        assert!(lost > 50 && lost < 150, "lost {lost}");
+        assert_eq!(
+            lost + cap.count(FlowId(1), CaptureKind::Transmitted),
+            200,
+            "every packet is either transmitted or lost"
+        );
+    }
+}
+
+#[cfg(test)]
+mod delivery_tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+    use crate::link::LinkSpec;
+    use crate::packet::Packet;
+    use crate::sim::{Agent, Ctx, Sim};
+    use std::any::Any;
+
+    struct Null;
+    impl Agent for Null {
+        fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn deliveries_are_recorded_with_latency() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_agent(Box::new(Null));
+        let b = sim.add_agent(Box::new(Null));
+        let spec = LinkSpec::clean(Bandwidth::from_mbps(1), std::time::Duration::from_millis(10));
+        let ab = sim.add_half_link(a, b, spec);
+        sim.enable_capture(&[], 100);
+        sim.with_agent_ctx::<Null, _>(a, |_, ctx| {
+            ctx.send(ab, Packet::opaque(FlowId(5), a, b, 125));
+        });
+        sim.run_to_completion();
+        let cap = sim.capture().unwrap();
+        assert_eq!(cap.count(FlowId(5), CaptureKind::Transmitted), 1);
+        assert_eq!(cap.count(FlowId(5), CaptureKind::Delivered), 1);
+        let tx = cap.of(FlowId(5), CaptureKind::Transmitted).next().unwrap().t;
+        let rx = cap.of(FlowId(5), CaptureKind::Delivered).next().unwrap().t;
+        assert_eq!(rx.saturating_since(tx), std::time::Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,203 @@
+//! Packets and identifiers.
+//!
+//! The simulator moves opaque [`Packet`]s between nodes. Higher layers (the
+//! TCP model in `tcp-sim`) attach their protocol headers as a type-erased
+//! payload and downcast on receipt — the engine itself is protocol-agnostic,
+//! mirroring how an IP network treats transport payloads.
+
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a node (agent) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of this node in the simulation's agent table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies one *direction* of a link (a half-link with its own queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// Raw index of this half-link in the simulation's link table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Identifies an end-to-end flow (one TCP connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A packet in flight.
+///
+/// `size` is the on-wire size in bytes and is what drives serialization
+/// delay and queue occupancy. The `payload` carries protocol state for the
+/// endpoints and does not contribute to `size` (headers must be included in
+/// `size` by the sender).
+pub struct Packet {
+    /// Globally unique id, assigned at send time.
+    pub id: u64,
+    /// Flow this packet belongs to (0 for non-flow traffic).
+    pub flow: FlowId,
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node; routers forward based on this.
+    pub dst: NodeId,
+    /// On-wire size in bytes, including all headers.
+    pub size: u32,
+    /// Type-erased protocol payload (e.g. a TCP segment header).
+    pub payload: Option<Box<dyn Any>>,
+}
+
+impl Packet {
+    /// Construct a packet with no payload (e.g. background traffic filler).
+    pub fn opaque(flow: FlowId, src: NodeId, dst: NodeId, size: u32) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size,
+            payload: None,
+        }
+    }
+
+    /// Construct a packet carrying a typed payload.
+    pub fn with_payload<T: Any>(flow: FlowId, src: NodeId, dst: NodeId, size: u32, payload: T) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size,
+            payload: Some(Box::new(payload)),
+        }
+    }
+
+    /// Borrow the payload downcast to `T`, if present and of that type.
+    pub fn payload_ref<T: Any>(&self) -> Option<&T> {
+        self.payload.as_deref().and_then(|p| p.downcast_ref::<T>())
+    }
+
+    /// Take the payload downcast to `T`.
+    ///
+    /// Returns `Err(self)` unchanged if the payload is absent or of a
+    /// different type, so mis-delivered packets can still be inspected.
+    pub fn take_payload<T: Any>(mut self) -> Result<(T, PacketMeta), Packet> {
+        match self.payload.take() {
+            Some(b) => match b.downcast::<T>() {
+                Ok(t) => Ok((
+                    *t,
+                    PacketMeta {
+                        id: self.id,
+                        flow: self.flow,
+                        src: self.src,
+                        dst: self.dst,
+                        size: self.size,
+                    },
+                )),
+                Err(b) => {
+                    self.payload = Some(b);
+                    Err(self)
+                }
+            },
+            None => Err(self),
+        }
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("id", &self.id)
+            .field("flow", &self.flow)
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("size", &self.size)
+            .field("payload", &self.payload.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+/// Header fields of a packet, detached from its payload.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketMeta {
+    /// Globally unique packet id.
+    pub id: u64,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// On-wire size in bytes.
+    pub size: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes() -> (NodeId, NodeId) {
+        (NodeId(1), NodeId(2))
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let (a, b) = nodes();
+        let p = Packet::with_payload(FlowId(3), a, b, 1500, 42u64);
+        assert_eq!(p.payload_ref::<u64>(), Some(&42));
+        let (v, meta) = p.take_payload::<u64>().unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(meta.flow, FlowId(3));
+        assert_eq!(meta.size, 1500);
+    }
+
+    #[test]
+    fn wrong_type_downcast_returns_packet() {
+        let (a, b) = nodes();
+        let p = Packet::with_payload(FlowId(1), a, b, 100, 42u64);
+        let p = p.take_payload::<String>().unwrap_err();
+        // Payload must survive the failed downcast.
+        assert_eq!(p.payload_ref::<u64>(), Some(&42));
+    }
+
+    #[test]
+    fn opaque_has_no_payload() {
+        let (a, b) = nodes();
+        let p = Packet::opaque(FlowId(0), a, b, 64);
+        assert!(p.payload_ref::<u64>().is_none());
+        assert!(p.take_payload::<u64>().is_err());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(LinkId(7).to_string(), "l7");
+        assert_eq!(FlowId(9).to_string(), "f9");
+    }
+}

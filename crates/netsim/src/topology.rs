@@ -1,0 +1,471 @@
+//! Topology builders.
+//!
+//! The paper's two testbeds map to two shapes:
+//!
+//! * **Dumbbell** (local testbed, Figs. 2/15/16, Table 1): N client–server
+//!   pairs interconnected through two routers; the router–router link is the
+//!   shaped bottleneck (rate, delay, buffer), per-pair edge links add
+//!   per-flow RTT differences.
+//! * **Path** (Internet-scale testbed, Figs. 1/9–14/17/18): a single
+//!   client–server pair, i.e. a dumbbell with N = 1, where the bottleneck
+//!   link carries the access-technology model (bandwidth, jitter, loss).
+//!
+//! Endpoints are created by the caller (they live in `tcp-sim`), registered
+//! with the [`Sim`], and wired here; the builder returns the egress link id
+//! each endpoint must transmit on, plus handles to the bottleneck for
+//! stats collection.
+
+use crate::link::LinkSpec;
+use crate::packet::{LinkId, NodeId};
+use crate::router::Router;
+use crate::sim::Sim;
+
+/// Specification of a dumbbell topology.
+#[derive(Debug, Clone)]
+pub struct DumbbellSpec {
+    /// Bottleneck link, left-router → right-router direction.
+    pub bottleneck_l2r: LinkSpec,
+    /// Bottleneck link, right-router → left-router direction.
+    ///
+    /// For a download experiment (servers on the right), this is the
+    /// direction that congests and must carry the buffer spec.
+    pub bottleneck_r2l: LinkSpec,
+    /// Edge link between each left-side host and the left router, per pair
+    /// (one spec used for both directions of that pair's edge).
+    pub left_edges: Vec<LinkSpec>,
+    /// Edge link between each right-side host and the right router, per pair.
+    pub right_edges: Vec<LinkSpec>,
+}
+
+impl DumbbellSpec {
+    /// Number of host pairs (left and right edge lists must agree).
+    pub fn pairs(&self) -> usize {
+        assert_eq!(
+            self.left_edges.len(),
+            self.right_edges.len(),
+            "left/right edge counts differ"
+        );
+        self.left_edges.len()
+    }
+}
+
+/// Wiring produced by [`build_dumbbell`].
+#[derive(Debug)]
+pub struct Dumbbell {
+    /// Left router node id.
+    pub left_router: NodeId,
+    /// Right router node id.
+    pub right_router: NodeId,
+    /// For each pair, the half-link the left host transmits on (toward the
+    /// left router).
+    pub left_egress: Vec<LinkId>,
+    /// For each pair, the half-link the right host transmits on.
+    pub right_egress: Vec<LinkId>,
+    /// Bottleneck half-link, left → right.
+    pub bottleneck_l2r: LinkId,
+    /// Bottleneck half-link, right → left (the congested direction for
+    /// download workloads).
+    pub bottleneck_r2l: LinkId,
+}
+
+/// Wire `left_hosts[i]` ↔ left router ↔ right router ↔ `right_hosts[i]`.
+///
+/// The hosts must already be registered with the simulator. Routes are
+/// installed so that any left host can reach any right host and vice versa.
+///
+/// # Panics
+/// Panics if the host lists and the spec's edge lists disagree in length.
+pub fn build_dumbbell(
+    sim: &mut Sim,
+    left_hosts: &[NodeId],
+    right_hosts: &[NodeId],
+    spec: &DumbbellSpec,
+) -> Dumbbell {
+    assert_eq!(left_hosts.len(), spec.left_edges.len(), "left host/edge mismatch");
+    assert_eq!(right_hosts.len(), spec.right_edges.len(), "right host/edge mismatch");
+
+    let left_router = sim.add_agent(Box::new(Router::new()));
+    let right_router = sim.add_agent(Box::new(Router::new()));
+
+    let bottleneck_l2r =
+        sim.add_half_link(left_router, right_router, spec.bottleneck_l2r.clone());
+    let bottleneck_r2l =
+        sim.add_half_link(right_router, left_router, spec.bottleneck_r2l.clone());
+
+    // Everything on the far side goes over the bottleneck.
+    sim.agent_mut::<Router>(left_router).set_default_route(bottleneck_l2r);
+    sim.agent_mut::<Router>(right_router).set_default_route(bottleneck_r2l);
+
+    let mut left_egress = Vec::with_capacity(left_hosts.len());
+    for (&host, edge) in left_hosts.iter().zip(&spec.left_edges) {
+        let (host_up, down) = sim.add_link(host, left_router, edge.clone(), edge.clone());
+        sim.agent_mut::<Router>(left_router).add_route(host, down);
+        left_egress.push(host_up);
+    }
+
+    let mut right_egress = Vec::with_capacity(right_hosts.len());
+    for (&host, edge) in right_hosts.iter().zip(&spec.right_edges) {
+        let (host_up, down) = sim.add_link(host, right_router, edge.clone(), edge.clone());
+        sim.agent_mut::<Router>(right_router).add_route(host, down);
+        right_egress.push(host_up);
+    }
+
+    Dumbbell {
+        left_router,
+        right_router,
+        left_egress,
+        right_egress,
+        bottleneck_l2r,
+        bottleneck_r2l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+    use crate::packet::{FlowId, Packet};
+    use crate::sim::{Agent, Ctx};
+    use crate::time::SimTime;
+    use std::any::Any;
+    use std::time::Duration;
+
+    struct Host {
+        got: Vec<(SimTime, u64)>,
+    }
+    impl Host {
+        fn new() -> Self {
+            Host { got: vec![] }
+        }
+    }
+    impl Agent for Host {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            self.got.push((ctx.now(), pkt.id));
+        }
+        fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn simple_spec(pairs: usize) -> DumbbellSpec {
+        let edge = LinkSpec::clean(Bandwidth::from_gbps(1), Duration::from_millis(1));
+        let bn = LinkSpec::clean(Bandwidth::from_mbps(10), Duration::from_millis(10))
+            .with_queue_bytes(100_000);
+        DumbbellSpec {
+            bottleneck_l2r: bn.clone(),
+            bottleneck_r2l: bn,
+            left_edges: vec![edge.clone(); pairs],
+            right_edges: vec![edge; pairs],
+        }
+    }
+
+    #[test]
+    fn cross_traffic_reaches_correct_peer() {
+        let mut sim = Sim::new(1);
+        let lefts: Vec<NodeId> = (0..3).map(|_| sim.add_agent(Box::new(Host::new()))).collect();
+        let rights: Vec<NodeId> = (0..3).map(|_| sim.add_agent(Box::new(Host::new()))).collect();
+        let db = build_dumbbell(&mut sim, &lefts, &rights, &simple_spec(3));
+
+        // Each left host sends one packet to its own right peer.
+        for i in 0..3 {
+            let (src, dst, up) = (lefts[i], rights[i], db.left_egress[i]);
+            sim.with_agent_ctx::<Host, _>(src, move |_, ctx| {
+                ctx.send(up, Packet::opaque(FlowId(i as u64), src, dst, 1000));
+            });
+        }
+        sim.run_until(SimTime::from_secs(1));
+        for &r in &rights {
+            assert_eq!(sim.agent::<Host>(r).got.len(), 1, "peer {r} packets");
+        }
+    }
+
+    #[test]
+    fn reverse_direction_works() {
+        let mut sim = Sim::new(1);
+        let lefts = vec![sim.add_agent(Box::new(Host::new()))];
+        let rights = vec![sim.add_agent(Box::new(Host::new()))];
+        let db = build_dumbbell(&mut sim, &lefts, &rights, &simple_spec(1));
+        let (src, dst, up) = (rights[0], lefts[0], db.right_egress[0]);
+        sim.with_agent_ctx::<Host, _>(src, move |_, ctx| {
+            ctx.send(up, Packet::opaque(FlowId(9), src, dst, 500));
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent::<Host>(lefts[0]).got.len(), 1);
+    }
+
+    #[test]
+    fn bottleneck_serializes_competing_senders() {
+        let mut sim = Sim::new(1);
+        let lefts: Vec<NodeId> = (0..2).map(|_| sim.add_agent(Box::new(Host::new()))).collect();
+        let rights: Vec<NodeId> = (0..2).map(|_| sim.add_agent(Box::new(Host::new()))).collect();
+        // Queue must absorb the full burst (both senders blast at edge rate).
+        let mut spec = simple_spec(2);
+        spec.bottleneck_r2l = spec.bottleneck_r2l.with_queue_bytes(1_000_000);
+        let db = build_dumbbell(&mut sim, &lefts, &rights, &spec);
+
+        // Both right hosts blast packets left simultaneously; the r2l
+        // bottleneck must interleave them at 10 Mbps aggregate.
+        for i in 0..2 {
+            let (src, dst, up) = (rights[i], lefts[i], db.right_egress[i]);
+            sim.with_agent_ctx::<Host, _>(src, move |_, ctx| {
+                for _ in 0..50 {
+                    ctx.send(up, Packet::opaque(FlowId(i as u64), src, dst, 1250));
+                }
+            });
+        }
+        sim.run_to_completion();
+        let stats = sim.link_stats(db.bottleneck_r2l);
+        assert_eq!(stats.delivered_pkts, 100);
+        // 100 * 1250 B = 1 Mbit at 10 Mbps = 100 ms serialization, plus
+        // ~12 ms fixed path delay.
+        let t_last = sim
+            .agent::<Host>(lefts[0])
+            .got
+            .iter()
+            .chain(&sim.agent::<Host>(lefts[1]).got)
+            .map(|(t, _)| *t)
+            .max()
+            .unwrap();
+        assert!(t_last >= SimTime::from_millis(100), "last arrival {t_last}");
+        assert!(t_last <= SimTime::from_millis(130), "last arrival {t_last}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_hosts_panic() {
+        let mut sim = Sim::new(1);
+        let l = vec![sim.add_agent(Box::new(Host::new()))];
+        let r = vec![];
+        build_dumbbell(&mut sim, &l, &r, &simple_spec(1));
+    }
+}
+
+/// Specification of a parking-lot topology: a chain of `hops` bottleneck
+/// links, a "long path" entering at the left end and exiting at the right,
+/// and one cross pair per hop whose traffic traverses only that hop.
+///
+/// ```text
+/// long-src → R0 ═hop0═ R1 ═hop1═ R2 … Rn → long-dst
+///             ↑cross0↓  ↑cross1↓
+/// ```
+///
+/// The classic multi-bottleneck fairness setup: the long flow competes at
+/// every hop, each cross flow at one.
+#[derive(Debug, Clone)]
+pub struct ParkingLotSpec {
+    /// One spec per hop, left→right direction (the congested direction for
+    /// left-to-right long-flow traffic); the reverse direction is clean.
+    pub hops: Vec<LinkSpec>,
+    /// Edge link used for all host attachments.
+    pub edge: LinkSpec,
+}
+
+/// Wiring produced by [`build_parking_lot`].
+#[derive(Debug)]
+pub struct ParkingLot {
+    /// Routers R0..=Rn (n = hops).
+    pub routers: Vec<NodeId>,
+    /// Egress link for the long-path source (attached at R0).
+    pub long_src_egress: LinkId,
+    /// Egress link for the long-path destination (attached at Rn),
+    /// for its return/ACK traffic.
+    pub long_dst_egress: LinkId,
+    /// Per hop: egress link of the cross source (enters at R_i).
+    pub cross_src_egress: Vec<LinkId>,
+    /// Per hop: egress link of the cross destination (attached at R_{i+1}).
+    pub cross_dst_egress: Vec<LinkId>,
+    /// The hop bottleneck half-links, left→right.
+    pub hop_links: Vec<LinkId>,
+}
+
+/// Build a parking lot: `long_src`/`long_dst` traverse every hop;
+/// `cross_pairs[i] = (src, dst)` traverses only hop `i`.
+///
+/// # Panics
+/// Panics if `cross_pairs.len() != spec.hops.len()`.
+pub fn build_parking_lot(
+    sim: &mut Sim,
+    long_src: NodeId,
+    long_dst: NodeId,
+    cross_pairs: &[(NodeId, NodeId)],
+    spec: &ParkingLotSpec,
+) -> ParkingLot {
+    let hops = spec.hops.len();
+    assert_eq!(cross_pairs.len(), hops, "one cross pair per hop");
+    assert!(hops >= 1, "need at least one hop");
+
+    let routers: Vec<NodeId> = (0..=hops)
+        .map(|_| sim.add_agent(Box::new(Router::new())))
+        .collect();
+
+    // Chain links between routers (forward congested, reverse clean).
+    let mut hop_links = Vec::with_capacity(hops);
+    let mut rev_links = Vec::with_capacity(hops);
+    for i in 0..hops {
+        let fwd = sim.add_half_link(routers[i], routers[i + 1], spec.hops[i].clone());
+        let mut rev_spec = spec.hops[i].clone();
+        rev_spec.queue_bytes = u64::MAX; // ACK direction: uncongested
+        let rev = sim.add_half_link(routers[i + 1], routers[i], rev_spec);
+        hop_links.push(fwd);
+        rev_links.push(rev);
+    }
+    // Default routes: rightward on every router except the last; leftward
+    // handled by explicit per-destination routes.
+    for i in 0..hops {
+        sim.agent_mut::<Router>(routers[i]).set_default_route(hop_links[i]);
+    }
+
+    // Attach the long-path endpoints.
+    let (long_src_up, r0_to_src) =
+        sim.add_link(long_src, routers[0], spec.edge.clone(), spec.edge.clone());
+    let (long_dst_up, rn_to_dst) =
+        sim.add_link(long_dst, routers[hops], spec.edge.clone(), spec.edge.clone());
+    sim.agent_mut::<Router>(routers[0]).add_route(long_src, r0_to_src);
+    sim.agent_mut::<Router>(routers[hops]).add_route(long_dst, rn_to_dst);
+    sim.agent_mut::<Router>(routers[hops]).set_default_route(rn_to_dst);
+
+    // Leftward routes for the long source (ACKs travel right→left).
+    for i in (0..hops).rev() {
+        sim.agent_mut::<Router>(routers[i + 1]).add_route(long_src, rev_links[i]);
+    }
+    // Rightward routes toward the long destination are covered by defaults.
+
+    // Attach cross pairs: src at R_i, dst at R_{i+1}.
+    let mut cross_src_egress = Vec::with_capacity(hops);
+    let mut cross_dst_egress = Vec::with_capacity(hops);
+    for (i, &(src, dst)) in cross_pairs.iter().enumerate() {
+        let (src_up, ri_to_src) =
+            sim.add_link(src, routers[i], spec.edge.clone(), spec.edge.clone());
+        let (dst_up, rj_to_dst) =
+            sim.add_link(dst, routers[i + 1], spec.edge.clone(), spec.edge.clone());
+        sim.agent_mut::<Router>(routers[i]).add_route(src, ri_to_src);
+        sim.agent_mut::<Router>(routers[i + 1]).add_route(dst, rj_to_dst);
+        // ACKs from dst back to src: leftward one hop then local.
+        sim.agent_mut::<Router>(routers[i + 1]).add_route(src, rev_links[i]);
+        cross_src_egress.push(src_up);
+        cross_dst_egress.push(dst_up);
+    }
+
+    ParkingLot {
+        routers,
+        long_src_egress: long_src_up,
+        long_dst_egress: long_dst_up,
+        cross_src_egress,
+        cross_dst_egress,
+        hop_links,
+    }
+}
+
+#[cfg(test)]
+mod parking_lot_tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+    use crate::packet::{FlowId, Packet};
+    use crate::sim::{Agent, Ctx};
+    use crate::time::SimTime;
+    use std::any::Any;
+    use std::time::Duration;
+
+    struct Host {
+        got: u64,
+    }
+    impl Agent for Host {
+        fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn spec(hops: usize) -> ParkingLotSpec {
+        ParkingLotSpec {
+            hops: vec![
+                LinkSpec::clean(Bandwidth::from_mbps(10), Duration::from_millis(5))
+                    .with_queue_bytes(100_000);
+                hops
+            ],
+            edge: LinkSpec::clean(Bandwidth::from_gbps(1), Duration::from_millis(1)),
+        }
+    }
+
+    #[test]
+    fn long_path_traverses_all_hops() {
+        let mut sim = Sim::new(1);
+        let ls = sim.add_agent(Box::new(Host { got: 0 }));
+        let ld = sim.add_agent(Box::new(Host { got: 0 }));
+        let pairs: Vec<(NodeId, NodeId)> = (0..3)
+            .map(|_| {
+                (
+                    sim.add_agent(Box::new(Host { got: 0 })),
+                    sim.add_agent(Box::new(Host { got: 0 })),
+                )
+            })
+            .collect();
+        let pl = build_parking_lot(&mut sim, ls, ld, &pairs, &spec(3));
+        sim.with_agent_ctx::<Host, _>(ls, |_, ctx| {
+            ctx.send(pl.long_src_egress, Packet::opaque(FlowId(1), ls, ld, 1000));
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent::<Host>(ld).got, 1, "long path delivery");
+        // The packet crossed every hop link.
+        for &h in &pl.hop_links {
+            assert_eq!(sim.link_stats(h).delivered_pkts, 1, "hop {h}");
+        }
+    }
+
+    #[test]
+    fn cross_traffic_stays_on_its_hop() {
+        let mut sim = Sim::new(1);
+        let ls = sim.add_agent(Box::new(Host { got: 0 }));
+        let ld = sim.add_agent(Box::new(Host { got: 0 }));
+        let pairs: Vec<(NodeId, NodeId)> = (0..2)
+            .map(|_| {
+                (
+                    sim.add_agent(Box::new(Host { got: 0 })),
+                    sim.add_agent(Box::new(Host { got: 0 })),
+                )
+            })
+            .collect();
+        let pl = build_parking_lot(&mut sim, ls, ld, &pairs, &spec(2));
+        // Cross pair 0 sends one packet: must cross hop 0 only.
+        let (src, dst) = pairs[0];
+        sim.with_agent_ctx::<Host, _>(src, |_, ctx| {
+            ctx.send(pl.cross_src_egress[0], Packet::opaque(FlowId(7), src, dst, 800));
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent::<Host>(dst).got, 1);
+        assert_eq!(sim.link_stats(pl.hop_links[0]).delivered_pkts, 1);
+        assert_eq!(sim.link_stats(pl.hop_links[1]).delivered_pkts, 0);
+    }
+
+    #[test]
+    fn acks_travel_back_along_the_chain() {
+        let mut sim = Sim::new(1);
+        let ls = sim.add_agent(Box::new(Host { got: 0 }));
+        let ld = sim.add_agent(Box::new(Host { got: 0 }));
+        let pairs: Vec<(NodeId, NodeId)> = (0..2)
+            .map(|_| {
+                (
+                    sim.add_agent(Box::new(Host { got: 0 })),
+                    sim.add_agent(Box::new(Host { got: 0 })),
+                )
+            })
+            .collect();
+        let pl = build_parking_lot(&mut sim, ls, ld, &pairs, &spec(2));
+        // "ACK" from the long destination back to the long source.
+        sim.with_agent_ctx::<Host, _>(ld, |_, ctx| {
+            ctx.send(pl.long_dst_egress, Packet::opaque(FlowId(1), ld, ls, 52));
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent::<Host>(ls).got, 1, "reverse path delivery");
+    }
+}

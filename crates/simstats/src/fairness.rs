@@ -1,0 +1,88 @@
+//! Fairness metrics: Jain's index (RFC 5166 recommendation, paper §6.4).
+
+/// Jain's fairness index over per-flow goodputs:
+/// `F = (Σx)² / (n·Σx²)`, in `(0, 1]`; 1 = perfectly fair.
+///
+/// Returns `None` for an empty batch or all-zero goodputs.
+pub fn jain_index(goodputs: &[f64]) -> Option<f64> {
+    if goodputs.is_empty() {
+        return None;
+    }
+    let sum: f64 = goodputs.iter().sum();
+    let sum_sq: f64 = goodputs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (goodputs.len() as f64 * sum_sq))
+}
+
+/// Jain's index computed over a sliding window of per-flow delivered-byte
+/// counters: the goodput of flow `i` in the window is
+/// `delivered_end[i] − delivered_start[i]`.
+///
+/// Flows that delivered nothing in the window still count toward `n`
+/// (an idle flow *is* unfairness), matching the paper's Fig. 15 where the
+/// index drops sharply when the fifth flow starts at zero throughput.
+pub fn jain_index_windowed(delivered_start: &[u64], delivered_end: &[u64]) -> Option<f64> {
+    assert_eq!(
+        delivered_start.len(),
+        delivered_end.len(),
+        "window endpoints must cover the same flows"
+    );
+    let goodputs: Vec<f64> = delivered_start
+        .iter()
+        .zip(delivered_end)
+        .map(|(&s, &e)| e.saturating_sub(s) as f64)
+        .collect();
+    jain_index(&goodputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fairness() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_flow_is_fair() {
+        assert!((jain_index(&[42.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_hog_one_starved() {
+        // F = (x)^2 / (2 x^2) = 0.5 when one of two flows gets nothing.
+        assert!((jain_index(&[10.0, 0.0]).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // Goodputs 1,2,3: (6)^2 / (3*14) = 36/42 ≈ 0.857.
+        let f = jain_index(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((f - 36.0 / 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(jain_index(&[]).is_none());
+        assert!(jain_index(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn windowed_uses_deltas() {
+        let start = [100u64, 200, 300];
+        let end = [200u64, 300, 400]; // equal deltas -> perfectly fair
+        assert!((jain_index_windowed(&start, &end).unwrap() - 1.0).abs() < 1e-12);
+        // A stalled flow drags the index down.
+        let end2 = [200u64, 300, 300];
+        assert!(jain_index_windowed(&start, &end2).unwrap() < 0.7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn windowed_length_mismatch_panics() {
+        jain_index_windowed(&[1], &[1, 2]);
+    }
+}

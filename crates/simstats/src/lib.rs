@@ -1,0 +1,23 @@
+//! # simstats — statistics for the SUSS experiment harness
+//!
+//! * [`summary`] — mean/σ/CI batch aggregation (the paper's 50-iteration
+//!   averages with standard-deviation bands) and the FCT-improvement metric;
+//! * [`fairness`] — Jain's index (RFC 5166, paper §6.4);
+//! * [`series`] — step-series resampling and windowed goodput;
+//! * [`table`] — aligned text tables and CSV emission for the
+//!   figure/table binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fairness;
+pub mod plot;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use fairness::{jain_index, jain_index_windowed};
+pub use plot::ascii_chart;
+pub use series::StepSeries;
+pub use summary::{improvement, percentile, Summary};
+pub use table::{fmt_bytes, fmt_pct, fmt_secs, TextTable};

@@ -1,0 +1,134 @@
+//! Terminal plotting: compact ASCII line charts for the figure binaries.
+//!
+//! Not a replacement for real plotting — just enough to *see* cwnd ramps,
+//! delivery curves and fairness recovery directly in the terminal output
+//! of `fig*` binaries.
+
+/// Render one or more named series as an ASCII chart.
+///
+/// Each series is a list of `(x, y)` points (x ascending). All series share
+/// the axes; each gets a distinct glyph. Returns a multi-line string.
+pub fn ascii_chart(
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s.iter() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            // First-drawn series wins collisions (legend order = priority).
+            if grid[row][col] == ' ' {
+                grid[row][col] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let y_top = format!("{y_max:.1}");
+    let y_bot = format!("{y_min:.1}");
+    let margin = y_top.len().max(y_bot.len());
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_top:>margin$}")
+        } else if r == height - 1 {
+            format!("{y_bot:>margin$}")
+        } else {
+            " ".repeat(margin)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(margin));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}{:<12.2}{:>width$.2}  ({x_label} →, {y_label} ↑)\n",
+        " ".repeat(margin),
+        x_min,
+        x_max,
+        width = width.saturating_sub(12)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("{}  {}\n", " ".repeat(margin), legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_series() {
+        let a: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        let b: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (2 * i) as f64)).collect();
+        let s = ascii_chart(&[("quad", &a), ("lin", &b)], 40, 10, "t", "v");
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("quad") && s.contains("lin"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 12);
+    }
+
+    #[test]
+    fn handles_empty_and_flat() {
+        assert_eq!(ascii_chart(&[("x", &[])], 20, 5, "t", "v"), "(no data)\n");
+        let flat = [(0.0, 5.0), (1.0, 5.0)];
+        let s = ascii_chart(&[("flat", &flat)], 20, 5, "t", "v");
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let with_nan = [(0.0, 1.0), (1.0, f64::NAN), (2.0, 3.0)];
+        let s = ascii_chart(&[("s", &with_nan)], 20, 5, "t", "v");
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_chart_rejected() {
+        ascii_chart(&[("s", &[(0.0, 0.0)])], 4, 2, "t", "v");
+    }
+}

@@ -1,0 +1,125 @@
+//! Time-series utilities: resampling step-wise counters onto fixed grids
+//! (the figures plot evenly spaced points from per-ACK samples).
+
+use netsim::SimTime;
+
+/// A step-wise time series of `(t, value)` points, sorted by time, where
+/// the value holds until the next point (per-ACK counters behave this way).
+#[derive(Debug, Clone, Default)]
+pub struct StepSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// Build from pre-sorted points.
+    ///
+    /// # Panics
+    /// Panics if the points are not sorted by time.
+    pub fn new(points: Vec<(SimTime, f64)>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "series must be time-sorted"
+        );
+        StepSeries { points }
+    }
+
+    /// Number of raw points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The value at time `t` (the latest point at or before `t`);
+    /// `default` before the first point.
+    pub fn value_at(&self, t: SimTime, default: f64) -> f64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => default,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Resample onto a uniform grid `[0, horizon]` with `steps` intervals
+    /// (returns `steps + 1` samples including both endpoints).
+    pub fn resample(&self, horizon: SimTime, steps: usize, default: f64) -> Vec<(SimTime, f64)> {
+        assert!(steps > 0, "need at least one interval");
+        let h = horizon.as_nanos();
+        (0..=steps)
+            .map(|k| {
+                let t = SimTime::from_nanos(h * k as u64 / steps as u64);
+                (t, self.value_at(t, default))
+            })
+            .collect()
+    }
+
+    /// Windowed rate of change: `(value(t) − value(t − w)) / w` in
+    /// units-per-second. This turns a delivered-bytes counter into a
+    /// goodput series (Figs. 2 and 16 plot exactly this).
+    pub fn windowed_rate(&self, t: SimTime, window: SimTime, default: f64) -> f64 {
+        let w = window.as_secs_f64();
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let t0 = SimTime::from_nanos(t.as_nanos().saturating_sub(window.as_nanos()));
+        (self.value_at(t, default) - self.value_at(t0, default)) / w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(pts: &[(u64, f64)]) -> StepSeries {
+        StepSeries::new(
+            pts.iter()
+                .map(|&(ms, v)| (SimTime::from_millis(ms), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let ser = s(&[(10, 1.0), (20, 2.0), (30, 3.0)]);
+        assert_eq!(ser.value_at(SimTime::from_millis(5), 0.0), 0.0);
+        assert_eq!(ser.value_at(SimTime::from_millis(10), 0.0), 1.0);
+        assert_eq!(ser.value_at(SimTime::from_millis(25), 0.0), 2.0);
+        assert_eq!(ser.value_at(SimTime::from_millis(99), 0.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_points_panic() {
+        s(&[(20, 1.0), (10, 2.0)]);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let ser = s(&[(0, 0.0), (500, 5.0)]);
+        let grid = ser.resample(SimTime::from_secs(1), 4, 0.0);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0], (SimTime::ZERO, 0.0));
+        assert_eq!(grid[2], (SimTime::from_millis(500), 5.0));
+        assert_eq!(grid[4], (SimTime::from_secs(1), 5.0));
+    }
+
+    #[test]
+    fn windowed_rate_is_goodput() {
+        // Delivered bytes: 0 at t=0, 1e6 at t=1s.
+        let ser = s(&[(0, 0.0), (1000, 1e6)]);
+        let rate = ser.windowed_rate(SimTime::from_secs(1), SimTime::from_secs(1), 0.0);
+        assert!((rate - 1e6).abs() < 1e-6);
+        // Flat afterwards: zero rate in the window (2s..3s).
+        let rate = ser.windowed_rate(SimTime::from_secs(3), SimTime::from_secs(1), 0.0);
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let ser = StepSeries::default();
+        assert!(ser.is_empty());
+        assert_eq!(ser.value_at(SimTime::from_secs(1), 7.0), 7.0);
+    }
+}

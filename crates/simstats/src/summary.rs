@@ -1,0 +1,126 @@
+//! Summary statistics over repeated-run batches.
+//!
+//! The paper repeats every measurement 50 times and reports mean with a
+//! standard-deviation band; these helpers compute the same aggregates.
+
+/// Mean, spread, and extrema of a sample batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a batch. Returns `None` for an empty batch.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+
+    /// Half-width of the ~95% confidence interval for the mean
+    /// (normal approximation, 1.96·σ/√n).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Percentile of a sample batch (nearest-rank). `p` in `[0, 100]`.
+///
+/// Returns `None` for an empty batch.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+/// Relative improvement of `new` over `baseline`: `(base − new) / base`.
+///
+/// Positive means `new` is better (smaller). This is the paper's
+/// "FCT improvement" metric (Figs. 12/18, Table 1).
+pub fn improvement(baseline: f64, new: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - new) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let few = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        let many: Vec<f64> = (0..300).map(|i| (i % 3) as f64 + 1.0).collect();
+        let many = Summary::of(&many).unwrap();
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn improvement_metric() {
+        assert!((improvement(2.0, 1.5) - 0.25).abs() < 1e-12);
+        assert!((improvement(1.0, 1.2) + 0.2).abs() < 1e-12);
+        assert_eq!(improvement(0.0, 1.0), 0.0);
+    }
+}

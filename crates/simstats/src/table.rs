@@ -1,0 +1,162 @@
+//! Plain-text table and CSV emission for experiment binaries.
+//!
+//! Every `fig*`/`table1` binary prints the same rows/series the paper
+//! reports; these helpers keep the formatting consistent.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, row: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", row[i], width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-lite: quote cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &String| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a byte count the way the paper labels sizes (kB/MB).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1_000_000 {
+        let mb = b as f64 / 1e6;
+        if (mb - mb.round()).abs() < 1e-9 {
+            format!("{}MB", mb.round() as u64)
+        } else {
+            format!("{mb:.1}MB")
+        }
+    } else if b >= 1_000 {
+        format!("{}kB", b / 1_000)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Format seconds with milliseconds precision.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.3}s")
+}
+
+/// Format a ratio as a signed percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["size", "fct"]);
+        t.row(vec!["1MB", "0.500s"]);
+        t.row(vec!["12MB", "2.100s"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("size") && lines[0].contains("fct"));
+        assert!(lines[2].trim_start().starts_with("1MB"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = TextTable::new(vec!["id", "note"]);
+        t.row(vec!["x", "hello, world"]);
+        t.row(vec!["y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_bytes(500), "500B");
+        assert_eq!(fmt_bytes(64_000), "64kB");
+        assert_eq!(fmt_bytes(2_000_000), "2MB");
+        assert_eq!(fmt_bytes(2_500_000), "2.5MB");
+        assert_eq!(fmt_secs(1.23456), "1.235s");
+        assert_eq!(fmt_pct(0.215), "+21.5%");
+        assert_eq!(fmt_pct(-0.03), "-3.0%");
+    }
+}

@@ -1,0 +1,213 @@
+//! Pacing-period scheduling (paper §4, Eqs. 9–12, Lemma 1).
+//!
+//! When a round's growth factor exceeds 2, the extra data beyond what ACK
+//! clocking sends must be *paced*, inside a window placed so that it
+//! interferes with neither the current round's clocking period nor the next
+//! round's (Fig. 5):
+//!
+//! ```text
+//! round(i):  [ clocking Δt_Bat ][ guard ][ pacing ][ guard ]
+//! ```
+//!
+//! * pacing rate  = `cwnd_i / minRTT`                         (Eq. 11)
+//! * guard length = `S_Bdt/(2·cwnd_i)·minRTT − Δt_Bat/2`      (Eq. 12)
+//!
+//! **Byte accounting.** The paper counts everything outside the clocking
+//! period as "red", including data clocked out by the previous round's red
+//! ACKs (those arrive inside the pacing window by construction). In a
+//! cwnd-driven sender those red-ACK-triggered segments flow naturally, so
+//! the *pacer itself* only needs to inject the surplus beyond traditional
+//! doubling: `extra = (G − 2) · cwnd_{i−1}`. The totals match Fig. 6: in
+//! its round 3, S_Rdt = 12·iw of which 4·iw is red-ACK-clocked and 8·iw
+//! `= (4−2)·4iw` comes from the pacer.
+
+use std::time::Duration;
+
+/// A fully determined pacing period for one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacingPlan {
+    /// Growth factor this plan realizes (G > 2).
+    pub growth_factor: u32,
+    /// cwnd at the start of the round (`cwnd_{i-1}`), bytes.
+    pub cwnd_base: u64,
+    /// Target cwnd at the end of the round (`G · cwnd_{i-1}`), bytes.
+    pub cwnd_target: u64,
+    /// Bytes the pacer injects beyond traditional slow-start doubling:
+    /// `(G − 2) · cwnd_{i-1}`.
+    pub extra_bytes: u64,
+    /// Delay from the moment the plan is made (last blue ACK, i.e.
+    /// `t_i^s + Δt_i^Bat`) until pacing starts (the guard interval, Eq. 12).
+    pub guard: Duration,
+    /// Length of the pacing window (`extra_bytes / rate`).
+    pub duration: Duration,
+    /// Pacing rate in bytes per second (`cwnd_i / minRTT`, Eq. 11).
+    pub rate_bytes_per_sec: f64,
+}
+
+impl PacingPlan {
+    /// The Lemma 1 lower bound on the guard interval:
+    /// `S_Bdt/(4·cwnd_i) · minRTT`.
+    pub fn lemma1_bound(blue_bytes: u64, cwnd_target: u64, min_rtt: Duration) -> Duration {
+        if cwnd_target == 0 {
+            return Duration::ZERO;
+        }
+        min_rtt.mul_f64(blue_bytes as f64 / (4.0 * cwnd_target as f64))
+    }
+}
+
+/// Estimate the full ACK-train length from the blue part (Eq. 9):
+/// `Δt_i^at = (cwnd_{i−1} / S_Bdt_{i−1}) × Δt_i^Bat`.
+///
+/// `prev_total` is the volume sent in the previous round (its cwnd) and
+/// `prev_blue` the volume its clocking period sent. When the previous round
+/// had no pacing the ratio is 1 and the measurement passes through.
+pub fn estimate_ack_train(prev_total: u64, prev_blue: u64, dt_bat: Duration) -> Duration {
+    if prev_blue == 0 {
+        return dt_bat;
+    }
+    dt_bat.mul_f64(prev_total as f64 / prev_blue as f64)
+}
+
+/// Build the pacing plan for a round that measured growth factor `g`.
+///
+/// Returns `None` when `g ≤ 2` (no pacing period: traditional slow-start)
+/// or when the inputs are degenerate (zero cwnd / minRTT).
+///
+/// * `g` — growth factor from [`crate::growth::growth_factor`].
+/// * `cwnd_base` — cwnd at the start of the current round, bytes.
+/// * `blue_bytes` — data sent in the current round's clocking period
+///   (`S_i^Bdt`), bytes.
+/// * `dt_bat` — measured blue-ACK-train length (`Δt_i^Bat`).
+/// * `min_rtt` — connection-lifetime minimum RTT.
+pub fn plan_pacing(
+    g: u32,
+    cwnd_base: u64,
+    blue_bytes: u64,
+    dt_bat: Duration,
+    min_rtt: Duration,
+) -> Option<PacingPlan> {
+    if g <= 2 || cwnd_base == 0 || min_rtt.is_zero() {
+        return None;
+    }
+    let cwnd_target = u64::from(g) * cwnd_base;
+    let extra_bytes = u64::from(g - 2) * cwnd_base;
+
+    // Eq. 11: rate = cwnd_i / minRTT.
+    let rate_bytes_per_sec = cwnd_target as f64 / min_rtt.as_secs_f64();
+    let duration = Duration::from_secs_f64(extra_bytes as f64 / rate_bytes_per_sec);
+
+    // Eq. 12: guard = S_Bdt/(2·cwnd_i)·minRTT − Δt_Bat/2, clamped at zero
+    // (the clamp only engages when the growth prediction was made from a
+    // longer-than-predicted train, i.e. borderline G decisions).
+    let nominal = min_rtt.mul_f64(blue_bytes as f64 / (2.0 * cwnd_target as f64));
+    let guard = nominal.saturating_sub(dt_bat / 2);
+
+    Some(PacingPlan {
+        growth_factor: g,
+        cwnd_base,
+        cwnd_target,
+        extra_bytes,
+        guard,
+        duration,
+        rate_bytes_per_sec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn eq9_scaling() {
+        // Previous round: 16 kB total, 4 kB blue -> ratio 4.
+        assert_eq!(estimate_ack_train(16_000, 4_000, ms(5)), ms(20));
+        // Ratio 1 passes through.
+        assert_eq!(estimate_ack_train(8_000, 8_000, ms(7)), ms(7));
+        // Degenerate blue=0 passes through.
+        assert_eq!(estimate_ack_train(8_000, 0, ms(7)), ms(7));
+    }
+
+    #[test]
+    fn no_plan_for_traditional_growth() {
+        assert!(plan_pacing(2, 10_000, 10_000, ms(5), ms(100)).is_none());
+        assert!(plan_pacing(4, 0, 0, ms(5), ms(100)).is_none());
+        assert!(plan_pacing(4, 10_000, 10_000, ms(5), Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn fig5_round2_shape() {
+        // Paper Fig. 5/6 round 2: cwnd_base = iw, blue sent = 2·iw,
+        // G = 4 -> target 4·iw, extra 2·iw, pacing lasts minRTT/2.
+        let iw = 14_480u64;
+        let plan = plan_pacing(4, iw, 2 * iw, ms(10), ms(100)).unwrap();
+        assert_eq!(plan.cwnd_target, 4 * iw);
+        assert_eq!(plan.extra_bytes, 2 * iw);
+        // Eq. 11: rate = 4·iw / 100ms.
+        let expect_rate = 4.0 * iw as f64 / 0.1;
+        assert!((plan.rate_bytes_per_sec - expect_rate).abs() < 1e-6);
+        // duration = extra / rate = (2iw)/(4iw/100ms) = 50 ms.
+        assert_eq!(plan.duration, ms(50));
+        // Eq. 12: guard = 2iw/(2·4iw)·100ms − 10ms/2 = 25 − 5 = 20 ms.
+        assert_eq!(plan.guard, ms(20));
+    }
+
+    #[test]
+    fn guard_clamps_at_zero() {
+        // Long Δt_Bat: nominal guard would be negative.
+        let plan = plan_pacing(4, 10_000, 20_000, ms(100), ms(100)).unwrap();
+        assert_eq!(plan.guard, Duration::ZERO);
+    }
+
+    #[test]
+    fn lemma1_holds_when_preconditions_do() {
+        // Lemma 1 precondition: Δt_Bat ≤ (S_Bdt/cwnd_i)·minRTT/2.
+        let iw = 14_480u64;
+        let (cwnd_base, blue) = (4 * iw, 4 * iw);
+        let min_rtt = ms(100);
+        let g = 4;
+        let cwnd_target = u64::from(g) * cwnd_base;
+        let dt_bat_max = min_rtt.mul_f64(blue as f64 / cwnd_target as f64 / 2.0);
+        for frac in [0.0, 0.3, 0.7, 1.0] {
+            let dt_bat = dt_bat_max.mul_f64(frac);
+            let plan = plan_pacing(g, cwnd_base, blue, dt_bat, min_rtt).unwrap();
+            let bound = PacingPlan::lemma1_bound(blue, cwnd_target, min_rtt);
+            assert!(
+                plan.guard >= bound,
+                "guard {:?} below Lemma 1 bound {:?} at frac {frac}",
+                plan.guard,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn higher_g_paces_more_for_longer() {
+        let iw = 14_480u64;
+        let p4 = plan_pacing(4, iw, 2 * iw, ms(5), ms(100)).unwrap();
+        let p8 = plan_pacing(8, iw, 2 * iw, ms(5), ms(100)).unwrap();
+        assert!(p8.extra_bytes > p4.extra_bytes);
+        assert!(p8.rate_bytes_per_sec > p4.rate_bytes_per_sec);
+        // extra/rate: G=4 -> (2/4)·minRTT = 50ms; G=8 -> (6/8)·minRTT = 75ms.
+        assert_eq!(p4.duration, ms(50));
+        assert_eq!(p8.duration, ms(75));
+    }
+
+    #[test]
+    fn window_fits_inside_round() {
+        // Clocking + guard + pacing + guard must fit within minRTT when the
+        // Lemma 1 precondition holds (this is the point of Eq. 12).
+        let iw = 14_480u64;
+        let (cwnd_base, blue, min_rtt) = (2 * iw, 2 * iw, ms(100));
+        let dt_bat = ms(12); // <= (blue/cwnd_target)·minRTT/2 = 12.5ms
+        let plan = plan_pacing(4, cwnd_base, blue, dt_bat, min_rtt).unwrap();
+        let total = dt_bat + plan.guard + plan.duration + plan.guard;
+        assert!(
+            total <= min_rtt,
+            "round schedule {total:?} exceeds minRTT {min_rtt:?}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Convenience wiring: install a sender/receiver pair into a simulation.
+
+use crate::cc::CongestionControl;
+use crate::receiver::{AckPolicy, ReceiverEndpoint};
+use crate::sender::{SenderConfig, SenderEndpoint};
+use netsim::{FlowId, LinkId, NodeId, Sim};
+
+/// Handles to an installed flow's endpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowEnds {
+    /// The flow id.
+    pub flow: FlowId,
+    /// Node id of the sending endpoint (`SenderEndpoint`).
+    pub sender: NodeId,
+    /// Node id of the receiving endpoint (`ReceiverEndpoint`).
+    pub receiver: NodeId,
+}
+
+/// Register a sender/receiver pair for one flow and cross-wire their peer
+/// ids. Egress links must still be wired after topology construction with
+/// [`wire_flow`].
+pub fn install_flow(
+    sim: &mut Sim,
+    flow: FlowId,
+    cfg: SenderConfig,
+    cc: Box<dyn CongestionControl>,
+    policy: AckPolicy,
+) -> FlowEnds {
+    let sender = sim.add_agent(Box::new(SenderEndpoint::new(cfg, flow, cc)));
+    let receiver = sim.add_agent(Box::new(ReceiverEndpoint::new(flow, policy)));
+    sim.agent_mut::<SenderEndpoint>(sender).set_peer(receiver);
+    sim.agent_mut::<ReceiverEndpoint>(receiver).set_peer(sender);
+    FlowEnds {
+        flow,
+        sender,
+        receiver,
+    }
+}
+
+/// Wire each endpoint's egress half-link (sender→network, receiver→network).
+pub fn wire_flow(sim: &mut Sim, ends: FlowEnds, sender_egress: LinkId, receiver_egress: LinkId) {
+    sim.agent_mut::<SenderEndpoint>(ends.sender).set_egress(sender_egress);
+    sim.agent_mut::<ReceiverEndpoint>(ends.receiver).set_egress(receiver_egress);
+}
+
+/// Whether the flow has completed (receiver has the full byte stream).
+pub fn flow_complete(sim: &Sim, ends: FlowEnds) -> bool {
+    sim.agent::<ReceiverEndpoint>(ends.receiver).completed_at().is_some()
+}

@@ -1,0 +1,257 @@
+//! Per-connection instrumentation.
+//!
+//! The paper instruments the kernel to log cwnd, RTT, inflight and
+//! delivered bytes per ACK; this module is the simulator's equivalent.
+//! Traces are the raw material for Figures 1, 9, 10, 13 and 16.
+
+use netsim::SimTime;
+use std::time::Duration;
+
+/// One per-ACK sample of sender state.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Congestion window, bytes.
+    pub cwnd: u64,
+    /// Bytes in flight.
+    pub inflight: u64,
+    /// Cumulatively delivered bytes (snd_una).
+    pub delivered: u64,
+    /// Latest raw RTT sample, if any.
+    pub rtt: Option<Duration>,
+    /// Smoothed RTT, if any.
+    pub srtt: Option<Duration>,
+}
+
+/// Notable connection events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The flow's first byte was transmitted.
+    FlowStart,
+    /// Slow-start ended (HyStart/SUSS exit or first loss), with the cwnd
+    /// at exit.
+    SlowStartExit {
+        /// cwnd at the moment exponential growth stopped.
+        cwnd: u64,
+    },
+    /// A fast-retransmit recovery episode began.
+    FastRetransmit,
+    /// A retransmission timeout fired.
+    Rto,
+    /// A SUSS pacing period began with the given growth factor.
+    SussPacing {
+        /// The growth factor G of the round that triggered pacing.
+        growth_factor: u32,
+    },
+    /// All flow bytes were acknowledged.
+    FlowComplete,
+}
+
+/// Accumulated trace of one connection.
+#[derive(Debug, Clone, Default)]
+pub struct ConnTrace {
+    /// Per-ACK state samples (in arrival order).
+    pub samples: Vec<TraceSample>,
+    /// Timestamped events.
+    pub events: Vec<(SimTime, TraceEvent)>,
+    /// Whether sampling is enabled (disable for big batch runs).
+    pub sampling: bool,
+    /// Keep every Nth sample (1 = every ACK). Decimation keeps long-flow
+    /// traces affordable while preserving the step shape.
+    pub decimation: u32,
+    /// Samples offered since the last one kept.
+    skipped: u32,
+}
+
+impl ConnTrace {
+    /// A trace with per-ACK sampling enabled.
+    pub fn enabled() -> Self {
+        ConnTrace {
+            sampling: true,
+            decimation: 1,
+            ..Default::default()
+        }
+    }
+
+    /// A trace keeping every `n`-th sample (n ≥ 1).
+    pub fn decimated(n: u32) -> Self {
+        ConnTrace {
+            sampling: true,
+            decimation: n.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// A trace recording only events (cheap; for 50-iteration batches).
+    pub fn events_only() -> Self {
+        ConnTrace::default()
+    }
+
+    /// Record a sample if sampling is on (honouring decimation).
+    pub fn sample(&mut self, s: TraceSample) {
+        if !self.sampling {
+            return;
+        }
+        self.skipped += 1;
+        if self.skipped >= self.decimation.max(1) {
+            self.skipped = 0;
+            self.samples.push(s);
+        }
+    }
+
+    /// Record an event (always kept).
+    pub fn event(&mut self, t: SimTime, e: TraceEvent) {
+        self.events.push((t, e));
+    }
+
+    /// Time of the first occurrence of an event matching `pred`.
+    pub fn find_event(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> Option<SimTime> {
+        self.events.iter().find(|(_, e)| pred(e)).map(|(t, _)| *t)
+    }
+
+    /// Delivered bytes at or before time `t` (interpolated step-wise).
+    pub fn delivered_at(&self, t: SimTime) -> u64 {
+        match self.samples.partition_point(|s| s.t <= t) {
+            0 => 0,
+            i => self.samples[i - 1].delivered,
+        }
+    }
+
+    /// Count of events equal to `e`.
+    pub fn count_events(&self, e: TraceEvent) -> usize {
+        self.events.iter().filter(|(_, x)| *x == e).count()
+    }
+}
+
+/// Final statistics of one flow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowStats {
+    /// Total application bytes to deliver.
+    pub flow_bytes: u64,
+    /// Flow start time (first transmission).
+    pub started_at: Option<SimTime>,
+    /// Time the last byte was cumulatively acknowledged at the sender.
+    pub completed_at: Option<SimTime>,
+    /// Data segments transmitted (including retransmissions).
+    pub segs_sent: u64,
+    /// Data segments retransmitted.
+    pub segs_retransmitted: u64,
+    /// Fast-retransmit episodes entered.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub rtos: u64,
+}
+
+impl FlowStats {
+    /// Flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<Duration> {
+        match (self.started_at, self.completed_at) {
+            (Some(s), Some(c)) => Some(c.saturating_since(s)),
+            _ => None,
+        }
+    }
+
+    /// Fraction of transmitted segments that were retransmissions —
+    /// the "packet loss rate" metric of the paper's Fig. 14/17 (sender's
+    /// observable proxy for path loss).
+    pub fn retransmit_rate(&self) -> f64 {
+        if self.segs_sent == 0 {
+            0.0
+        } else {
+            self.segs_retransmitted as f64 / self.segs_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimation_keeps_every_nth() {
+        let mut t = ConnTrace::decimated(3);
+        for ms in 0..9u64 {
+            t.sample(TraceSample {
+                t: SimTime::from_millis(ms),
+                cwnd: 0,
+                inflight: 0,
+                delivered: ms,
+                rtt: None,
+                srtt: None,
+            });
+        }
+        assert_eq!(t.samples.len(), 3);
+        assert_eq!(t.samples[0].delivered, 2);
+        assert_eq!(t.samples[2].delivered, 8);
+    }
+
+    #[test]
+    fn events_only_skips_samples() {
+        let mut t = ConnTrace::events_only();
+        t.sample(TraceSample {
+            t: SimTime::ZERO,
+            cwnd: 1,
+            inflight: 0,
+            delivered: 0,
+            rtt: None,
+            srtt: None,
+        });
+        assert!(t.samples.is_empty());
+        t.event(SimTime::ZERO, TraceEvent::FlowStart);
+        assert_eq!(t.events.len(), 1);
+    }
+
+    #[test]
+    fn delivered_at_interpolates_stepwise() {
+        let mut t = ConnTrace::enabled();
+        for (ms, d) in [(10u64, 100u64), (20, 250), (30, 400)] {
+            t.sample(TraceSample {
+                t: SimTime::from_millis(ms),
+                cwnd: 0,
+                inflight: 0,
+                delivered: d,
+                rtt: None,
+                srtt: None,
+            });
+        }
+        assert_eq!(t.delivered_at(SimTime::from_millis(5)), 0);
+        assert_eq!(t.delivered_at(SimTime::from_millis(10)), 100);
+        assert_eq!(t.delivered_at(SimTime::from_millis(25)), 250);
+        assert_eq!(t.delivered_at(SimTime::from_millis(99)), 400);
+    }
+
+    #[test]
+    fn fct_requires_both_endpoints() {
+        let mut s = FlowStats::default();
+        assert!(s.fct().is_none());
+        s.started_at = Some(SimTime::from_millis(100));
+        assert!(s.fct().is_none());
+        s.completed_at = Some(SimTime::from_millis(400));
+        assert_eq!(s.fct(), Some(Duration::from_millis(300)));
+    }
+
+    #[test]
+    fn retransmit_rate() {
+        let s = FlowStats {
+            segs_sent: 200,
+            segs_retransmitted: 10,
+            ..Default::default()
+        };
+        assert!((s.retransmit_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(FlowStats::default().retransmit_rate(), 0.0);
+    }
+
+    #[test]
+    fn find_and_count_events() {
+        let mut t = ConnTrace::events_only();
+        t.event(SimTime::from_millis(1), TraceEvent::FlowStart);
+        t.event(SimTime::from_millis(5), TraceEvent::Rto);
+        t.event(SimTime::from_millis(9), TraceEvent::Rto);
+        assert_eq!(
+            t.find_event(|e| matches!(e, TraceEvent::Rto)),
+            Some(SimTime::from_millis(5))
+        );
+        assert_eq!(t.count_events(TraceEvent::Rto), 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! # workload — scenario matrix and workload generators
+//!
+//! Maps the paper's experimental conditions onto simulator parameters:
+//!
+//! * [`scenarios`] — the 28-scenario Internet matrix (7 server sites × 4
+//!   client last-hop technologies, §6.1/Fig. 18), each a calibrated
+//!   (RTT, bandwidth, jitter, buffer) tuple;
+//! * [`testbed`] — the local dumbbell testbed configurations used for the
+//!   fairness (Fig. 15) and stability (Fig. 16/Table 1) experiments;
+//! * [`flows`] — flow-size sweep grids and heavy-tailed web workloads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flows;
+pub mod scenarios;
+pub mod testbed;
+
+pub use flows::{fct_sweep_sizes, loss_sweep_sizes, SizeDistribution, KB, MB};
+pub use scenarios::{ClientRegion, LastHop, PathScenario, ServerSite};
+pub use testbed::DumbbellConfig;

@@ -1,0 +1,300 @@
+//! The Internet-scale scenario matrix (paper §6.1, Figs. 17/18).
+//!
+//! The paper deploys 7 servers (3 Google DCs, 3 Oracle DCs, one NZ campus
+//! host) and 4 client last-hop technologies (5G and wired in Sweden, WiFi
+//! and 4G in New Zealand), giving 28 path scenarios. We cannot measure
+//! those paths, so each scenario is a *calibrated parameter set*:
+//! geodesic-plausible RTTs, technology-typical access rates, jitter and
+//! buffer depths. Absolute numbers are stand-ins; what matters for the
+//! reproduction is the *spread* — RTT from tens to hundreds of ms,
+//! bandwidth from tens to hundreds of Mbps, wired vs. wireless jitter —
+//! which brackets the paper's conditions.
+
+use netsim::{Bandwidth, JitterModel, LinkSpec};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Server deployment sites (paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServerSite {
+    /// Google data center, eastern United States.
+    GoogleUsEast,
+    /// Google data center, Tokyo.
+    GoogleTokyo,
+    /// Google data center, Singapore.
+    GoogleSingapore,
+    /// Oracle data center, western United States.
+    OracleUsWest,
+    /// Oracle data center, Sydney.
+    OracleSydney,
+    /// Oracle data center, London.
+    OracleLondon,
+    /// Stand-alone server on a New Zealand campus network.
+    NzCampus,
+}
+
+impl ServerSite {
+    /// All seven sites, in the paper's figure order.
+    pub const ALL: [ServerSite; 7] = [
+        ServerSite::OracleUsWest,
+        ServerSite::OracleSydney,
+        ServerSite::OracleLondon,
+        ServerSite::GoogleUsEast,
+        ServerSite::GoogleTokyo,
+        ServerSite::GoogleSingapore,
+        ServerSite::NzCampus,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerSite::GoogleUsEast => "google-us-east",
+            ServerSite::GoogleTokyo => "google-tokyo",
+            ServerSite::GoogleSingapore => "google-singapore",
+            ServerSite::OracleUsWest => "oracle-us-west",
+            ServerSite::OracleSydney => "oracle-sydney",
+            ServerSite::OracleLondon => "oracle-london",
+            ServerSite::NzCampus => "nz-campus",
+        }
+    }
+
+    /// One-way WAN propagation delay from this site to the client's
+    /// region (geodesic-plausible calibration).
+    fn one_way_ms(self, client: ClientRegion) -> u64 {
+        match (self, client) {
+            (ServerSite::OracleLondon, ClientRegion::Sweden) => 15,
+            (ServerSite::GoogleUsEast, ClientRegion::Sweden) => 55,
+            (ServerSite::OracleUsWest, ClientRegion::Sweden) => 80,
+            (ServerSite::GoogleTokyo, ClientRegion::Sweden) => 125,
+            (ServerSite::GoogleSingapore, ClientRegion::Sweden) => 145,
+            (ServerSite::OracleSydney, ClientRegion::Sweden) => 160,
+            (ServerSite::NzCampus, ClientRegion::Sweden) => 170,
+            (ServerSite::NzCampus, ClientRegion::NewZealand) => 5,
+            (ServerSite::OracleSydney, ClientRegion::NewZealand) => 20,
+            (ServerSite::GoogleSingapore, ClientRegion::NewZealand) => 70,
+            (ServerSite::GoogleTokyo, ClientRegion::NewZealand) => 90,
+            (ServerSite::OracleUsWest, ClientRegion::NewZealand) => 65,
+            (ServerSite::GoogleUsEast, ClientRegion::NewZealand) => 100,
+            (ServerSite::OracleLondon, ClientRegion::NewZealand) => 140,
+        }
+    }
+}
+
+/// Client regions (paper: Sweden for 5G/wired, NZ for WiFi/4G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClientRegion {
+    /// Sweden (5G and wired clients).
+    Sweden,
+    /// New Zealand (WiFi and 4G clients).
+    NewZealand,
+}
+
+/// Last-hop access technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LastHop {
+    /// 5G cellular (Sweden).
+    FiveG,
+    /// Wired Ethernet (Sweden).
+    Wired,
+    /// WiFi (New Zealand).
+    WiFi,
+    /// 4G cellular (New Zealand).
+    FourG,
+}
+
+impl LastHop {
+    /// All four technologies, in the paper's column order.
+    pub const ALL: [LastHop; 4] = [LastHop::FiveG, LastHop::Wired, LastHop::WiFi, LastHop::FourG];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LastHop::FiveG => "5G",
+            LastHop::Wired => "wired",
+            LastHop::WiFi => "wifi",
+            LastHop::FourG => "4G",
+        }
+    }
+
+    /// The client region this technology is deployed in (paper §6.1).
+    pub fn region(self) -> ClientRegion {
+        match self {
+            LastHop::FiveG | LastHop::Wired => ClientRegion::Sweden,
+            LastHop::WiFi | LastHop::FourG => ClientRegion::NewZealand,
+        }
+    }
+
+    /// Technology-typical access parameters:
+    /// (bottleneck rate, jitter std, jitter correlation, buffer in BDP).
+    fn access_params(self) -> (Bandwidth, Duration, f64, f64) {
+        match self {
+            // 5G: fast but variable; moderate buffers.
+            LastHop::FiveG => (
+                Bandwidth::from_mbps(250),
+                Duration::from_micros(1500),
+                0.5,
+                1.0,
+            ),
+            // Wired: fast and clean.
+            LastHop::Wired => (Bandwidth::from_mbps(300), Duration::from_micros(100), 0.0, 1.0),
+            // WiFi: moderate rate, bursty contention jitter.
+            LastHop::WiFi => (
+                Bandwidth::from_mbps(80),
+                Duration::from_micros(2500),
+                0.3,
+                1.5,
+            ),
+            // 4G: slower, high correlated jitter, famously deep buffers.
+            LastHop::FourG => (
+                Bandwidth::from_mbps(30),
+                Duration::from_micros(4000),
+                0.6,
+                3.0,
+            ),
+        }
+    }
+}
+
+/// One end-to-end path scenario (server site × last hop).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathScenario {
+    /// Server location.
+    pub site: ServerSite,
+    /// Client access technology.
+    pub last_hop: LastHop,
+    /// Bottleneck (access) bandwidth.
+    pub bottleneck: Bandwidth,
+    /// One-way propagation delay on the data direction.
+    pub one_way: Duration,
+    /// Per-packet jitter standard deviation on the data direction.
+    pub jitter_std: Duration,
+    /// Jitter correlation.
+    pub jitter_corr: f64,
+    /// Bottleneck buffer in BDP multiples.
+    pub buffer_bdp: f64,
+}
+
+impl PathScenario {
+    /// Build the scenario for a server/last-hop combination.
+    pub fn new(site: ServerSite, last_hop: LastHop) -> Self {
+        let (bw, jitter_std, jitter_corr, buffer_bdp) = last_hop.access_params();
+        let one_way = Duration::from_millis(site.one_way_ms(last_hop.region()) + 4);
+        PathScenario {
+            site,
+            last_hop,
+            bottleneck: bw,
+            one_way,
+            jitter_std,
+            jitter_corr,
+            buffer_bdp,
+        }
+    }
+
+    /// The full 28-scenario matrix (7 sites × 4 last hops), row-major in
+    /// the paper's Fig. 18 layout.
+    pub fn matrix() -> Vec<PathScenario> {
+        let mut v = Vec::with_capacity(28);
+        for site in ServerSite::ALL {
+            for hop in LastHop::ALL {
+                v.push(PathScenario::new(site, hop));
+            }
+        }
+        v
+    }
+
+    /// Human-readable scenario id, e.g. `google-tokyo/4G`.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.site.label(), self.last_hop.label())
+    }
+
+    /// Path round-trip propagation time (no queueing).
+    pub fn min_rtt(&self) -> Duration {
+        2 * self.one_way
+    }
+
+    /// Link spec for the data direction (server → client): the shaped
+    /// bottleneck with the access technology's jitter and buffer.
+    pub fn data_link(&self) -> LinkSpec {
+        let jitter = if self.jitter_std.is_zero() {
+            JitterModel::none()
+        } else {
+            JitterModel::correlated(self.jitter_std, self.jitter_corr)
+        };
+        LinkSpec::clean(self.bottleneck, self.one_way)
+            .with_jitter(jitter)
+            .with_queue_bdp(self.min_rtt(), self.buffer_bdp)
+    }
+
+    /// Link spec for the ACK direction (client → server): clean and fast
+    /// (ACK paths are rarely the bottleneck for downloads).
+    pub fn ack_link(&self) -> LinkSpec {
+        LinkSpec::clean(Bandwidth::from_mbps(1000), self.one_way)
+    }
+
+    /// The path BDP in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        self.bottleneck.bdp_bytes(self.min_rtt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_28_unique_scenarios() {
+        let m = PathScenario::matrix();
+        assert_eq!(m.len(), 28);
+        let ids: std::collections::HashSet<String> = m.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), 28);
+    }
+
+    #[test]
+    fn regions_follow_paper_assignment() {
+        assert_eq!(LastHop::FiveG.region(), ClientRegion::Sweden);
+        assert_eq!(LastHop::Wired.region(), ClientRegion::Sweden);
+        assert_eq!(LastHop::WiFi.region(), ClientRegion::NewZealand);
+        assert_eq!(LastHop::FourG.region(), ClientRegion::NewZealand);
+    }
+
+    #[test]
+    fn rtt_spread_brackets_paper_conditions() {
+        let m = PathScenario::matrix();
+        let min = m.iter().map(|s| s.min_rtt()).min().unwrap();
+        let max = m.iter().map(|s| s.min_rtt()).max().unwrap();
+        assert!(min <= Duration::from_millis(30), "shortest path {min:?}");
+        assert!(max >= Duration::from_millis(250), "longest path {max:?}");
+    }
+
+    #[test]
+    fn nz_campus_to_nz_client_is_short() {
+        let s = PathScenario::new(ServerSite::NzCampus, LastHop::WiFi);
+        assert!(s.min_rtt() <= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn fourg_has_deepest_buffer_and_most_jitter() {
+        let fourg = PathScenario::new(ServerSite::GoogleTokyo, LastHop::FourG);
+        let wired = PathScenario::new(ServerSite::GoogleTokyo, LastHop::Wired);
+        assert!(fourg.buffer_bdp > wired.buffer_bdp);
+        assert!(fourg.jitter_std > wired.jitter_std);
+        assert!(fourg.bottleneck < wired.bottleneck);
+    }
+
+    #[test]
+    fn link_specs_are_consistent() {
+        let s = PathScenario::new(ServerSite::GoogleTokyo, LastHop::FourG);
+        let data = s.data_link();
+        assert_eq!(data.rate.base_rate(), s.bottleneck);
+        assert_eq!(data.delay, s.one_way);
+        assert!(data.queue_bytes >= s.bdp_bytes(), "deep buffer expected");
+        let ack = s.ack_link();
+        assert_eq!(ack.delay, s.one_way);
+    }
+
+    #[test]
+    fn id_format() {
+        let s = PathScenario::new(ServerSite::OracleLondon, LastHop::FiveG);
+        assert_eq!(s.id(), "oracle-london/5G");
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: measure what SUSS buys on one Internet path.
+//!
+//! Downloads the same 2 MB file over the paper's Tokyo-server → NZ-WiFi
+//! path with CUBIC (SUSS off), CUBIC+SUSS, and BBR, and prints the flow
+//! completion times plus the SUSS decision trail.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use suss_repro::prelude::*;
+
+fn main() {
+    let path = PathScenario::new(ServerSite::GoogleTokyo, LastHop::WiFi);
+    println!(
+        "path: {}  (minRTT {:.0} ms, bottleneck {}, BDP {} kB)\n",
+        path.id(),
+        path.min_rtt().as_secs_f64() * 1e3,
+        path.bottleneck,
+        path.bdp_bytes() / 1000
+    );
+
+    let size = 2 * MB;
+    for kind in [CcKind::Cubic, CcKind::CubicSuss, CcKind::Bbr] {
+        let out = run_flow(&path, kind, size, 1, true);
+        println!(
+            "{:<12} fct = {:.3} s   segments sent = {:>5}   retransmits = {:>3}   suss pacing periods = {}",
+            kind.label(),
+            out.fct_secs(),
+            out.segs_sent,
+            out.segs_retransmitted,
+            out.suss_pacings,
+        );
+    }
+
+    let on = run_flow(&path, CcKind::CubicSuss, size, 1, false);
+    let off = run_flow(&path, CcKind::Cubic, size, 1, false);
+    println!(
+        "\nSUSS improvement on this path/size: {:.1}%",
+        (1.0 - on.fct_secs() / off.fct_secs()) * 100.0
+    );
+}

@@ -1,0 +1,87 @@
+//! A web-browsing-shaped workload: heavy-tailed object sizes downloaded
+//! sequentially over a realistic last-hop, with and without SUSS.
+//!
+//! The paper motivates SUSS with exactly this traffic ("web pages, photos,
+//! and short videos … constitute a substantial portion of today's TCP
+//! traffic"): most objects are small enough to live entirely inside slow
+//! start, so the aggregate page-load-like latency tracks slow-start
+//! efficiency.
+//!
+//! Run with: `cargo run --release --example web_download`
+
+use suss_repro::prelude::*;
+use suss_repro::scenarios::SizeDistribution;
+use suss_repro::sim::SimRng;
+use suss_repro::stats::Summary;
+
+fn main() {
+    let path = PathScenario::new(ServerSite::GoogleUsEast, LastHop::FourG);
+    println!(
+        "path: {} (minRTT {:.0} ms, {})\n",
+        path.id(),
+        path.min_rtt().as_secs_f64() * 1e3,
+        path.bottleneck
+    );
+
+    // Draw one shared object-size sample so both arms fetch identical
+    // objects over identical (same-seed) network conditions.
+    let mut rng = SimRng::new(2026);
+    let dist = SizeDistribution::web();
+    let objects: Vec<u64> = (0..40).map(|_| dist.sample(&mut rng)).collect();
+
+    let mut rows = Vec::new();
+    for kind in [CcKind::Cubic, CcKind::CubicSuss] {
+        let fcts: Vec<f64> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| run_flow(&path, kind, size, 100 + i as u64, false).fct_secs())
+            .collect();
+        let total: f64 = fcts.iter().sum();
+        let s = Summary::of(&fcts).unwrap();
+        println!(
+            "{:<12} total workload time = {:>7.2} s   mean object fct = {:.3} s (σ {:.3})",
+            kind.label(),
+            total,
+            s.mean,
+            s.std_dev
+        );
+        rows.push(total);
+    }
+
+    println!(
+        "\nSUSS saves {:.1}% of the total object-fetch time on this workload",
+        (1.0 - rows[1] / rows[0]) * 100.0
+    );
+
+    // Where the win comes from: split by object size.
+    println!("\nper-size-class mean improvement:");
+    for (label, lo, hi) in [
+        ("< 100 kB", 0, 100 * KB),
+        ("100 kB – 1 MB", 100 * KB, MB),
+        ("> 1 MB", MB, u64::MAX),
+    ] {
+        let in_class: Vec<(usize, u64)> = objects
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, s)| s >= lo && s < hi)
+            .collect();
+        if in_class.is_empty() {
+            continue;
+        }
+        let mean = |kind: CcKind| -> f64 {
+            let xs: Vec<f64> = in_class
+                .iter()
+                .map(|&(i, size)| run_flow(&path, kind, size, 100 + i as u64, false).fct_secs())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let (off, on) = (mean(CcKind::Cubic), mean(CcKind::CubicSuss));
+        println!(
+            "  {:<14} ({:>2} objects): {:+.1}%",
+            label,
+            in_class.len(),
+            (1.0 - on / off) * 100.0
+        );
+    }
+}

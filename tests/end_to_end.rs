@@ -1,0 +1,156 @@
+//! Workspace-level integration tests: the paper's headline results, driven
+//! through the public facade (`suss_repro::prelude`), across crates.
+
+use suss_repro::exp::dumbbell::{run_dumbbell, DumbbellFlow};
+use suss_repro::prelude::*;
+use suss_repro::stats::improvement;
+use std::time::Duration;
+
+/// The paper's abstract: ">20% improvement in flow completion time in all
+/// experiments with flow sizes less than 5 MB and RTT larger than 50 ms."
+/// Check it across a spread of matrix scenarios that satisfy the premise.
+#[test]
+fn headline_claim_small_flows_large_rtt() {
+    let cases = [
+        (ServerSite::GoogleTokyo, LastHop::WiFi),
+        (ServerSite::GoogleTokyo, LastHop::FourG),
+        (ServerSite::GoogleUsEast, LastHop::FiveG),
+        (ServerSite::OracleSydney, LastHop::FiveG),
+        (ServerSite::GoogleSingapore, LastHop::Wired),
+    ];
+    for (site, hop) in cases {
+        let path = PathScenario::new(site, hop);
+        assert!(
+            path.min_rtt() > Duration::from_millis(50),
+            "premise: RTT > 50 ms for {}",
+            path.id()
+        );
+        for size in [1 * MB, 2 * MB, 4 * MB] {
+            let off = mean_fct(&path, CcKind::Cubic, size, 3, 1);
+            let on = mean_fct(&path, CcKind::CubicSuss, size, 3, 1);
+            let imp = improvement(off.mean, on.mean);
+            assert!(
+                imp > 0.15,
+                "{} @ {} B: improvement {:.1}% below headline",
+                path.id(),
+                size,
+                imp * 100.0
+            );
+        }
+    }
+}
+
+/// Sub-IW flows (one round trip) cannot be improved — and must not regress.
+#[test]
+fn single_round_flows_unchanged() {
+    let path = PathScenario::new(ServerSite::GoogleTokyo, LastHop::Wired);
+    let off = run_flow(&path, CcKind::Cubic, 8 * KB, 1, false);
+    let on = run_flow(&path, CcKind::CubicSuss, 8 * KB, 1, false);
+    let ratio = on.fct_secs() / off.fct_secs();
+    assert!((0.99..=1.01).contains(&ratio), "ratio {ratio}");
+}
+
+/// The whole 28-scenario matrix at one probe size: SUSS never loses badly
+/// anywhere (the paper: wins in 28/28; we allow jitter noise on the very
+/// short paths where slow start barely exists).
+#[test]
+fn matrix_sweep_no_regressions() {
+    let mut wins = 0;
+    let mut total = 0;
+    for path in PathScenario::matrix() {
+        let off = mean_fct(&path, CcKind::Cubic, 2 * MB, 2, 1);
+        let on = mean_fct(&path, CcKind::CubicSuss, 2 * MB, 2, 1);
+        let imp = improvement(off.mean, on.mean);
+        total += 1;
+        if imp > 0.0 {
+            wins += 1;
+        }
+        assert!(
+            imp > -0.10,
+            "{}: SUSS regressed {:.1}%",
+            path.id(),
+            imp * 100.0
+        );
+    }
+    assert!(
+        wins * 10 >= total * 8,
+        "SUSS should win on at least 80% of the matrix ({wins}/{total})"
+    );
+}
+
+/// Determinism across the facade: bit-identical outcomes for equal seeds.
+#[test]
+fn facade_runs_are_deterministic() {
+    let path = PathScenario::new(ServerSite::OracleLondon, LastHop::FourG);
+    let a = run_flow(&path, CcKind::CubicSuss, 3 * MB, 77, true);
+    let b = run_flow(&path, CcKind::CubicSuss, 3 * MB, 77, true);
+    assert_eq!(a.fct, b.fct);
+    assert_eq!(a.segs_sent, b.segs_sent);
+    assert_eq!(a.trace.samples.len(), b.trace.samples.len());
+}
+
+/// A mixed dumbbell where every controller family coexists: everything
+/// completes, nobody starves.
+#[test]
+fn heterogeneous_controllers_coexist() {
+    let cfg = DumbbellConfig::fairness(Duration::from_millis(80), 1.5, 5);
+    let flows = vec![
+        DumbbellFlow::download(CcKind::Cubic, 6 * MB, SimTime::ZERO),
+        DumbbellFlow::download(CcKind::CubicSuss, 6 * MB, SimTime::from_millis(500)),
+        DumbbellFlow::download(CcKind::Bbr, 6 * MB, SimTime::from_secs(1)),
+        DumbbellFlow::download(CcKind::CubicHspp, 6 * MB, SimTime::from_millis(1500)),
+        DumbbellFlow::download(CcKind::Reno, 6 * MB, SimTime::from_secs(2)),
+    ];
+    let out = run_dumbbell(&cfg, &flows, 5, SimTime::from_secs(180));
+    for (i, f) in out.flows.iter().enumerate() {
+        let fct = f.fct_secs();
+        assert!(fct.is_finite(), "flow {i} incomplete");
+        // 30 MB total at 50 Mbps = 4.8 s minimum; no flow should need more
+        // than ~25x its fair-share time.
+        assert!(fct < 60.0, "flow {i} took {fct:.1} s");
+    }
+}
+
+/// The SUSS core is usable standalone (no transport): public API sanity.
+#[test]
+fn suss_core_standalone() {
+    let iw = 10 * MSS;
+    let mut suss = Suss::new(SussConfig::default(), 0, 0, iw);
+    assert!(suss.exp_growth());
+    assert_eq!(suss.round(), 1);
+    // One synthetic round of tight ACKs on a clean 100 ms path.
+    let mut acked = 0;
+    let mut plan = None;
+    for k in 0..10u64 {
+        acked += MSS;
+        let out = suss.on_ack(suss_repro::suss::AckEvent {
+            now: 100_000_000 + k * 100_000,
+            ack_seq: acked,
+            rtt: Some(Duration::from_millis(100)),
+            cwnd: iw + k * MSS,
+            snd_nxt: iw + 2 * k * MSS,
+        });
+        if out.start_pacing.is_some() {
+            plan = out.start_pacing;
+        }
+    }
+    let plan = plan.expect("clean path must accelerate");
+    assert_eq!(plan.growth_factor, 4);
+    assert_eq!(plan.cwnd_base, iw);
+}
+
+/// EXPERIMENTS.md cross-check: the quick fig09 run reproduces the ~2x
+/// ramp-speed claim used in the docs.
+#[test]
+fn fig09_ramp_speedup_holds() {
+    let r = suss_repro::exp::fig09::run(&suss_repro::exp::fig09::Fig09Params::quick());
+    let exit_off = r.suss_off.exit_cwnd.unwrap() / MSS;
+    let probe = exit_off / 2;
+    let t_on = r.time_to_cwnd(&r.suss_on, probe).unwrap().as_secs_f64();
+    let t_off = r.time_to_cwnd(&r.suss_off, probe).unwrap().as_secs_f64();
+    assert!(
+        t_off / t_on > 1.4,
+        "ramp speedup {:.2}x below expectation",
+        t_off / t_on
+    );
+}
