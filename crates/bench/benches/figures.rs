@@ -67,7 +67,13 @@ fn bench_fig17_18(c: &mut Criterion) {
     c.bench_function("fig17_18_matrix_cell", |b| {
         let scn = workload::PathScenario::matrix()[0];
         b.iter(|| {
-            experiments::run_flow(&scn, cc_algos::CcKind::CubicSuss, 2 * workload::MB, 1, false)
+            experiments::run_flow(
+                &scn,
+                cc_algos::CcKind::CubicSuss,
+                2 * workload::MB,
+                1,
+                false,
+            )
         })
     });
 }

@@ -5,7 +5,14 @@ use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let size = if o.quick { 3 * workload::MB } else { 10 * workload::MB };
+    let size = if o.quick {
+        3 * workload::MB
+    } else {
+        10 * workload::MB
+    };
     let results = btlbw_variation(size, 1);
-    o.emit("Appendix B — BtlBw variation robustness", &btlbw_table(&results));
+    o.emit(
+        "Appendix B — BtlBw variation robustness",
+        &btlbw_table(&results),
+    );
 }

@@ -5,7 +5,11 @@ use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let size = if o.quick { 2 * workload::MB } else { 6 * workload::MB };
+    let size = if o.quick {
+        2 * workload::MB
+    } else {
+        6 * workload::MB
+    };
     let t = burst_ablation(size, 1);
     o.emit("§4 ablation — paced vs burst extra-data injection", &t);
 }

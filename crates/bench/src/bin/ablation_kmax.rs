@@ -8,7 +8,15 @@ fn main() {
     let (sizes, iters): (Vec<u64>, u64) = if o.quick {
         (vec![workload::MB, 4 * workload::MB], 2)
     } else {
-        (vec![512 * workload::KB, workload::MB, 2 * workload::MB, 5 * workload::MB], 20)
+        (
+            vec![
+                512 * workload::KB,
+                workload::MB,
+                2 * workload::MB,
+                5 * workload::MB,
+            ],
+            20,
+        )
     };
     let t = kmax_sweep(&sizes, &[1, 2, 3], iters, 1);
     o.emit("Appendix A — FCT vs k_max (clean large-BDP path)", &t);

@@ -9,7 +9,12 @@ fn main() {
         (vec![2 * workload::MB], 2)
     } else {
         (
-            vec![workload::MB, 2 * workload::MB, 5 * workload::MB, 10 * workload::MB],
+            vec![
+                workload::MB,
+                2 * workload::MB,
+                5 * workload::MB,
+                10 * workload::MB,
+            ],
             8,
         )
     };

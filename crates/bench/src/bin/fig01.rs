@@ -5,7 +5,11 @@ use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { Fig01Params::quick() } else { Fig01Params::paper() };
+    let p = if o.quick {
+        Fig01Params::quick()
+    } else {
+        Fig01Params::paper()
+    };
     let r = run(&p);
     o.emit(
         &format!(

@@ -5,12 +5,22 @@ use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { Fig02Params::quick() } else { Fig02Params::paper() };
+    let p = if o.quick {
+        Fig02Params::quick()
+    } else {
+        Fig02Params::paper()
+    };
     let r = run(&p);
-    o.emit("Fig. 2 — joining-flow goodput (CUBIC vs BBR)", &r.to_table());
+    o.emit(
+        "Fig. 2 — joining-flow goodput (CUBIC vs BBR)",
+        &r.to_table(),
+    );
     for (label, out) in [("cubic", &r.cubic), ("bbr", &r.bbr)] {
         match r.time_to_share(out, 0.8) {
-            Some(t) => println!("{label}: reached 80% of fair share {:.1}s after joining", t.as_secs_f64()),
+            Some(t) => println!(
+                "{label}: reached 80% of fair share {:.1}s after joining",
+                t.as_secs_f64()
+            ),
             None => println!("{label}: did not reach 80% of fair share within the window"),
         }
     }

@@ -5,7 +5,11 @@ use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { Fig09Params::quick() } else { Fig09Params::paper() };
+    let p = if o.quick {
+        Fig09Params::quick()
+    } else {
+        Fig09Params::paper()
+    };
     let r = run(&p);
     o.emit(
         &format!("Fig. 9 — cwnd/RTT dynamics on {}", r.scenario.id()),

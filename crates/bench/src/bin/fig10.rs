@@ -6,13 +6,21 @@ use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { Fig09Params::quick() } else { Fig09Params::paper() };
+    let p = if o.quick {
+        Fig09Params::quick()
+    } else {
+        Fig09Params::paper()
+    };
     let r = run(&p);
     o.emit(
         &format!("Fig. 10 — delivered data on {}", r.scenario.id()),
         &r.to_delivered_table(),
     );
-    let probe = if o.quick { SimTime::from_secs(1) } else { SimTime::from_secs(2) };
+    let probe = if o.quick {
+        SimTime::from_secs(1)
+    } else {
+        SimTime::from_secs(2)
+    };
     println!(
         "delivered ratio (on/off) at {}: {:.2}x",
         probe,

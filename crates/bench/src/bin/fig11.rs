@@ -1,13 +1,21 @@
 //! Figure 11: FCT vs flow size for the four Tokyo-server scenarios.
 
-use experiments::fct_sweep::{fig11_scenarios, sweep_scenario, SweepParams};
+use experiments::fct_sweep::{fig11_scenarios, sweep_matrix, SweepParams};
 use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { SweepParams::quick() } else { SweepParams::paper() };
-    for scn in fig11_scenarios() {
-        let sweep = sweep_scenario(&scn, &p);
-        o.emit(&format!("Fig. 11 — FCT sweep, {}", scn.id()), &sweep.to_table());
+    let p = if o.quick {
+        SweepParams::quick()
+    } else {
+        SweepParams::paper()
+    };
+    let m = sweep_matrix(&fig11_scenarios(), &p, &o.runner());
+    for sweep in &m.sweeps {
+        o.emit(
+            &format!("Fig. 11 — FCT sweep, {}", sweep.scenario.id()),
+            &sweep.to_table(),
+        );
     }
+    o.write_manifest("fig11", &m.manifest);
 }

@@ -5,10 +5,17 @@ use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { Fig13Params::quick() } else { Fig13Params::paper() };
+    let p = if o.quick {
+        Fig13Params::quick()
+    } else {
+        Fig13Params::paper()
+    };
     let r = run(&p);
     o.emit(
-        &format!("Fig. 13 — per-MB arrival improvement on {}", r.scenario.id()),
+        &format!(
+            "Fig. 13 — per-MB arrival improvement on {}",
+            r.scenario.id()
+        ),
         &r.to_table(),
     );
 }

@@ -1,14 +1,20 @@
 //! Figure 14: packet loss vs flow size (London server → Sweden 5G).
 
-use experiments::loss::{fig14_scenario, sweep_scenario, LossParams};
+use experiments::loss::{fig14_scenario, sweep_matrix, LossParams};
 use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { LossParams::quick() } else { LossParams::paper() };
-    let sweep = sweep_scenario(&fig14_scenario(), &p);
+    let p = if o.quick {
+        LossParams::quick()
+    } else {
+        LossParams::paper()
+    };
+    let m = sweep_matrix(&[fig14_scenario()], &p, &o.runner());
+    let sweep = &m.sweeps[0];
     o.emit(
         &format!("Fig. 14 — retransmission rate, {}", sweep.scenario.id()),
         &sweep.to_table(),
     );
+    o.write_manifest("fig14", &m.manifest);
 }

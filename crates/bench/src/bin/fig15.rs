@@ -1,11 +1,19 @@
 //! Figure 15: Jain fairness dynamics across minRTT × buffer grid.
 
-use experiments::fairness::{run, to_table, FairnessParams};
+use experiments::fairness::{run_with, to_table, FairnessParams};
 use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { FairnessParams::quick() } else { FairnessParams::paper() };
-    let cells = run(&p);
-    o.emit("Fig. 15 — fairness recovery after a fifth flow joins", &to_table(&cells));
+    let p = if o.quick {
+        FairnessParams::quick()
+    } else {
+        FairnessParams::paper()
+    };
+    let (cells, manifest) = run_with(&p, &o.runner());
+    o.emit(
+        "Fig. 15 — fairness recovery after a fifth flow joins",
+        &to_table(&cells),
+    );
+    o.write_manifest("fig15", &manifest);
 }

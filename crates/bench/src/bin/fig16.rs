@@ -6,13 +6,24 @@ use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { StabilityParams::quick() } else { StabilityParams::paper() };
+    let p = if o.quick {
+        StabilityParams::quick()
+    } else {
+        StabilityParams::paper()
+    };
     let (out, table) = fig16_timeline(Duration::from_millis(200), 1.0, &p);
-    o.emit("Fig. 16 — large-flow goodput under small-flow arrivals", &table);
+    o.emit(
+        "Fig. 16 — large-flow goodput under small-flow arrivals",
+        &table,
+    );
     let smalls: Vec<f64> = out.flows[1..].iter().map(|f| f.fct_secs()).collect();
     println!(
         "small-flow FCTs (s): {}",
-        smalls.iter().map(|f| format!("{f:.2}")).collect::<Vec<_>>().join(", ")
+        smalls
+            .iter()
+            .map(|f| format!("{f:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     // Chart: large-flow goodput over time (2 s windows).
     let series = out.flows[0].delivered_series();

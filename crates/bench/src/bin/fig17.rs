@@ -1,6 +1,6 @@
 //! Figure 17: loss rates across the 28-scenario matrix.
 
-use experiments::loss::{sweep_scenario, LossParams};
+use experiments::loss::{sweep_matrix, LossParams};
 use simstats::TextTable;
 use suss_bench::BinOpts;
 use workload::PathScenario;
@@ -22,16 +22,18 @@ fn main() {
             buffer_bdp_override: Some(0.5),
         }
     };
+    // All 28 scenarios run as one campaign, sharded across the pool.
+    let m = sweep_matrix(&PathScenario::matrix(), &p, &o.runner());
     let mut t = TextTable::new(vec!["scenario", "suss-on(%)", "suss-off(%)", "bbr(%)"]);
-    for scn in PathScenario::matrix() {
-        let sweep = sweep_scenario(&scn, &p);
+    for sweep in &m.sweeps {
         let c = &sweep.cells[0];
         t.row(vec![
-            scn.id(),
+            sweep.scenario.id(),
             format!("{:.2}", c.suss.mean * 100.0),
             format!("{:.2}", c.cubic.mean * 100.0),
             format!("{:.2}", c.bbr.mean * 100.0),
         ]);
     }
     o.emit("Fig. 17 — retransmission rates, all 28 scenarios", &t);
+    o.write_manifest("fig17", &m.manifest);
 }

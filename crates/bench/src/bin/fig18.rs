@@ -1,6 +1,6 @@
 //! Figure 18: FCT and SUSS improvement across the 28-scenario matrix.
 
-use experiments::fct_sweep::{fig18_scenarios, sweep_scenario, SweepParams};
+use experiments::fct_sweep::{fig18_scenarios, sweep_matrix, SweepParams};
 use simstats::{fmt_pct, TextTable};
 use suss_bench::BinOpts;
 
@@ -21,6 +21,8 @@ fn main() {
             seed_base: 1,
         }
     };
+    // All 28 scenarios run as one campaign, sharded across the pool.
+    let m = sweep_matrix(&fig18_scenarios(), &p, &o.runner());
     let mut t = TextTable::new(vec![
         "scenario",
         "size",
@@ -31,11 +33,10 @@ fn main() {
     ]);
     let mut wins = 0usize;
     let mut cells = 0usize;
-    for scn in fig18_scenarios() {
-        let sweep = sweep_scenario(&scn, &p);
+    for sweep in &m.sweeps {
         for c in &sweep.cells {
             t.row(vec![
-                scn.id(),
+                sweep.scenario.id(),
                 simstats::fmt_bytes(c.size),
                 format!("{:.3}", c.bbr.mean),
                 format!("{:.3}", c.cubic.mean),
@@ -50,4 +51,5 @@ fn main() {
     }
     o.emit("Fig. 18 — FCT across all 28 scenarios", &t);
     println!("SUSS beats plain CUBIC in {wins}/{cells} cells");
+    o.write_manifest("fig18", &m.manifest);
 }

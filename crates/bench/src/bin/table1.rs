@@ -1,13 +1,20 @@
 //! Table 1: stability of a large flow vs SUSS-accelerated small flows.
 
-use experiments::stability::{run, to_table, StabilityParams};
+use experiments::stability::{run_with, to_table, StabilityParams};
 use suss_bench::BinOpts;
 
 fn main() {
     let o = BinOpts::from_args();
-    let p = if o.quick { StabilityParams::quick() } else { StabilityParams::paper() };
-    let cells = run(&p);
-    o.emit("Table 1 — large-flow stability / small-flow improvement", &to_table(&cells));
+    let p = if o.quick {
+        StabilityParams::quick()
+    } else {
+        StabilityParams::paper()
+    };
+    let (cells, manifest) = run_with(&p, &o.runner());
+    o.emit(
+        "Table 1 — large-flow stability / small-flow improvement",
+        &to_table(&cells),
+    );
     for kind in &p.large_ccas {
         let rows: Vec<_> = cells.iter().filter(|c| c.large_cca == *kind).collect();
         if rows.is_empty() {
@@ -20,4 +27,5 @@ fn main() {
             avg * 100.0
         );
     }
+    o.write_manifest("table1", &manifest);
 }

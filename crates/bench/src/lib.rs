@@ -5,10 +5,17 @@
 //!
 //! Every binary accepts `--quick` to run the scaled-down parameter set
 //! (useful for smoke tests; the default is the full paper-scale run) and
-//! `--csv` to emit machine-readable output after the human-readable table.
+//! `--csv` to emit machine-readable output after the human-readable
+//! table. Binaries whose experiment runs as a simrunner campaign also
+//! accept the parallel-execution flags (`--workers`, `--no-cache`,
+//! `--cold`, `--no-progress`), cache results under `results/cache/`, and
+//! write a run manifest to `results/<figure>.manifest.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+use simrunner::{RunManifest, RunnerOpts};
+use std::path::PathBuf;
 
 /// Command-line options shared by all figure binaries.
 #[derive(Debug, Clone, Copy, Default)]
@@ -17,18 +24,42 @@ pub struct BinOpts {
     pub quick: bool,
     /// Also emit CSV.
     pub csv: bool,
+    /// Worker threads for campaign execution (0 = all cores).
+    pub workers: usize,
+    /// Disable the result cache.
+    pub no_cache: bool,
+    /// Ignore existing cache entries (results are still stored back).
+    pub cold: bool,
+    /// Suppress the stderr progress stream.
+    pub no_progress: bool,
 }
 
 impl BinOpts {
     /// Parse from `std::env::args`.
     pub fn from_args() -> Self {
         let mut o = BinOpts::default();
-        for a in std::env::args().skip(1) {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => o.quick = true,
                 "--csv" => o.csv = true,
+                "--workers" => {
+                    o.workers = match args.next().and_then(|v| v.parse().ok()) {
+                        Some(w) => w,
+                        None => {
+                            eprintln!("--workers needs a number");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--no-cache" => o.no_cache = true,
+                "--cold" => o.cold = true,
+                "--no-progress" => o.no_progress = true,
                 "--help" | "-h" => {
-                    eprintln!("usage: [--quick] [--csv]");
+                    eprintln!(
+                        "usage: [--quick] [--csv] [--workers N] [--no-cache] \
+                         [--cold] [--no-progress]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -38,6 +69,29 @@ impl BinOpts {
             }
         }
         o
+    }
+
+    /// Campaign execution options for this invocation: requested worker
+    /// count, the shared cache under `results/cache/`, progress on
+    /// stderr (human output goes to stdout, so redirects stay clean),
+    /// with `SUSS_*` environment overrides applied last.
+    pub fn runner(&self) -> RunnerOpts {
+        let mut r = RunnerOpts::default().with_workers(self.workers);
+        if !self.no_cache {
+            r.cache_dir = Some(PathBuf::from("results/cache"));
+        }
+        r.force_cold = self.cold;
+        r.progress = !self.no_progress;
+        r.env_overrides()
+    }
+
+    /// Write a campaign manifest to `results/<name>.manifest.json`.
+    pub fn write_manifest(&self, name: &str, m: &RunManifest) {
+        let path = PathBuf::from("results").join(format!("{name}.manifest.json"));
+        match m.write(&path) {
+            Ok(()) => eprintln!("manifest: {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
     }
 
     /// Print a table, and its CSV form if requested.

@@ -220,9 +220,8 @@ impl CongestionControl for Bbr {
 
         // --- Model updates ---------------------------------------------------
         if let Some(rtt) = ack.rtt_sample {
-            let expired =
-                now.saturating_sub(self.rt_prop_stamp) > 10_000_000_000; // 10 s
-            if self.rt_prop.map_or(true, |r| rtt <= r) || expired {
+            let expired = now.saturating_sub(self.rt_prop_stamp) > 10_000_000_000; // 10 s
+            if self.rt_prop.is_none_or(|r| rtt <= r) || expired {
                 self.rt_prop = Some(rtt);
                 self.rt_prop_stamp = now;
             }
@@ -256,7 +255,7 @@ impl CongestionControl for Bbr {
             if flight > 0 && bytes > 0 && !hole_fill {
                 let rate = bytes as f64 / (flight as f64 / 1e9);
                 // App-limited samples only raise the estimate (BBR rule).
-                if !ack.app_limited || self.bw_filter.max().map_or(true, |m| rate > m) {
+                if !ack.app_limited || self.bw_filter.max().is_none_or(|m| rate > m) {
                     self.bw_filter.update(self.round, rate);
                 }
             }
@@ -455,8 +454,7 @@ impl CongestionControl for Bbr2 {
         match loss.kind {
             LossKind::FastRetransmit => {
                 // Bounded multiplicative decrease, floored at 4 MSS.
-                let reduced =
-                    ((self.inner.cwnd as f64) * 0.7) as u64;
+                let reduced = ((self.inner.cwnd as f64) * 0.7) as u64;
                 self.inner.cwnd = reduced.max(4 * self.inner.mss);
                 // Repeated loss during STARTUP: pipe is full.
                 if self.inner.mode == BbrMode::Startup {
@@ -483,7 +481,14 @@ mod tests {
 
     const MSS: u64 = 1_448;
 
-    fn ack(now: Nanos, ack_seq: u64, delivered: u64, snd_nxt: u64, rtt_ms: u64, inflight: u64) -> AckView {
+    fn ack(
+        now: Nanos,
+        ack_seq: u64,
+        delivered: u64,
+        snd_nxt: u64,
+        rtt_ms: u64,
+        inflight: u64,
+    ) -> AckView {
         AckView {
             now,
             ack_seq,
@@ -576,7 +581,8 @@ mod tests {
             if now > 50_000_000 {
                 // This MSS was sent one RTT (50 ms) ago; ~34.5 MSS of
                 // delta accumulate over that flight: rate ≈ 1 MB/s.
-                b.send_records.push_back((k * MSS, (k - 34) * MSS, now - 50_000_000));
+                b.send_records
+                    .push_back((k * MSS, (k - 34) * MSS, now - 50_000_000));
             }
             b.on_ack(&ack(now, k * MSS, k * MSS, 300 * MSS, 50, 50_000));
         }

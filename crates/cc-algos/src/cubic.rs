@@ -160,13 +160,9 @@ impl CongestionControl for Cubic {
         }
         if self.in_slow_start() {
             if self.hystart_enabled
-                && self.hystart.on_ack(
-                    ack.now,
-                    ack.ack_seq,
-                    ack.snd_nxt,
-                    ack.rtt_sample,
-                    self.cwnd,
-                )
+                && self
+                    .hystart
+                    .on_ack(ack.now, ack.ack_seq, ack.snd_nxt, ack.rtt_sample, self.cwnd)
             {
                 self.ssthresh = self.cwnd;
                 return;
@@ -248,7 +244,7 @@ mod tests {
         // which grows ~0.53 seg/RTT) governs the regrowth time.
         let mut core = CubicCore::new(MSS);
         let mut cwnd = core.on_loss(100 * MSS); // 70 segs
-        // K = cbrt(30 / 0.4) ≈ 4.217 s.
+                                                // K = cbrt(30 / 0.4) ≈ 4.217 s.
         let expect_k = (30.0f64 / C).cbrt();
         let srtt = Duration::from_millis(100);
         let mut now: Nanos = 0;
@@ -285,7 +281,10 @@ mod tests {
         }
         let t = now as f64 / 1e9;
         let k = (30.0f64 / C).cbrt();
-        assert!(t < k, "friendly region should beat the cubic K ({t:.2}s vs {k:.2}s)");
+        assert!(
+            t < k,
+            "friendly region should beat the cubic K ({t:.2}s vs {k:.2}s)"
+        );
     }
 
     #[test]

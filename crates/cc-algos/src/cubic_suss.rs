@@ -461,6 +461,9 @@ mod tests {
             app_limited: false,
         });
         let grown = d.cc.cwnd();
-        assert!(grown >= w && grown < w + w / 4, "gentle CA growth, got {w} -> {grown}");
+        assert!(
+            grown >= w && grown < w + w / 4,
+            "gentle CA growth, got {w} -> {grown}"
+        );
     }
 }

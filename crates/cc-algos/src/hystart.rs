@@ -127,8 +127,7 @@ impl HyStart {
         if let Some(rtt) = rtt {
             if self.samples_this_round < self.delay_samples {
                 self.samples_this_round += 1;
-                self.round_min_rtt =
-                    Some(self.round_min_rtt.map_or(rtt, |m| m.min(rtt)));
+                self.round_min_rtt = Some(self.round_min_rtt.map_or(rtt, |m| m.min(rtt)));
                 if self.samples_this_round >= self.delay_samples {
                     let threshold = min_rtt + Self::delay_threshold(min_rtt);
                     if self.round_min_rtt.unwrap() > threshold {

@@ -103,15 +103,13 @@ impl HystartPP {
         let Some(rtt) = rtt else {
             return false;
         };
-        self.current_round_min_rtt =
-            Some(self.current_round_min_rtt.map_or(rtt, |m| m.min(rtt)));
+        self.current_round_min_rtt = Some(self.current_round_min_rtt.map_or(rtt, |m| m.min(rtt)));
         self.rtt_sample_count += 1;
 
         if self.rtt_sample_count < N_RTT_SAMPLE {
             return false;
         }
-        let (Some(cur), Some(last)) = (self.current_round_min_rtt, self.last_round_min_rtt)
-        else {
+        let (Some(cur), Some(last)) = (self.current_round_min_rtt, self.last_round_min_rtt) else {
             return false;
         };
 

@@ -212,7 +212,11 @@ mod tests {
         let mut q = QuicAdapter::new(CubicSuss::new(IW, MSS, SussConfig::default()));
         q.on_sent(0, IW);
         q.on_congestion_event(1_000_000, 0, true, MSS);
-        assert_eq!(q.window(), MSS, "persistent congestion collapses the window");
+        assert_eq!(
+            q.window(),
+            MSS,
+            "persistent congestion collapses the window"
+        );
     }
 
     #[test]

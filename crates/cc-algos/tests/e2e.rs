@@ -48,7 +48,10 @@ fn run_path(
     wire_flow(&mut sim, ends, s2r, r2s);
     sim.run_until(SimTime::from_secs(300));
     let snd = sim.agent::<SenderEndpoint>(ends.sender);
-    assert!(snd.is_done(), "flow must complete ({kind:?}, {flow_bytes} B)");
+    assert!(
+        snd.is_done(),
+        "flow must complete ({kind:?}, {flow_bytes} B)"
+    );
     RunResult {
         fct: snd.stats.fct().unwrap(),
         exit_cwnd: snd.trace.events.iter().find_map(|(_, e)| match e {
@@ -103,7 +106,11 @@ fn suss_exit_cwnd_matches_plain_cubic() {
     );
     // And both should be in the neighbourhood of the BDP.
     let bdp = 100e6 / 8.0 * 0.15;
-    assert!((0.6..=1.6).contains(&(es / bdp)), "suss exit vs BDP: {}", es / bdp);
+    assert!(
+        (0.6..=1.6).contains(&(es / bdp)),
+        "suss exit vs BDP: {}",
+        es / bdp
+    );
 }
 
 #[test]
@@ -227,7 +234,11 @@ fn suss_behaves_like_cubic_when_disabled() {
     let cubic = run_path(CcKind::Cubic, 2_000_000, 100, 75, 1.0, 1);
     let mut sim = Sim::new(1);
     let cfg = SenderConfig::bulk(2_000_000).with_tracing();
-    let cc = Box::new(cc_algos::CubicSuss::new(IW, MSS, suss_core::SussConfig::disabled()));
+    let cc = Box::new(cc_algos::CubicSuss::new(
+        IW,
+        MSS,
+        suss_core::SussConfig::disabled(),
+    ));
     let ends = install_flow(&mut sim, FlowId(1), cfg, cc, AckPolicy::default());
     let rtt = Duration::from_millis(150);
     let spec = LinkSpec::clean(Bandwidth::from_mbps(100), Duration::from_millis(75))

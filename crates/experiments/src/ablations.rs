@@ -231,26 +231,35 @@ pub fn burst_ablation(flow_bytes: u64, seed: u64) -> TextTable {
         // Burstiness proxy: the bottleneck queue's high-water mark. A burst
         // arriving faster than the drain rate piles up; paced arrivals at
         // cwnd/minRTT (below the bottleneck rate while cwnd < BDP) do not.
-        let bursty = sim.link_queue_stats(s2r).max_backlog_bytes as f64
-            / scn.bdp_bytes().max(1) as f64;
+        let bursty =
+            sim.link_queue_stats(s2r).max_backlog_bytes as f64 / scn.bdp_bytes().max(1) as f64;
         let drops = sim.link_queue_stats(s2r).dropped_pkts;
         let snd = sim.agent::<SenderEndpoint>(ends.sender);
-        (FlowOutcome {
-            fct: snd.stats.fct(),
-            fct_receiver: snd.stats.fct(),
-            segs_sent: snd.stats.segs_sent,
-            segs_retransmitted: snd.stats.segs_retransmitted,
-            retransmit_rate: snd.stats.retransmit_rate(),
-            bottleneck_drops: drops,
-            exit_cwnd: None,
-            suss_pacings: 0,
-            trace: snd.trace.clone(),
-        }, bursty)
+        (
+            FlowOutcome {
+                fct: snd.stats.fct(),
+                fct_receiver: snd.stats.fct(),
+                segs_sent: snd.stats.segs_sent,
+                segs_retransmitted: snd.stats.segs_retransmitted,
+                retransmit_rate: snd.stats.retransmit_rate(),
+                bottleneck_drops: drops,
+                exit_cwnd: None,
+                suss_pacings: 0,
+                trace: snd.trace.clone(),
+            },
+            bursty,
+        )
     };
 
     let (paced, paced_bursty) = run_with(cc_algos::make_controller(CcKind::CubicSuss, IW, MSS));
     let (burst, burst_bursty) = run_with(BurstVariant::controller(IW, MSS));
-    let mut t = TextTable::new(vec!["variant", "fct(s)", "rtx-rate(%)", "drops", "peak-queue(BDP)"]);
+    let mut t = TextTable::new(vec![
+        "variant",
+        "fct(s)",
+        "rtx-rate(%)",
+        "drops",
+        "peak-queue(BDP)",
+    ]);
     t.row(vec![
         "paced (paper)".to_string(),
         format!("{:.3}", paced.fct_secs()),
@@ -284,7 +293,11 @@ mod tests {
         let results = btlbw_variation(3 * MB, 1);
         assert_eq!(results.len(), 2);
         for r in &results {
-            assert!(r.suss.fct_secs().is_finite(), "{}: suss incomplete", r.label);
+            assert!(
+                r.suss.fct_secs().is_finite(),
+                "{}: suss incomplete",
+                r.label
+            );
             assert!(r.cubic.fct_secs().is_finite());
             // Appendix B: SUSS stays competitive under rate variation.
             let rel = r.suss.fct_secs() / r.cubic.fct_secs();

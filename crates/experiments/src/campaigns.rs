@@ -1,0 +1,204 @@
+//! Campaign adapters: run experiment grids through [`simrunner`].
+//!
+//! Every FCT/loss experiment is a grid of independent single-flow
+//! simulations — (scenario × congestion controller × flow size × seed).
+//! [`FlowGrid`] expands such a grid into one [`simrunner::Campaign`] so
+//! all cells shard across the worker pool together and memoize in the
+//! shared result cache, then hands back [`Batch`] handles for in-order
+//! aggregation.
+
+use crate::runner::{run_flow, FlowOutcome};
+use cc_algos::CcKind;
+use serde::{Deserialize, Serialize};
+use simrunner::{RunManifest, RunnerOpts};
+use simstats::Summary;
+use workload::PathScenario;
+
+/// Version tag stamped into every experiment campaign's cache identity.
+///
+/// Bump whenever a code change alters what a cached cell would contain:
+/// simulator physics, congestion-controller behaviour, experiment logic,
+/// or the [`FlowStats`] encoding. Stale entries then miss instead of
+/// silently serving results from the old code.
+pub const CAMPAIGN_VERSION: &str = "v1";
+
+/// The per-flow measurements a campaign cell persists.
+///
+/// A deliberately plain subset of [`FlowOutcome`]: scalar fields only, no
+/// traces, so entries stay small and the JSON round-trip is exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Receiver-side FCT in seconds (NaN if the flow never completed).
+    pub fct_secs: f64,
+    /// Retransmitted / sent segments (the loss experiments' metric).
+    pub retransmit_rate: f64,
+    /// Data segments sent, including retransmissions.
+    pub segs_sent: u64,
+    /// Retransmitted segments.
+    pub segs_retransmitted: u64,
+    /// Packets dropped at the bottleneck queue (ground truth).
+    pub bottleneck_drops: u64,
+}
+
+impl FlowStats {
+    fn of(o: &FlowOutcome) -> FlowStats {
+        FlowStats {
+            fct_secs: o.fct_secs(),
+            retransmit_rate: o.retransmit_rate,
+            segs_sent: o.segs_sent,
+            segs_retransmitted: o.segs_retransmitted,
+            bottleneck_drops: o.bottleneck_drops,
+        }
+    }
+}
+
+/// A contiguous run of cells queued by one [`FlowGrid::batch`] call —
+/// the handle used to aggregate those cells after the grid has run.
+#[derive(Debug, Clone, Copy)]
+pub struct Batch {
+    start: usize,
+    len: usize,
+}
+
+/// A grid of independent single-flow simulations, executed as one
+/// campaign.
+#[derive(Debug)]
+pub struct FlowGrid {
+    campaign: simrunner::Campaign,
+    specs: Vec<(PathScenario, CcKind, u64)>,
+}
+
+impl FlowGrid {
+    /// Start an empty grid under the given experiment id (the cache
+    /// namespace and manifest header).
+    pub fn new(experiment: &str) -> FlowGrid {
+        FlowGrid {
+            campaign: simrunner::Campaign::new(experiment, CAMPAIGN_VERSION),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Queue `iters` seeded repetitions of one (scenario, cc, size)
+    /// measurement. The cell identity hashes the scenario's
+    /// *field values* ([`PathScenario::canonical_params`]), so two
+    /// scenarios sharing a name but differing in any physics parameter
+    /// never alias in the cache.
+    pub fn batch(
+        &mut self,
+        scenario: &PathScenario,
+        kind: CcKind,
+        size: u64,
+        iters: u64,
+        seed_base: u64,
+    ) -> Batch {
+        let start = self.campaign.len();
+        for i in 0..iters {
+            let seed = seed_base + i;
+            self.campaign.cell(
+                format!("{}/{}/{}B/s{seed}", scenario.id(), kind.label(), size),
+                format!(
+                    "{} cc={} size={size}",
+                    scenario.canonical_params(),
+                    kind.label()
+                ),
+                seed,
+            );
+            self.specs.push((*scenario, kind, size));
+        }
+        Batch {
+            start,
+            len: iters as usize,
+        }
+    }
+
+    /// Total cells queued so far.
+    pub fn len(&self) -> usize {
+        self.campaign.len()
+    }
+
+    /// Whether no cells have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.campaign.is_empty()
+    }
+
+    /// Execute every queued cell.
+    pub fn run(self, opts: &RunnerOpts) -> FlowGridRun {
+        let FlowGrid { campaign, specs } = self;
+        let out = campaign.run(opts, |cell| {
+            let (scenario, kind, size) = specs[cell.index];
+            FlowStats::of(&run_flow(&scenario, kind, size, cell.seed, false))
+        });
+        FlowGridRun {
+            stats: out.results,
+            manifest: out.manifest,
+        }
+    }
+}
+
+/// A completed [`FlowGrid`] run: per-cell stats in campaign order plus
+/// the run manifest.
+#[derive(Debug)]
+pub struct FlowGridRun {
+    /// Per-cell flow stats, in queue order.
+    pub stats: Vec<FlowStats>,
+    /// The run's manifest (workers, wall time, cache hits, per-cell
+    /// records).
+    pub manifest: RunManifest,
+}
+
+impl FlowGridRun {
+    /// Aggregate one batch through an extractor, dropping non-finite
+    /// samples (flows that never completed).
+    pub fn summary(&self, b: Batch, f: impl Fn(&FlowStats) -> f64) -> Option<Summary> {
+        Summary::of_indexed(
+            (b.start..b.start + b.len)
+                .map(|i| (i, f(&self.stats[i])))
+                .filter(|&(_, v)| v.is_finite())
+                .collect(),
+        )
+    }
+
+    /// FCT summary of a batch.
+    ///
+    /// # Panics
+    /// Panics if no iteration of the batch completed.
+    pub fn fct(&self, b: Batch) -> Summary {
+        self.summary(b, |s| s.fct_secs)
+            .expect("all iterations failed")
+    }
+
+    /// Retransmission-rate summary of a batch.
+    ///
+    /// # Panics
+    /// Panics if the batch is empty.
+    pub fn retransmit_rate(&self, b: Batch) -> Summary {
+        self.summary(b, |s| s.retransmit_rate).expect("empty batch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{LastHop, ServerSite, KB};
+
+    #[test]
+    fn grid_cells_have_value_bearing_identities() {
+        let scn = PathScenario::new(ServerSite::NzCampus, LastHop::Wired);
+        let mut grid = FlowGrid::new("unit");
+        let b = grid.batch(&scn, CcKind::Cubic, 64 * KB, 3, 10);
+        assert_eq!(grid.len(), 3);
+        let cells = &grid.campaign.cells;
+        assert_eq!(cells[0].seed, 10);
+        assert_eq!(cells[2].seed, 12);
+        assert!(cells[0].params.contains("site=nz-campus"));
+        assert!(cells[0].params.contains("cc=cubic"));
+        assert!(cells[0].params.contains(&format!("size={}", 64 * KB)));
+        // Same params, different seeds: identity differs only by seed.
+        assert_eq!(cells[0].params, cells[1].params);
+        let run = grid.run(&RunnerOpts::serial());
+        let fct = run.fct(b);
+        assert_eq!(fct.n, 3);
+        assert!(fct.mean.is_finite() && fct.mean > 0.0);
+        assert_eq!(run.manifest.total_cells, 3);
+    }
+}

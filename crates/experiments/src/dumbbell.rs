@@ -190,7 +190,11 @@ mod tests {
         assert!(f0.max(f1) >= 1.28, "too fast for a 50 Mbps bottleneck");
         // Mid-transfer fairness is high.
         let jain = out
-            .jain_at(&[0, 1], SimTime::from_millis(900), SimTime::from_millis(500))
+            .jain_at(
+                &[0, 1],
+                SimTime::from_millis(900),
+                SimTime::from_millis(500),
+            )
             .unwrap();
         assert!(jain > 0.8, "jain {jain}");
     }

@@ -157,7 +157,10 @@ mod tests {
         scn.buffer_bdp = 4.0;
         let (out, aqm_drops) = run_flow_codel(&scn, CcKind::Cubic, 20 * MB, 1);
         assert!(out.fct_secs().is_finite());
-        assert!(aqm_drops > 0, "CoDel must intervene on a bufferbloated path");
+        assert!(
+            aqm_drops > 0,
+            "CoDel must intervene on a bufferbloated path"
+        );
     }
 }
 
@@ -217,9 +220,7 @@ pub fn cross_traffic_sweep(
         }
 
         // The cross source transmits on its own edge into router A.
-        let rate = Bandwidth::from_bps(
-            ((scn.bottleneck.as_bps() as f64 * load) as u64).max(1_000),
-        );
+        let rate = Bandwidth::from_bps(((scn.bottleneck.as_bps() as f64 * load) as u64).max(1_000));
         let rng = netsim::SimRng::new(seed ^ 0xC505_7AFF);
         let src = sim.add_agent(Box::new(TrafficSource::new(
             FlowId(2),
@@ -255,8 +256,9 @@ pub fn cross_traffic_sweep(
 
     for &load in loads {
         let mean = |kind: CcKind| -> (f64, f64) {
-            let outs: Vec<FlowOutcome> =
-                (0..iters).map(|i| run_one(kind, load, seed_base + i)).collect();
+            let outs: Vec<FlowOutcome> = (0..iters)
+                .map(|i| run_one(kind, load, seed_base + i))
+                .collect();
             let fcts: Vec<f64> = outs
                 .iter()
                 .map(|o| o.fct_secs())

@@ -2,9 +2,11 @@
 //! established flows, across a grid of minRTTs and bottleneck buffer
 //! sizes, with SUSS on vs. off.
 
+use crate::campaigns::CAMPAIGN_VERSION;
 use crate::dumbbell::{run_dumbbell, DumbbellFlow, DumbbellOutcome};
 use cc_algos::CcKind;
 use netsim::SimTime;
+use simrunner::{Campaign, RunManifest, RunnerOpts};
 use simstats::TextTable;
 use std::time::Duration;
 use workload::DumbbellConfig;
@@ -102,10 +104,7 @@ fn run_cell(
     let cfg = DumbbellConfig::fairness(rtt, buffer_bdp, 5);
     let mut flows = Vec::new();
     for i in 0..4u64 {
-        flows.push(
-            DumbbellFlow::download(kind, u64::MAX, SimTime::from_secs(2 * i))
-                .traced(),
-        );
+        flows.push(DumbbellFlow::download(kind, u64::MAX, SimTime::from_secs(2 * i)).traced());
     }
     flows.push(DumbbellFlow::download(kind, u64::MAX, p.join_at).traced());
     let horizon = SimTime::from_nanos(p.join_at.as_nanos() + p.observe.as_nanos());
@@ -127,20 +126,54 @@ fn jain_series(out: &DumbbellOutcome, p: &FairnessParams) -> Vec<(Duration, f64)
     series
 }
 
-/// Run the full grid.
-pub fn run(params: &FairnessParams) -> Vec<FairnessCell> {
-    let mut cells = Vec::new();
+/// Run the full grid as one campaign: each (rtt, buffer, SUSS arm)
+/// dumbbell is an independent cell, and its post-join Jain series is the
+/// cached value.
+pub fn run_with(params: &FairnessParams, opts: &RunnerOpts) -> (Vec<FairnessCell>, RunManifest) {
+    let mut c = Campaign::new("fairness", CAMPAIGN_VERSION);
+    let mut specs: Vec<(Duration, f64, CcKind)> = Vec::new();
     for &rtt in &params.rtts {
         for &buffer in &params.buffers {
-            cells.push(FairnessCell {
-                rtt,
-                buffer_bdp: buffer,
-                jain_on: run_cell(rtt, buffer, CcKind::CubicSuss, params),
-                jain_off: run_cell(rtt, buffer, CcKind::Cubic, params),
-            });
+            for kind in [CcKind::CubicSuss, CcKind::Cubic] {
+                c.cell(
+                    format!("rtt{}ms/buf{buffer}/{}", rtt.as_millis(), kind.label()),
+                    format!(
+                        "fairness rtt_ns={} buf_bdp={buffer} cc={} flows=5 \
+                         join_ns={} observe_ns={} window_ns={}",
+                        rtt.as_nanos(),
+                        kind.label(),
+                        params.join_at.as_nanos(),
+                        params.observe.as_nanos(),
+                        params.window.as_nanos(),
+                    ),
+                    params.seed,
+                );
+                specs.push((rtt, buffer, kind));
+            }
         }
     }
-    cells
+    let out = c.run(opts, |cell| {
+        let (rtt, buffer, kind) = specs[cell.index];
+        run_cell(rtt, buffer, kind, params)
+    });
+    // Reassemble (on, off) series pairs into grid cells, in queue order.
+    let mut cells = Vec::new();
+    let mut series = out.results.into_iter();
+    for pair in specs.chunks(2) {
+        let (rtt, buffer, _) = pair[0];
+        cells.push(FairnessCell {
+            rtt,
+            buffer_bdp: buffer,
+            jain_on: series.next().expect("one series per cell"),
+            jain_off: series.next().expect("one series per cell"),
+        });
+    }
+    (cells, out.manifest)
+}
+
+/// Run the full grid on the serial reference path.
+pub fn run(params: &FairnessParams) -> Vec<FairnessCell> {
+    run_with(params, &RunnerOpts::serial()).0
 }
 
 /// Render the grid summary (per-cell recovery times and final F).
@@ -155,15 +188,22 @@ pub fn to_table(cells: &[FairnessCell]) -> TextTable {
     ]);
     for c in cells {
         let fmt_rec = |r: Option<Duration>| {
-            r.map(|d| format!("{:.1}", d.as_secs_f64())).unwrap_or(">obs".into())
+            r.map(|d| format!("{:.1}", d.as_secs_f64()))
+                .unwrap_or(">obs".into())
         };
         t.row(vec![
             format!("{}", c.rtt.as_millis()),
             format!("{}", c.buffer_bdp),
             fmt_rec(c.recovery_on(0.9)),
             fmt_rec(c.recovery_off(0.9)),
-            format!("{:.3}", c.jain_on.last().map(|&(_, f)| f).unwrap_or(f64::NAN)),
-            format!("{:.3}", c.jain_off.last().map(|&(_, f)| f).unwrap_or(f64::NAN)),
+            format!(
+                "{:.3}",
+                c.jain_on.last().map(|&(_, f)| f).unwrap_or(f64::NAN)
+            ),
+            format!(
+                "{:.3}",
+                c.jain_off.last().map(|&(_, f)| f).unwrap_or(f64::NAN)
+            ),
         ]);
     }
     t
@@ -186,9 +226,7 @@ mod tests {
         let final_on = c.jain_on.last().unwrap().1;
         assert!(final_on > 0.75, "final F on {final_on}");
         // ...and the SUSS arm's average post-join F is not worse.
-        let avg = |s: &[(Duration, f64)]| {
-            s.iter().map(|&(_, f)| f).sum::<f64>() / s.len() as f64
-        };
+        let avg = |s: &[(Duration, f64)]| s.iter().map(|&(_, f)| f).sum::<f64>() / s.len() as f64;
         let (a_on, a_off) = (avg(&c.jain_on), avg(&c.jain_off));
         assert!(
             a_on >= a_off - 0.05,

@@ -5,8 +5,9 @@
 //! iterations for BBR, CUBIC (SUSS off) and CUBIC+SUSS, and report the
 //! SUSS improvement percentage.
 
-use crate::runner::run_flow;
+use crate::campaigns::FlowGrid;
 use cc_algos::CcKind;
+use simrunner::{RunManifest, RunnerOpts};
 use simstats::{fmt_bytes, fmt_pct, improvement, Summary, TextTable};
 use workload::{LastHop, PathScenario, ServerSite};
 
@@ -73,30 +74,66 @@ pub struct ScenarioSweep {
     pub cells: Vec<SweepCell>,
 }
 
-fn batch(scenario: &PathScenario, kind: CcKind, size: u64, p: &SweepParams) -> Summary {
-    let fcts: Vec<f64> = (0..p.iters)
-        .map(|i| run_flow(scenario, kind, size, p.seed_base + i, false).fct_secs())
-        .filter(|f| f.is_finite())
-        .collect();
-    Summary::of(&fcts).expect("all iterations failed")
+/// A multi-scenario sweep executed as one campaign.
+#[derive(Debug)]
+pub struct MatrixSweep {
+    /// Per-scenario sweeps, in input order.
+    pub sweeps: Vec<ScenarioSweep>,
+    /// Manifest of the single campaign that produced them.
+    pub manifest: RunManifest,
 }
 
-/// Sweep one scenario across all sizes and the three schemes.
-pub fn sweep_scenario(scenario: &PathScenario, p: &SweepParams) -> ScenarioSweep {
-    let cells = p
-        .sizes
+/// Sweep many scenarios as **one** campaign: every
+/// (scenario, size, scheme, seed) cell shards across the worker pool
+/// together and memoizes in the shared result cache.
+pub fn sweep_matrix(scenarios: &[PathScenario], p: &SweepParams, opts: &RunnerOpts) -> MatrixSweep {
+    let mut grid = FlowGrid::new("fct_sweep");
+    let handles: Vec<Vec<_>> = scenarios
         .iter()
-        .map(|&size| SweepCell {
-            size,
-            bbr: batch(scenario, CcKind::Bbr, size, p),
-            cubic: batch(scenario, CcKind::Cubic, size, p),
-            suss: batch(scenario, CcKind::CubicSuss, size, p),
+        .map(|scn| {
+            p.sizes
+                .iter()
+                .map(|&size| {
+                    (
+                        size,
+                        grid.batch(scn, CcKind::Bbr, size, p.iters, p.seed_base),
+                        grid.batch(scn, CcKind::Cubic, size, p.iters, p.seed_base),
+                        grid.batch(scn, CcKind::CubicSuss, size, p.iters, p.seed_base),
+                    )
+                })
+                .collect()
         })
         .collect();
-    ScenarioSweep {
-        scenario: *scenario,
-        cells,
+    let run = grid.run(opts);
+    let sweeps = scenarios
+        .iter()
+        .zip(handles)
+        .map(|(scn, per_size)| ScenarioSweep {
+            scenario: *scn,
+            cells: per_size
+                .into_iter()
+                .map(|(size, bbr, cubic, suss)| SweepCell {
+                    size,
+                    bbr: run.fct(bbr),
+                    cubic: run.fct(cubic),
+                    suss: run.fct(suss),
+                })
+                .collect(),
+        })
+        .collect();
+    MatrixSweep {
+        sweeps,
+        manifest: run.manifest,
     }
+}
+
+/// Sweep one scenario across all sizes and the three schemes (the serial
+/// reference path).
+pub fn sweep_scenario(scenario: &PathScenario, p: &SweepParams) -> ScenarioSweep {
+    sweep_matrix(std::slice::from_ref(scenario), p, &RunnerOpts::serial())
+        .sweeps
+        .pop()
+        .expect("one scenario in, one sweep out")
 }
 
 /// Figure 11/12: the four Tokyo-server scenarios.

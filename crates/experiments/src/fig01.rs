@@ -68,7 +68,13 @@ pub fn run(params: &Fig01Params) -> Fig01Result {
     // US cloud server → NZ client over wired-ish access: the paper's Fig.1
     // setup. (WiFi would add noise irrelevant to the point being made.)
     let scenario = PathScenario::new(ServerSite::GoogleUsEast, LastHop::WiFi);
-    let cubic = run_flow(&scenario, CcKind::Cubic, params.flow_bytes, params.seed, true);
+    let cubic = run_flow(
+        &scenario,
+        CcKind::Cubic,
+        params.flow_bytes,
+        params.seed,
+        true,
+    );
     let bbr = run_flow(&scenario, CcKind::Bbr, params.flow_bytes, params.seed, true);
 
     // θ from the steady-state segment: delivered over the second half of
@@ -90,15 +96,11 @@ pub fn run(params: &Fig01Params) -> Fig01Result {
 impl Fig01Result {
     /// Render the series the paper plots.
     pub fn to_table(&self) -> TextTable {
-        let mut t = TextTable::new(vec![
-            "t(s)",
-            "cubic(MB)",
-            "bbr(MB)",
-            "theta-line(MB)",
-        ]);
+        let mut t = TextTable::new(vec!["t(s)", "cubic(MB)", "bbr(MB)", "theta-line(MB)"]);
         for k in 0..=self.params.points {
-            let ts =
-                SimTime::from_nanos(self.params.horizon.as_nanos() * k as u64 / self.params.points as u64);
+            let ts = SimTime::from_nanos(
+                self.params.horizon.as_nanos() * k as u64 / self.params.points as u64,
+            );
             let row = vec![
                 format!("{:.2}", ts.as_secs_f64()),
                 format!("{:.2}", self.cubic.value_at(ts, 0.0) / 1e6),

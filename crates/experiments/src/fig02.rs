@@ -115,9 +115,7 @@ impl Fig02Result {
                 format!("{:.2}", self.join_goodput(&self.cubic, dt) * 8.0 / 1e6),
                 format!("{:.2}", self.join_goodput(&self.bbr, dt) * 8.0 / 1e6),
             ]);
-            dt += Duration::from_millis(
-                (self.params.observe.as_nanos() / 20 / 1_000_000).max(250),
-            );
+            dt += Duration::from_millis((self.params.observe.as_nanos() / 20 / 1_000_000).max(250));
         }
         t
     }

@@ -66,8 +66,20 @@ pub struct Fig09Result {
 pub fn run(params: &Fig09Params) -> Fig09Result {
     let scenario = PathScenario::new(ServerSite::GoogleUsEast, LastHop::FourG);
     Fig09Result {
-        suss_on: run_flow(&scenario, CcKind::CubicSuss, params.flow_bytes, params.seed, true),
-        suss_off: run_flow(&scenario, CcKind::Cubic, params.flow_bytes, params.seed, true),
+        suss_on: run_flow(
+            &scenario,
+            CcKind::CubicSuss,
+            params.flow_bytes,
+            params.seed,
+            true,
+        ),
+        suss_off: run_flow(
+            &scenario,
+            CcKind::Cubic,
+            params.flow_bytes,
+            params.seed,
+            true,
+        ),
         scenario,
         params: params.clone(),
     }

@@ -64,8 +64,20 @@ pub fn run(params: &Fig13Params) -> Fig13Result {
     let mut scenario = PathScenario::new(ServerSite::OracleSydney, LastHop::Wired);
     scenario.bottleneck = netsim::Bandwidth::from_mbps(100);
     Fig13Result {
-        suss_on: run_flow(&scenario, CcKind::CubicSuss, params.flow_bytes, params.seed, true),
-        suss_off: run_flow(&scenario, CcKind::Cubic, params.flow_bytes, params.seed, true),
+        suss_on: run_flow(
+            &scenario,
+            CcKind::CubicSuss,
+            params.flow_bytes,
+            params.seed,
+            true,
+        ),
+        suss_off: run_flow(
+            &scenario,
+            CcKind::Cubic,
+            params.flow_bytes,
+            params.seed,
+            true,
+        ),
         scenario,
         params: params.clone(),
     }
@@ -97,9 +109,13 @@ impl Fig13Result {
             let off = self.time_to_mb(&self.suss_off, mb);
             t.row(vec![
                 format!("{mb}"),
-                on.map(|t| format!("{:.3}", t.as_secs_f64())).unwrap_or("-".into()),
-                off.map(|t| format!("{:.3}", t.as_secs_f64())).unwrap_or("-".into()),
-                self.improvement_at_mb(mb).map(fmt_pct).unwrap_or("-".into()),
+                on.map(|t| format!("{:.3}", t.as_secs_f64()))
+                    .unwrap_or("-".into()),
+                off.map(|t| format!("{:.3}", t.as_secs_f64()))
+                    .unwrap_or("-".into()),
+                self.improvement_at_mb(mb)
+                    .map(fmt_pct)
+                    .unwrap_or("-".into()),
             ]);
         }
         t
@@ -117,7 +133,13 @@ mod tests {
         let last_mb = *r.params.checkpoints_mb.last().unwrap();
         let late = r.improvement_at_mb(last_mb).expect("final checkpoint");
         assert!(early > 0.15, "early improvement {early:.2}");
-        assert!(late < early, "late {late:.2} must be below early {early:.2}");
-        assert!(late > -0.05, "SUSS must not hurt the full transfer ({late:.2})");
+        assert!(
+            late < early,
+            "late {late:.2} must be below early {early:.2}"
+        );
+        assert!(
+            late > -0.05,
+            "SUSS must not hurt the full transfer ({late:.2})"
+        );
     }
 }

@@ -17,6 +17,7 @@ pub mod dumbbell;
 pub mod runner;
 
 pub mod ablations;
+pub mod campaigns;
 pub mod extensions;
 pub mod fairness;
 pub mod fct_sweep;
@@ -27,5 +28,6 @@ pub mod fig13;
 pub mod loss;
 pub mod stability;
 
+pub use campaigns::{Batch, FlowGrid, FlowGridRun, FlowStats, CAMPAIGN_VERSION};
 pub use dumbbell::{run_dumbbell, DumbbellFlow, DumbbellOutcome};
 pub use runner::{mean_fct, run_flow, FlowOutcome, IW, MSS};

@@ -5,8 +5,9 @@
 //! proxy the paper plots — with bottleneck-queue drops also recorded as
 //! ground truth.
 
-use crate::runner::run_flow;
+use crate::campaigns::FlowGrid;
 use cc_algos::CcKind;
+use simrunner::{RunManifest, RunnerOpts};
 use simstats::{fmt_bytes, Summary, TextTable};
 use workload::{LastHop, PathScenario, ServerSite};
 
@@ -77,32 +78,68 @@ fn apply_override(mut scn: PathScenario, p: &LossParams) -> PathScenario {
     scn
 }
 
-fn loss_batch(scn: &PathScenario, kind: CcKind, size: u64, p: &LossParams) -> Summary {
-    let rates: Vec<f64> = (0..p.iters)
-        .map(|i| {
-            run_flow(scn, kind, size, p.seed_base + i, false).retransmit_rate
-        })
-        .collect();
-    Summary::of(&rates).unwrap()
+/// A multi-scenario loss sweep executed as one campaign (Fig. 17 runs
+/// all 28 scenarios through a single worker pool and cache).
+#[derive(Debug)]
+pub struct LossMatrix {
+    /// Per-scenario sweeps, in input order.
+    pub sweeps: Vec<LossSweep>,
+    /// Manifest of the single campaign that produced them.
+    pub manifest: RunManifest,
 }
 
-/// Sweep one scenario (Fig. 14 uses Oracle London → Sweden 5G).
-pub fn sweep_scenario(scenario: &PathScenario, p: &LossParams) -> LossSweep {
-    let scn = apply_override(*scenario, p);
-    let cells = p
-        .sizes
+/// Sweep many scenarios as one campaign. The buffer override is applied
+/// *before* cells are queued, so the cache identity hashes the
+/// overridden buffer depth, not the stock scenario's.
+pub fn sweep_matrix(scenarios: &[PathScenario], p: &LossParams, opts: &RunnerOpts) -> LossMatrix {
+    let scns: Vec<PathScenario> = scenarios.iter().map(|s| apply_override(*s, p)).collect();
+    let mut grid = FlowGrid::new("loss");
+    let handles: Vec<Vec<_>> = scns
         .iter()
-        .map(|&size| LossCell {
-            size,
-            suss: loss_batch(&scn, CcKind::CubicSuss, size, p),
-            cubic: loss_batch(&scn, CcKind::Cubic, size, p),
-            bbr: loss_batch(&scn, CcKind::Bbr, size, p),
+        .map(|scn| {
+            p.sizes
+                .iter()
+                .map(|&size| {
+                    (
+                        size,
+                        grid.batch(scn, CcKind::CubicSuss, size, p.iters, p.seed_base),
+                        grid.batch(scn, CcKind::Cubic, size, p.iters, p.seed_base),
+                        grid.batch(scn, CcKind::Bbr, size, p.iters, p.seed_base),
+                    )
+                })
+                .collect()
         })
         .collect();
-    LossSweep {
-        scenario: scn,
-        cells,
+    let run = grid.run(opts);
+    let sweeps = scns
+        .iter()
+        .zip(handles)
+        .map(|(scn, per_size)| LossSweep {
+            scenario: *scn,
+            cells: per_size
+                .into_iter()
+                .map(|(size, suss, cubic, bbr)| LossCell {
+                    size,
+                    suss: run.retransmit_rate(suss),
+                    cubic: run.retransmit_rate(cubic),
+                    bbr: run.retransmit_rate(bbr),
+                })
+                .collect(),
+        })
+        .collect();
+    LossMatrix {
+        sweeps,
+        manifest: run.manifest,
     }
+}
+
+/// Sweep one scenario (Fig. 14 uses Oracle London → Sweden 5G); the
+/// serial reference path.
+pub fn sweep_scenario(scenario: &PathScenario, p: &LossParams) -> LossSweep {
+    sweep_matrix(std::slice::from_ref(scenario), p, &RunnerOpts::serial())
+        .sweeps
+        .pop()
+        .expect("one scenario in, one sweep out")
 }
 
 /// The Fig. 14 scenario: Oracle London server, Swedish 5G client.

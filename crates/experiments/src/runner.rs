@@ -95,7 +95,14 @@ pub fn run_flow(
     seed: u64,
     tracing: bool,
 ) -> FlowOutcome {
-    run_flow_with_horizon(scenario, kind, flow_bytes, seed, tracing, SimTime::from_secs(600))
+    run_flow_with_horizon(
+        scenario,
+        kind,
+        flow_bytes,
+        seed,
+        tracing,
+        SimTime::from_secs(600),
+    )
 }
 
 /// [`run_flow`] with an explicit simulation horizon.
@@ -150,7 +157,9 @@ pub fn run_flow_with_horizon(
     }
 }
 
-/// Mean receiver-side FCT over `iters` seeded repetitions.
+/// Mean receiver-side FCT over `iters` seeded repetitions, run as a
+/// one-batch campaign (the worker pool parallelizes the seeds; results
+/// are identical to the serial loop by simrunner's ordering invariant).
 pub fn mean_fct(
     scenario: &PathScenario,
     kind: CcKind,
@@ -158,11 +167,9 @@ pub fn mean_fct(
     iters: u64,
     seed_base: u64,
 ) -> simstats::Summary {
-    let fcts: Vec<f64> = (0..iters)
-        .map(|i| run_flow(scenario, kind, flow_bytes, seed_base + i, false).fct_secs())
-        .filter(|f| f.is_finite())
-        .collect();
-    simstats::Summary::of(&fcts).expect("at least one completed iteration")
+    let mut grid = crate::campaigns::FlowGrid::new("mean_fct");
+    let batch = grid.batch(scenario, kind, flow_bytes, iters, seed_base);
+    grid.run(&simrunner::RunnerOpts::default()).fct(batch)
 }
 
 #[cfg(test)]

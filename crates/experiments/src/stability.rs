@@ -2,9 +2,12 @@
 //! with a train of small flows — does accelerating the small flows'
 //! slow start destabilize the elephant?
 
+use crate::campaigns::CAMPAIGN_VERSION;
 use crate::dumbbell::{run_dumbbell, DumbbellFlow, DumbbellOutcome};
 use cc_algos::CcKind;
 use netsim::SimTime;
+use serde::{Deserialize, Serialize};
+use simrunner::{Campaign, RunManifest, RunnerOpts};
 use simstats::{fmt_pct, improvement, Summary, TextTable};
 use std::time::Duration;
 use workload::{DumbbellConfig, MB};
@@ -110,6 +113,16 @@ impl StabilityCell {
     }
 }
 
+/// What one iteration of one configuration measures — the cached cell
+/// value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArmSample {
+    /// Large-flow FCT in seconds (NaN if it never completed).
+    large_fct: f64,
+    /// Mean small-flow FCT in seconds.
+    small_mean: f64,
+}
+
 /// One iteration of one configuration; returns (large FCT, mean small FCT).
 fn one_run(
     large_cca: CcKind,
@@ -120,11 +133,13 @@ fn one_run(
     seed: u64,
 ) -> (f64, f64) {
     let cfg = DumbbellConfig::stability(rtt, buffer, p.smalls);
-    let mut flows = vec![DumbbellFlow::download(large_cca, p.large_bytes, SimTime::ZERO)];
+    let mut flows = vec![DumbbellFlow::download(
+        large_cca,
+        p.large_bytes,
+        SimTime::ZERO,
+    )];
     for i in 0..p.smalls {
-        let start = SimTime::from_secs_f64(
-            2.0 + p.small_interval.as_secs_f64() * i as f64,
-        );
+        let start = SimTime::from_secs_f64(2.0 + p.small_interval.as_secs_f64() * i as f64);
         flows.push(DumbbellFlow::download(small_cca, p.small_bytes, start));
     }
     let out = run_dumbbell(&cfg, &flows, seed, SimTime::from_secs(600));
@@ -138,51 +153,94 @@ fn one_run(
     (large_fct, small_mean)
 }
 
-fn batch(
-    large_cca: CcKind,
-    small_cca: CcKind,
-    buffer: f64,
-    rtt: Duration,
-    p: &StabilityParams,
-) -> (Summary, Summary) {
-    let mut larges = Vec::new();
-    let mut smalls = Vec::new();
-    for i in 0..p.iters {
-        let (l, s) = one_run(large_cca, small_cca, buffer, rtt, p, p.seed_base + i);
-        if l.is_finite() {
-            larges.push(l);
-        }
-        smalls.push(s);
-    }
+/// Aggregate one arm's iteration samples the way the original serial
+/// loop did: incomplete elephants are dropped (but must not all be),
+/// small-flow means are kept unconditionally.
+fn summarize_arm(samples: &[ArmSample]) -> (Summary, Summary) {
+    let larges: Vec<f64> = samples
+        .iter()
+        .map(|s| s.large_fct)
+        .filter(|l| l.is_finite())
+        .collect();
+    let smalls: Vec<f64> = samples.iter().map(|s| s.small_mean).collect();
     (
         Summary::of(&larges).expect("large flow must complete"),
         Summary::of(&smalls).unwrap(),
     )
 }
 
-/// Run the full Table 1 grid.
-pub fn run(params: &StabilityParams) -> Vec<StabilityCell> {
-    let mut cells = Vec::new();
+/// Run the full Table 1 grid as one campaign: every
+/// (large-CCA, buffer, RTT, SUSS arm, seed) dumbbell is an independent
+/// cell — the grid's slowest cells (BBRv1 elephants against 1-BDP
+/// buffers) no longer serialize the whole table.
+pub fn run_with(params: &StabilityParams, opts: &RunnerOpts) -> (Vec<StabilityCell>, RunManifest) {
+    let mut c = Campaign::new("stability", CAMPAIGN_VERSION);
+    let mut specs: Vec<(CcKind, CcKind, f64, Duration)> = Vec::new();
     for &large_cca in &params.large_ccas {
         for &buffer in &params.buffers {
             for &rtt in &params.rtts {
-                let (large_off, small_off) =
-                    batch(large_cca, CcKind::Cubic, buffer, rtt, params);
-                let (large_on, small_on) =
-                    batch(large_cca, CcKind::CubicSuss, buffer, rtt, params);
-                cells.push(StabilityCell {
-                    large_cca,
-                    buffer_bdp: buffer,
-                    rtt,
-                    large_off,
-                    small_off,
-                    large_on,
-                    small_on,
-                });
+                for small_cca in [CcKind::Cubic, CcKind::CubicSuss] {
+                    for i in 0..params.iters {
+                        c.cell(
+                            format!(
+                                "{}/buf{buffer}/rtt{}ms/smalls-{}/s{}",
+                                large_cca.label(),
+                                rtt.as_millis(),
+                                small_cca.label(),
+                                params.seed_base + i,
+                            ),
+                            format!(
+                                "stability large_cc={} small_cc={} buf_bdp={buffer} \
+                                 rtt_ns={} large_bytes={} smalls={} small_bytes={} \
+                                 interval_ns={}",
+                                large_cca.label(),
+                                small_cca.label(),
+                                rtt.as_nanos(),
+                                params.large_bytes,
+                                params.smalls,
+                                params.small_bytes,
+                                params.small_interval.as_nanos(),
+                            ),
+                            params.seed_base + i,
+                        );
+                        specs.push((large_cca, small_cca, buffer, rtt));
+                    }
+                }
             }
         }
     }
-    cells
+    let out = c.run(opts, |cell| {
+        let (large_cca, small_cca, buffer, rtt) = specs[cell.index];
+        let (large_fct, small_mean) = one_run(large_cca, small_cca, buffer, rtt, params, cell.seed);
+        ArmSample {
+            large_fct,
+            small_mean,
+        }
+    });
+    // Reassemble per-configuration cells from the flat results, in queue
+    // order: `iters` off-arm samples then `iters` on-arm samples.
+    let iters = params.iters as usize;
+    let mut cells = Vec::new();
+    let mut arms = out.results.chunks(iters);
+    for &(large_cca, _, buffer, rtt) in specs.iter().step_by(2 * iters) {
+        let (large_off, small_off) = summarize_arm(arms.next().expect("off arm present"));
+        let (large_on, small_on) = summarize_arm(arms.next().expect("on arm present"));
+        cells.push(StabilityCell {
+            large_cca,
+            buffer_bdp: buffer,
+            rtt,
+            large_off,
+            small_off,
+            large_on,
+            small_on,
+        });
+    }
+    (cells, out.manifest)
+}
+
+/// Run the full Table 1 grid on the serial reference path.
+pub fn run(params: &StabilityParams) -> Vec<StabilityCell> {
+    run_with(params, &RunnerOpts::serial()).0
 }
 
 /// Render Table 1.
@@ -220,12 +278,15 @@ pub fn fig16_timeline(
     p: &StabilityParams,
 ) -> (DumbbellOutcome, TextTable) {
     let cfg = DumbbellConfig::stability(rtt, buffer, p.smalls);
-    let mut flows = vec![
-        DumbbellFlow::download(CcKind::Cubic, p.large_bytes, SimTime::ZERO).traced(),
-    ];
+    let mut flows =
+        vec![DumbbellFlow::download(CcKind::Cubic, p.large_bytes, SimTime::ZERO).traced()];
     for i in 0..p.smalls {
         let start = SimTime::from_secs_f64(2.0 + p.small_interval.as_secs_f64() * i as f64);
-        flows.push(DumbbellFlow::download(CcKind::CubicSuss, p.small_bytes, start));
+        flows.push(DumbbellFlow::download(
+            CcKind::CubicSuss,
+            p.small_bytes,
+            start,
+        ));
     }
     let out = run_dumbbell(&cfg, &flows, p.seed_base, SimTime::from_secs(600));
     let series = out.flows[0].delivered_series();

@@ -1,0 +1,95 @@
+//! Acceptance tests for the campaign migration: an `fct_sweep` run
+//! through simrunner with multiple workers must produce output identical
+//! to the serial reference path, and a second invocation must be served
+//! (almost) entirely from the result cache.
+
+use experiments::fct_sweep::{sweep_matrix, MatrixSweep, SweepParams};
+use simrunner::RunnerOpts;
+use std::path::PathBuf;
+use workload::{LastHop, PathScenario, ServerSite, KB};
+
+fn scenarios() -> Vec<PathScenario> {
+    vec![
+        PathScenario::new(ServerSite::GoogleTokyo, LastHop::WiFi),
+        PathScenario::new(ServerSite::OracleLondon, LastHop::FiveG),
+    ]
+}
+
+fn params() -> SweepParams {
+    SweepParams {
+        sizes: vec![256 * KB, 512 * KB],
+        iters: 3,
+        seed_base: 1,
+    }
+}
+
+/// Render every aggregate down to exact bits: `{:?}` prints f64 with the
+/// shortest round-trip representation, so equal strings mean equal
+/// values, not just equal rounding.
+fn fingerprint(m: &MatrixSweep) -> String {
+    m.sweeps
+        .iter()
+        .map(|s| format!("{} {:?}\n", s.scenario.id(), s.cells))
+        .collect()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn parallel_sweep_matches_serial_and_second_run_hits_cache() {
+    let scns = scenarios();
+    let p = params();
+
+    let serial = sweep_matrix(&scns, &p, &RunnerOpts::serial());
+
+    let dir = tempdir("suss-parallel-equiv");
+    let opts = RunnerOpts::default().with_workers(4).with_cache(&dir);
+    let cold = sweep_matrix(&scns, &p, &opts);
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&cold),
+        "4-worker campaign diverged from the serial path"
+    );
+    assert_eq!(cold.manifest.cache_hits, 0);
+
+    let warm = sweep_matrix(&scns, &p, &opts);
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&warm),
+        "cache round-trip altered the results"
+    );
+    assert!(
+        warm.manifest.hit_rate() >= 0.9,
+        "second invocation should be >=90% cached, got {:.0}%",
+        warm.manifest.hit_rate() * 100.0
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Changing one scenario invalidates only that scenario's cells: the
+/// cache key hashes scenario field values, not names.
+#[test]
+fn cache_is_invalidated_per_scenario_field_change() {
+    let p = params();
+    let dir = tempdir("suss-partial-invalidation");
+    let opts = RunnerOpts::default().with_workers(2).with_cache(&dir);
+
+    let scns = scenarios();
+    let _ = sweep_matrix(&scns, &p, &opts);
+
+    // Recalibrate one scenario's buffer; the other scenario must still
+    // be served from cache while the changed one recomputes.
+    let mut changed = scns.clone();
+    changed[0].buffer_bdp += 0.5;
+    let m = sweep_matrix(&changed, &p, &opts);
+    let per_scenario = m.manifest.total_cells / 2;
+    assert_eq!(m.manifest.cache_hits, per_scenario);
+    assert_eq!(m.manifest.cache_misses, per_scenario);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

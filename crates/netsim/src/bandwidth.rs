@@ -163,12 +163,18 @@ mod tests {
 
     #[test]
     fn from_transfer_zero_interval() {
-        assert_eq!(Bandwidth::from_transfer(100, Duration::ZERO), Bandwidth::ZERO);
+        assert_eq!(
+            Bandwidth::from_transfer(100, Duration::ZERO),
+            Bandwidth::ZERO
+        );
     }
 
     #[test]
     fn scaled() {
-        assert_eq!(Bandwidth::from_mbps(10).scaled(0.5), Bandwidth::from_mbps(5));
+        assert_eq!(
+            Bandwidth::from_mbps(10).scaled(0.5),
+            Bandwidth::from_mbps(5)
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ impl Capture {
             .filter(|e| e.t >= from && e.t <= to)
             .map(|e| e.t)
             .collect();
-        times.windows(2).map(|w| w[1].saturating_since(w[0])).collect()
+        times
+            .windows(2)
+            .map(|w| w[1].saturating_since(w[0]))
+            .collect()
     }
 
     /// Render a compact text log (for debugging sessions).
@@ -267,8 +270,8 @@ mod engine_tests {
         let mut sim = Sim::new(2);
         let a = sim.add_agent(Box::new(Null));
         let b = sim.add_agent(Box::new(Null));
-        let spec = LinkSpec::clean(Bandwidth::from_mbps(100), std::time::Duration::ZERO)
-            .with_loss(0.5);
+        let spec =
+            LinkSpec::clean(Bandwidth::from_mbps(100), std::time::Duration::ZERO).with_loss(0.5);
         let ab = sim.add_half_link(a, b, spec);
         sim.enable_capture(&[], 10_000);
         sim.with_agent_ctx::<Null, _>(a, |_, ctx| {
@@ -314,7 +317,10 @@ mod delivery_tests {
         let mut sim = Sim::new(1);
         let a = sim.add_agent(Box::new(Null));
         let b = sim.add_agent(Box::new(Null));
-        let spec = LinkSpec::clean(Bandwidth::from_mbps(1), std::time::Duration::from_millis(10));
+        let spec = LinkSpec::clean(
+            Bandwidth::from_mbps(1),
+            std::time::Duration::from_millis(10),
+        );
         let ab = sim.add_half_link(a, b, spec);
         sim.enable_capture(&[], 100);
         sim.with_agent_ctx::<Null, _>(a, |_, ctx| {
@@ -324,8 +330,15 @@ mod delivery_tests {
         let cap = sim.capture().unwrap();
         assert_eq!(cap.count(FlowId(5), CaptureKind::Transmitted), 1);
         assert_eq!(cap.count(FlowId(5), CaptureKind::Delivered), 1);
-        let tx = cap.of(FlowId(5), CaptureKind::Transmitted).next().unwrap().t;
+        let tx = cap
+            .of(FlowId(5), CaptureKind::Transmitted)
+            .next()
+            .unwrap()
+            .t;
         let rx = cap.of(FlowId(5), CaptureKind::Delivered).next().unwrap().t;
-        assert_eq!(rx.saturating_since(tx), std::time::Duration::from_millis(10));
+        assert_eq!(
+            rx.saturating_since(tx),
+            std::time::Duration::from_millis(10)
+        );
     }
 }

@@ -67,5 +67,7 @@ pub use rng::SimRng;
 pub use router::Router;
 pub use sim::{Agent, Ctx, Sim};
 pub use time::SimTime;
-pub use topology::{build_dumbbell, build_parking_lot, Dumbbell, DumbbellSpec, ParkingLot, ParkingLotSpec};
+pub use topology::{
+    build_dumbbell, build_parking_lot, Dumbbell, DumbbellSpec, ParkingLot, ParkingLotSpec,
+};
 pub use traffic::{ArrivalProcess, TrafficSink, TrafficSource};

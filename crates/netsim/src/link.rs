@@ -174,7 +174,10 @@ impl JitterModel {
 
     /// Correlated jitter (smoother variation, typical of cellular links).
     pub fn correlated(std_dev: Duration, correlation: f64) -> Self {
-        assert!((0.0..1.0).contains(&correlation), "correlation must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&correlation),
+            "correlation must be in [0,1)"
+        );
         JitterModel {
             std_dev,
             correlation,
@@ -354,9 +357,15 @@ mod tests {
             (SimTime::from_secs(1), Bandwidth::from_mbps(5)),
             (SimTime::from_secs(2), Bandwidth::from_mbps(20)),
         ]);
-        assert_eq!(s.rate_at(SimTime::from_millis(999)), Bandwidth::from_mbps(10));
+        assert_eq!(
+            s.rate_at(SimTime::from_millis(999)),
+            Bandwidth::from_mbps(10)
+        );
         assert_eq!(s.rate_at(SimTime::from_secs(1)), Bandwidth::from_mbps(5));
-        assert_eq!(s.rate_at(SimTime::from_millis(1500)), Bandwidth::from_mbps(5));
+        assert_eq!(
+            s.rate_at(SimTime::from_millis(1500)),
+            Bandwidth::from_mbps(5)
+        );
         assert_eq!(s.rate_at(SimTime::from_secs(3)), Bandwidth::from_mbps(20));
         assert!(!s.is_constant());
     }
@@ -418,7 +427,9 @@ mod tests {
             let spec = LinkSpec::clean(Bandwidth::from_mbps(1), Duration::from_millis(100))
                 .with_jitter(JitterModel::correlated(Duration::from_millis(10), corr));
             let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(seed));
-            let xs: Vec<f64> = (0..2000).map(|_| hl.sample_propagation().as_secs_f64()).collect();
+            let xs: Vec<f64> = (0..2000)
+                .map(|_| hl.sample_propagation().as_secs_f64())
+                .collect();
             // Mean absolute step between consecutive samples.
             xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1) as f64
         };

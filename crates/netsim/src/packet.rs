@@ -87,7 +87,13 @@ impl Packet {
     }
 
     /// Construct a packet carrying a typed payload.
-    pub fn with_payload<T: Any>(flow: FlowId, src: NodeId, dst: NodeId, size: u32, payload: T) -> Self {
+    pub fn with_payload<T: Any>(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size: u32,
+        payload: T,
+    ) -> Self {
         Packet {
             id: 0,
             flow,

@@ -7,9 +7,6 @@
 //! perturbs the draws seen by existing consumers — a prerequisite for
 //! comparable A/B runs (e.g. SUSS on vs. off over identical paths).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// SplitMix64 step, used to derive independent fork seeds.
 ///
 /// This is the standard seeding recommendation for xoshiro-family
@@ -22,14 +19,57 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// xoshiro256++ core (Blackman & Vigna), the same generator behind
+/// `rand`'s 64-bit `SmallRng`. Implemented inline because the build
+/// environment has no crates.io access.
+#[derive(Debug, Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Seed the full 256-bit state from successive SplitMix64 outputs.
+    fn seed_from_u64(mut seed: u64) -> Self {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+        // The all-zero state is the one fixed point; SplitMix64 cannot
+        // produce four consecutive zeros from any seed, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
 /// A seeded, forkable RNG for simulation use.
 ///
-/// Wraps [`SmallRng`] and adds the distribution samplers the link and
-/// workload models need (normal, lognormal, exponential, bounded Pareto)
-/// without pulling in extra dependencies.
+/// Wraps an inline xoshiro256++ core and adds the distribution samplers
+/// the link and workload models need (normal, lognormal, exponential,
+/// bounded Pareto) without pulling in extra dependencies.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
     seed: u64,
     fork_counter: u64,
 }
@@ -38,7 +78,7 @@ impl SimRng {
     /// Create a new RNG from an experiment seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            inner: Xoshiro256PlusPlus::seed_from_u64(splitmix64(seed)),
             seed,
             fork_counter: 0,
         }
@@ -65,12 +105,24 @@ impl SimRng {
     /// Unlike [`fork`](Self::fork), the result depends only on the parent
     /// seed and the label, never on fork order.
     pub fn fork_labeled(&self, label: u64) -> SimRng {
-        SimRng::new(splitmix64(self.seed ^ splitmix64(label ^ 0xA5A5_5A5A_C3C3_3C3C)))
+        SimRng::new(splitmix64(
+            self.seed ^ splitmix64(label ^ 0xA5A5_5A5A_C3C3_3C3C),
+        ))
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Next raw 32-bit draw.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.inner.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw in `[0, 1)` (53-bit resolution).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -88,7 +140,9 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift reduction. The modulo bias is at most
+        // n/2^64 per draw — unobservable at simulation scales.
+        ((self.inner.next_u64() as u128 * n as u128) >> 64) as u64
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
@@ -131,7 +185,10 @@ impl SimRng {
     /// Used for heavy-tailed flow-size distributions typical of Internet
     /// traffic (many mice, few elephants).
     pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
-        assert!(alpha > 0.0 && lo > 0.0 && hi > lo, "invalid bounded Pareto parameters");
+        assert!(
+            alpha > 0.0 && lo > 0.0 && hi > lo,
+            "invalid bounded Pareto parameters"
+        );
         let u = self.uniform();
         let la = lo.powf(alpha);
         let ha = hi.powf(alpha);
@@ -145,24 +202,6 @@ impl SimRng {
             let j = self.below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 

@@ -116,7 +116,11 @@ impl NetCore {
 
 impl NetCore {
     fn push(&mut self, at: SimTime, kind: EventKind) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.seq += 1;
         self.events.push(EventEntry {
             at: at.max(self.now),
@@ -221,7 +225,8 @@ impl Ctx<'_> {
     /// Timers cannot be cancelled — ignore stale tokens in `on_timer`.
     pub fn set_timer(&mut self, at: SimTime, token: u64) {
         let node = self.agent;
-        self.core.push(at.max(self.core.now), EventKind::Timer { node, token });
+        self.core
+            .push(at.max(self.core.now), EventKind::Timer { node, token });
     }
 
     /// Current backlog (bytes) of a half-link's egress queue.
@@ -416,8 +421,7 @@ impl Sim {
         match entry.kind {
             EventKind::TxDone { link } => self.core.link_tx_done(link),
             EventKind::Arrive { node, link, pkt } => {
-                self.core
-                    .capture_event(link, CaptureKind::Delivered, &pkt);
+                self.core.capture_event(link, CaptureKind::Delivered, &pkt);
                 let mut agent = self.agents[node.index()]
                     .take()
                     .expect("packet delivered to agent under dispatch");
@@ -618,7 +622,12 @@ mod tests {
             }
         });
         sim.run_to_completion();
-        let tokens: Vec<u64> = sim.agent::<Echo>(a).timer_log.iter().map(|(_, t)| *t).collect();
+        let tokens: Vec<u64> = sim
+            .agent::<Echo>(a)
+            .timer_log
+            .iter()
+            .map(|(_, t)| *t)
+            .collect();
         assert_eq!(tokens, (0..10).collect::<Vec<_>>());
     }
 
@@ -670,7 +679,10 @@ mod tests {
         sim.run_to_completion();
         let delivered = sim.agent::<Echo>(b).got.len();
         assert!((380..=620).contains(&delivered), "delivered {delivered}");
-        assert_eq!(sim.link_stats(ab).random_lost_pkts as usize, 1000 - delivered);
+        assert_eq!(
+            sim.link_stats(ab).random_lost_pkts as usize,
+            1000 - delivered
+        );
     }
 
     #[test]
@@ -701,7 +713,9 @@ mod tests {
         let a = sim.add_agent(Box::new(Echo::new()));
         let b = sim.add_agent(Box::new(Echo::new()));
         let spec = LinkSpec::clean(Bandwidth::from_mbps(100), Duration::from_millis(5))
-            .with_jitter(crate::link::JitterModel::gaussian(Duration::from_millis(20)));
+            .with_jitter(crate::link::JitterModel::gaussian(Duration::from_millis(
+                20,
+            )));
         let ab = sim.add_half_link(a, b, spec);
         sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
             for _ in 0..500 {
@@ -725,8 +739,8 @@ mod tests {
             (SimTime::ZERO, Bandwidth::from_mbps(10)),
             (SimTime::from_millis(1), Bandwidth::from_mbps(1)),
         ]);
-        let spec = LinkSpec::clean(Bandwidth::from_mbps(10), Duration::ZERO)
-            .with_rate_schedule(sched);
+        let spec =
+            LinkSpec::clean(Bandwidth::from_mbps(10), Duration::ZERO).with_rate_schedule(sched);
         let ab = sim.add_half_link(a, b, spec);
         sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
             // 1250 B at 10 Mbps = 1 ms: finishes exactly as the rate drops.

@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn saturating_add_clamps_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(Duration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(SimTime::MAX + Duration::MAX, SimTime::MAX);
     }
 
@@ -227,7 +230,11 @@ mod tests {
         ts.sort();
         assert_eq!(
             ts,
-            vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_millis(3)]
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_millis(3)
+            ]
         );
     }
 

@@ -81,20 +81,28 @@ pub fn build_dumbbell(
     right_hosts: &[NodeId],
     spec: &DumbbellSpec,
 ) -> Dumbbell {
-    assert_eq!(left_hosts.len(), spec.left_edges.len(), "left host/edge mismatch");
-    assert_eq!(right_hosts.len(), spec.right_edges.len(), "right host/edge mismatch");
+    assert_eq!(
+        left_hosts.len(),
+        spec.left_edges.len(),
+        "left host/edge mismatch"
+    );
+    assert_eq!(
+        right_hosts.len(),
+        spec.right_edges.len(),
+        "right host/edge mismatch"
+    );
 
     let left_router = sim.add_agent(Box::new(Router::new()));
     let right_router = sim.add_agent(Box::new(Router::new()));
 
-    let bottleneck_l2r =
-        sim.add_half_link(left_router, right_router, spec.bottleneck_l2r.clone());
-    let bottleneck_r2l =
-        sim.add_half_link(right_router, left_router, spec.bottleneck_r2l.clone());
+    let bottleneck_l2r = sim.add_half_link(left_router, right_router, spec.bottleneck_l2r.clone());
+    let bottleneck_r2l = sim.add_half_link(right_router, left_router, spec.bottleneck_r2l.clone());
 
     // Everything on the far side goes over the bottleneck.
-    sim.agent_mut::<Router>(left_router).set_default_route(bottleneck_l2r);
-    sim.agent_mut::<Router>(right_router).set_default_route(bottleneck_r2l);
+    sim.agent_mut::<Router>(left_router)
+        .set_default_route(bottleneck_l2r);
+    sim.agent_mut::<Router>(right_router)
+        .set_default_route(bottleneck_r2l);
 
     let mut left_egress = Vec::with_capacity(left_hosts.len());
     for (&host, edge) in left_hosts.iter().zip(&spec.left_edges) {
@@ -166,8 +174,12 @@ mod tests {
     #[test]
     fn cross_traffic_reaches_correct_peer() {
         let mut sim = Sim::new(1);
-        let lefts: Vec<NodeId> = (0..3).map(|_| sim.add_agent(Box::new(Host::new()))).collect();
-        let rights: Vec<NodeId> = (0..3).map(|_| sim.add_agent(Box::new(Host::new()))).collect();
+        let lefts: Vec<NodeId> = (0..3)
+            .map(|_| sim.add_agent(Box::new(Host::new())))
+            .collect();
+        let rights: Vec<NodeId> = (0..3)
+            .map(|_| sim.add_agent(Box::new(Host::new())))
+            .collect();
         let db = build_dumbbell(&mut sim, &lefts, &rights, &simple_spec(3));
 
         // Each left host sends one packet to its own right peer.
@@ -200,8 +212,12 @@ mod tests {
     #[test]
     fn bottleneck_serializes_competing_senders() {
         let mut sim = Sim::new(1);
-        let lefts: Vec<NodeId> = (0..2).map(|_| sim.add_agent(Box::new(Host::new()))).collect();
-        let rights: Vec<NodeId> = (0..2).map(|_| sim.add_agent(Box::new(Host::new()))).collect();
+        let lefts: Vec<NodeId> = (0..2)
+            .map(|_| sim.add_agent(Box::new(Host::new())))
+            .collect();
+        let rights: Vec<NodeId> = (0..2)
+            .map(|_| sim.add_agent(Box::new(Host::new())))
+            .collect();
         // Queue must absorb the full burst (both senders blast at edge rate).
         let mut spec = simple_spec(2);
         spec.bottleneck_r2l = spec.bottleneck_r2l.with_queue_bytes(1_000_000);
@@ -316,21 +332,30 @@ pub fn build_parking_lot(
     // Default routes: rightward on every router except the last; leftward
     // handled by explicit per-destination routes.
     for i in 0..hops {
-        sim.agent_mut::<Router>(routers[i]).set_default_route(hop_links[i]);
+        sim.agent_mut::<Router>(routers[i])
+            .set_default_route(hop_links[i]);
     }
 
     // Attach the long-path endpoints.
     let (long_src_up, r0_to_src) =
         sim.add_link(long_src, routers[0], spec.edge.clone(), spec.edge.clone());
-    let (long_dst_up, rn_to_dst) =
-        sim.add_link(long_dst, routers[hops], spec.edge.clone(), spec.edge.clone());
-    sim.agent_mut::<Router>(routers[0]).add_route(long_src, r0_to_src);
-    sim.agent_mut::<Router>(routers[hops]).add_route(long_dst, rn_to_dst);
-    sim.agent_mut::<Router>(routers[hops]).set_default_route(rn_to_dst);
+    let (long_dst_up, rn_to_dst) = sim.add_link(
+        long_dst,
+        routers[hops],
+        spec.edge.clone(),
+        spec.edge.clone(),
+    );
+    sim.agent_mut::<Router>(routers[0])
+        .add_route(long_src, r0_to_src);
+    sim.agent_mut::<Router>(routers[hops])
+        .add_route(long_dst, rn_to_dst);
+    sim.agent_mut::<Router>(routers[hops])
+        .set_default_route(rn_to_dst);
 
     // Leftward routes for the long source (ACKs travel right→left).
     for i in (0..hops).rev() {
-        sim.agent_mut::<Router>(routers[i + 1]).add_route(long_src, rev_links[i]);
+        sim.agent_mut::<Router>(routers[i + 1])
+            .add_route(long_src, rev_links[i]);
     }
     // Rightward routes toward the long destination are covered by defaults.
 
@@ -342,10 +367,13 @@ pub fn build_parking_lot(
             sim.add_link(src, routers[i], spec.edge.clone(), spec.edge.clone());
         let (dst_up, rj_to_dst) =
             sim.add_link(dst, routers[i + 1], spec.edge.clone(), spec.edge.clone());
-        sim.agent_mut::<Router>(routers[i]).add_route(src, ri_to_src);
-        sim.agent_mut::<Router>(routers[i + 1]).add_route(dst, rj_to_dst);
+        sim.agent_mut::<Router>(routers[i])
+            .add_route(src, ri_to_src);
+        sim.agent_mut::<Router>(routers[i + 1])
+            .add_route(dst, rj_to_dst);
         // ACKs from dst back to src: leftward one hop then local.
-        sim.agent_mut::<Router>(routers[i + 1]).add_route(src, rev_links[i]);
+        sim.agent_mut::<Router>(routers[i + 1])
+            .add_route(src, rev_links[i]);
         cross_src_egress.push(src_up);
         cross_dst_egress.push(dst_up);
     }
@@ -439,7 +467,10 @@ mod parking_lot_tests {
         // Cross pair 0 sends one packet: must cross hop 0 only.
         let (src, dst) = pairs[0];
         sim.with_agent_ctx::<Host, _>(src, |_, ctx| {
-            ctx.send(pl.cross_src_egress[0], Packet::opaque(FlowId(7), src, dst, 800));
+            ctx.send(
+                pl.cross_src_egress[0],
+                Packet::opaque(FlowId(7), src, dst, 800),
+            );
         });
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.agent::<Host>(dst).got, 1);

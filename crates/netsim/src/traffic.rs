@@ -42,6 +42,7 @@ pub struct TrafficSource {
 
 impl TrafficSource {
     /// Create a source; wire its egress with [`set_egress`](Self::set_egress).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         flow: FlowId,
         sink: NodeId,
@@ -73,9 +74,7 @@ impl TrafficSource {
     }
 
     fn mean_gap(&self) -> Duration {
-        Duration::from_secs_f64(
-            self.packet_bytes as f64 * 8.0 / self.rate.as_bps() as f64,
-        )
+        Duration::from_secs_f64(self.packet_bytes as f64 * 8.0 / self.rate.as_bps() as f64)
     }
 
     fn next_gap(&mut self) -> Duration {
@@ -235,10 +234,7 @@ mod tests {
                 sim.run_until(SimTime::from_millis(k * 100));
                 counts.push(sim.agent::<TrafficSource>(src).sent);
             }
-            let per: Vec<f64> = counts
-                .windows(2)
-                .map(|w| (w[1] - w[0]) as f64)
-                .collect();
+            let per: Vec<f64> = counts.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
             let mean = per.iter().sum::<f64>() / per.len() as f64;
             per.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / per.len() as f64
         };

@@ -1,0 +1,191 @@
+//! Content-addressed result cache.
+//!
+//! Each cell result lives in its own file under
+//! `<cache_dir>/<experiment>/<key>.json`, where `key` is the FNV-1a hash
+//! of (experiment id, version tag, canonical cell params, seed). Entries
+//! embed that identity alongside the value, so a load verifies it matches
+//! before trusting the payload — this catches hash collisions, stale
+//! directories, and hand-edited files. Any unreadable, unparsable, or
+//! mismatched entry is treated as a miss; the next store overwrites it.
+//!
+//! Writes go through a temp file + rename so a crash mid-write never
+//! leaves a truncated entry under the final name.
+
+use crate::fnv1a64;
+use serde::{Deserialize, Json, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The identity under which a cell result is stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellIdentity<'a> {
+    /// Experiment id (e.g. `fct_sweep`).
+    pub experiment: &'a str,
+    /// Code-relevant version tag; bump to invalidate old results.
+    pub version: &'a str,
+    /// Canonical parameter string of the cell.
+    pub params: &'a str,
+    /// The cell's seed.
+    pub seed: u64,
+}
+
+impl CellIdentity<'_> {
+    /// The stable content hash this identity is filed under.
+    pub fn key(&self) -> u64 {
+        let mut buf =
+            Vec::with_capacity(self.experiment.len() + self.version.len() + self.params.len() + 27);
+        buf.extend_from_slice(self.experiment.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(self.version.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(self.params.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&self.seed.to_le_bytes());
+        fnv1a64(&buf)
+    }
+}
+
+/// An open per-experiment cache directory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Open (creating if needed) the cache for `experiment` under `root`.
+    pub fn open(root: &Path, experiment: &str) -> io::Result<Cache> {
+        let dir = root.join(experiment);
+        fs::create_dir_all(&dir)?;
+        Ok(Cache { dir })
+    }
+
+    /// The directory entries are stored in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for_key(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// The file an identity's entry is (or would be) stored in.
+    pub fn entry_path(&self, id: &CellIdentity<'_>) -> PathBuf {
+        self.path_for_key(id.key())
+    }
+
+    /// Load a cached value, or `None` on any miss/corruption/mismatch.
+    pub fn load<T: Deserialize>(&self, id: &CellIdentity<'_>) -> Option<T> {
+        let text = fs::read_to_string(self.path_for_key(id.key())).ok()?;
+        let json = Json::parse(&text)?;
+        let obj = json.as_obj()?;
+        let same = Json::field(obj, "experiment")?.as_str()? == id.experiment
+            && Json::field(obj, "version")?.as_str()? == id.version
+            && Json::field(obj, "params")?.as_str()? == id.params
+            && u64::from_json(Json::field(obj, "seed")?)? == id.seed;
+        if !same {
+            return None;
+        }
+        T::from_json(Json::field(obj, "value")?)
+    }
+
+    /// Store a value under its identity (overwrites any previous entry).
+    pub fn store<T: Serialize>(&self, id: &CellIdentity<'_>, value: &T) -> io::Result<()> {
+        let entry = Json::Obj(vec![
+            (
+                "experiment".to_string(),
+                Json::Str(id.experiment.to_string()),
+            ),
+            ("version".to_string(), Json::Str(id.version.to_string())),
+            ("params".to_string(), Json::Str(id.params.to_string())),
+            ("seed".to_string(), Json::Num(id.seed as f64)),
+            ("value".to_string(), value.to_json()),
+        ]);
+        let path = self.path_for_key(id.key());
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, entry.render())?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "simrunner-cache-unit-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_separate_every_identity_axis() {
+        let base = CellIdentity {
+            experiment: "e",
+            version: "v1",
+            params: "a=1",
+            seed: 7,
+        };
+        let mut other = base.clone();
+        other.seed = 8;
+        assert_ne!(base.key(), other.key());
+        let mut other = base.clone();
+        other.version = "v2";
+        assert_ne!(base.key(), other.key());
+        let mut other = base.clone();
+        other.params = "a=2";
+        assert_ne!(base.key(), other.key());
+        let mut other = base.clone();
+        other.experiment = "f";
+        assert_ne!(base.key(), other.key());
+        assert_eq!(base.key(), base.clone().key());
+    }
+
+    #[test]
+    fn roundtrip_and_miss() {
+        let root = scratch("roundtrip");
+        let cache = Cache::open(&root, "exp").unwrap();
+        let id = CellIdentity {
+            experiment: "exp",
+            version: "v1",
+            params: "size=1",
+            seed: 3,
+        };
+        assert_eq!(cache.load::<f64>(&id), None);
+        cache.store(&id, &1.25f64).unwrap();
+        assert_eq!(cache.load::<f64>(&id), Some(1.25));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mismatched_identity_under_same_key_is_a_miss() {
+        // Forge a collision by writing an entry file whose embedded
+        // identity differs from what the reader expects.
+        let root = scratch("forge");
+        let cache = Cache::open(&root, "exp").unwrap();
+        let id = CellIdentity {
+            experiment: "exp",
+            version: "v1",
+            params: "p",
+            seed: 1,
+        };
+        cache.store(&id, &2.0f64).unwrap();
+        let mut fake = id.clone();
+        fake.params = "q";
+        // Copy the real entry over the fake identity's slot.
+        fs::copy(
+            cache.dir().join(format!("{:016x}.json", id.key())),
+            cache.dir().join(format!("{:016x}.json", fake.key())),
+        )
+        .unwrap();
+        assert_eq!(
+            cache.load::<f64>(&fake),
+            None,
+            "embedded identity must gate the hit"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,387 @@
+//! Campaigns: grids of independent simulation cells, and the parallel,
+//! cached executor that runs them.
+
+use crate::cache::{Cache, CellIdentity};
+use crate::manifest::{CellRecord, RunManifest};
+use crate::pool::BoundedQueue;
+use crate::progress::Progress;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// One grid cell: a single deterministic simulation run.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Position in campaign order (set by [`Campaign::cell`]).
+    pub index: usize,
+    /// Human-readable label for progress lines and manifests.
+    pub label: String,
+    /// Canonical parameter string; part of the cache identity, so it must
+    /// encode **every** input that influences the cell's result.
+    pub params: String,
+    /// The seed driving all stochastic path elements of this cell.
+    pub seed: u64,
+}
+
+/// How to execute a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerOpts {
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    pub workers: usize,
+    /// Result-cache root (e.g. `results/cache`); `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Ignore existing cache entries (results are still stored back).
+    pub force_cold: bool,
+    /// Stream progress to stderr.
+    pub progress: bool,
+    /// Bounded work-queue depth; `0` means `2 × workers`.
+    pub queue_depth: usize,
+}
+
+impl RunnerOpts {
+    /// Single-worker execution (the reference serial path).
+    pub fn serial() -> Self {
+        RunnerOpts {
+            workers: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Set the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enable the result cache rooted at `dir`.
+    pub fn with_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable stderr progress reporting.
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
+        self
+    }
+
+    /// Apply `SUSS_WORKERS`, `SUSS_NO_CACHE`, `SUSS_FORCE_COLD`, and
+    /// `SUSS_PROGRESS` environment overrides on top of these options.
+    pub fn env_overrides(mut self) -> Self {
+        if let Ok(w) = std::env::var("SUSS_WORKERS") {
+            if let Ok(w) = w.parse() {
+                self.workers = w;
+            }
+        }
+        if std::env::var("SUSS_NO_CACHE").is_ok_and(|v| v == "1") {
+            self.cache_dir = None;
+        }
+        if std::env::var("SUSS_FORCE_COLD").is_ok_and(|v| v == "1") {
+            self.force_cold = true;
+        }
+        if let Ok(p) = std::env::var("SUSS_PROGRESS") {
+            self.progress = p != "0";
+        }
+        self
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A named grid of cells, executed together.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Experiment id (cache namespace and manifest header).
+    pub experiment: String,
+    /// Code-relevant version tag: bump when a change invalidates cached
+    /// results (simulator physics, experiment logic, value encoding).
+    pub version: String,
+    /// The cells, in aggregation order.
+    pub cells: Vec<Cell>,
+}
+
+/// What [`Campaign::run`] returns.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// Per-cell results in campaign (cell-index) order — independent of
+    /// worker count, scheduling, and cache state.
+    pub results: Vec<T>,
+    /// The run's manifest (timings, cache hits, per-cell records).
+    pub manifest: RunManifest,
+}
+
+impl Campaign {
+    /// Create an empty campaign.
+    pub fn new(experiment: impl Into<String>, version: impl Into<String>) -> Self {
+        Campaign {
+            experiment: experiment.into(),
+            version: version.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append a cell; returns its index.
+    pub fn cell(
+        &mut self,
+        label: impl Into<String>,
+        params: impl Into<String>,
+        seed: u64,
+    ) -> usize {
+        let index = self.cells.len();
+        self.cells.push(Cell {
+            index,
+            label: label.into(),
+            params: params.into(),
+            seed,
+        });
+        index
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the campaign has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn identity<'a>(&'a self, cell: &'a Cell) -> CellIdentity<'a> {
+        CellIdentity {
+            experiment: &self.experiment,
+            version: &self.version,
+            params: &cell.params,
+            seed: cell.seed,
+        }
+    }
+
+    /// Execute every cell and return results in campaign order.
+    ///
+    /// Cells are sharded across a bounded-queue worker pool. Each cell is
+    /// computed solely from its own [`Cell`] (independent seeding), and
+    /// results commit by cell index, so the output — and anything
+    /// aggregated from it in order — is byte-identical whether this runs
+    /// on 1 worker or 64, cold or fully cached.
+    ///
+    /// # Panics
+    /// Re-raises (with the cell's label) the first panic of any cell
+    /// closure after the pool has drained.
+    pub fn run<T, F>(&self, opts: &RunnerOpts, f: F) -> RunOutcome<T>
+    where
+        T: Serialize + Deserialize + Send,
+        F: Fn(&Cell) -> T + Sync,
+    {
+        let started = Instant::now();
+        let workers = opts.resolved_workers();
+        let cache = opts.cache_dir.as_deref().map(|root| {
+            Cache::open(root, &self.experiment).expect("cannot create cache directory")
+        });
+        let n = self.cells.len();
+        let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut records: Vec<CellRecord> = self
+            .cells
+            .iter()
+            .map(|c| CellRecord {
+                index: c.index,
+                label: c.label.clone(),
+                seed: c.seed,
+                key: format!("{:016x}", self.identity(c).key()),
+                cached: false,
+                wall_ms: 0.0,
+            })
+            .collect();
+        let mut progress = Progress::new(&self.experiment, n, opts.progress);
+
+        // Phase 1: serve what we can from the cache (main thread: cheap).
+        let mut pending: Vec<&Cell> = Vec::new();
+        for cell in &self.cells {
+            let hit = if opts.force_cold {
+                None
+            } else {
+                cache
+                    .as_ref()
+                    .and_then(|c| c.load::<T>(&self.identity(cell)))
+            };
+            match hit {
+                Some(v) => {
+                    results[cell.index] = Some(v);
+                    records[cell.index].cached = true;
+                    progress.tick(true);
+                }
+                None => pending.push(cell),
+            }
+        }
+        let cache_hits = n - pending.len();
+
+        // Phase 2: compute the misses on the worker pool.
+        if !pending.is_empty() {
+            let depth = if opts.queue_depth > 0 {
+                opts.queue_depth
+            } else {
+                workers * 2
+            };
+            let queue: BoundedQueue<&Cell> = BoundedQueue::new(depth);
+            type Done<T> = (usize, Result<(T, f64), String>);
+            let (tx, rx) = mpsc::channel::<Done<T>>();
+            let mut first_panic: Option<(usize, String)> = None;
+            thread::scope(|s| {
+                for _ in 0..workers.min(pending.len()) {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    let f = &f;
+                    s.spawn(move || {
+                        while let Some(cell) = queue.pop() {
+                            let t0 = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| f(cell)));
+                            let msg = match outcome {
+                                Ok(v) => Ok((v, t0.elapsed().as_secs_f64() * 1e3)),
+                                Err(payload) => Err(panic_message(&payload)),
+                            };
+                            if tx.send((cell.index, msg)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                // The bounded queue applies backpressure here; workers
+                // drain it while we feed, so this cannot deadlock.
+                for cell in &pending {
+                    queue.push(*cell);
+                }
+                queue.close();
+                for _ in 0..pending.len() {
+                    let (idx, msg) = rx.recv().expect("worker pool hung up early");
+                    match msg {
+                        Ok((v, wall_ms)) => {
+                            if let Some(c) = &cache {
+                                // A failed store only costs a future miss.
+                                let _ = c.store(&self.identity(&self.cells[idx]), &v);
+                            }
+                            records[idx].wall_ms = wall_ms;
+                            results[idx] = Some(v);
+                            progress.tick(false);
+                        }
+                        Err(p) => {
+                            if first_panic.is_none() {
+                                first_panic = Some((idx, p));
+                            }
+                        }
+                    }
+                }
+            });
+            if let Some((idx, p)) = first_panic {
+                panic!(
+                    "campaign '{}' cell '{}' panicked: {p}",
+                    self.experiment, self.cells[idx].label
+                );
+            }
+        }
+        progress.finish();
+
+        let wall_secs = started.elapsed().as_secs_f64();
+        let manifest = RunManifest {
+            experiment: self.experiment.clone(),
+            version: self.version.clone(),
+            workers,
+            total_cells: n,
+            cache_hits,
+            cache_misses: n - cache_hits,
+            wall_secs,
+            cells_per_sec: n as f64 / wall_secs.max(1e-9),
+            cells: records,
+        };
+        RunOutcome {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("all cells resolved"))
+                .collect(),
+            manifest,
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_campaign(n: u64) -> Campaign {
+        let mut c = Campaign::new("unit", "v1");
+        for seed in 0..n {
+            c.cell(format!("cell-{seed}"), format!("seed={seed}"), seed);
+        }
+        c
+    }
+
+    #[test]
+    fn results_arrive_in_cell_order() {
+        let c = demo_campaign(32);
+        let out = c.run(&RunnerOpts::default().with_workers(8), |cell| {
+            // Uneven cell cost to scramble completion order.
+            let spin = (cell.seed % 7) * 200;
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i * i);
+            }
+            cell.seed as f64 + (acc % 1) as f64
+        });
+        let expect: Vec<f64> = (0..32).map(|s| s as f64).collect();
+        assert_eq!(out.results, expect);
+        assert_eq!(out.manifest.total_cells, 32);
+        assert_eq!(out.manifest.cache_hits, 0);
+        assert_eq!(out.manifest.workers, 8);
+    }
+
+    #[test]
+    fn empty_campaign_is_fine() {
+        let c = Campaign::new("unit", "v1");
+        assert!(c.is_empty());
+        let out = c.run(&RunnerOpts::serial(), |_| 0u64);
+        assert!(out.results.is_empty());
+        assert_eq!(out.manifest.total_cells, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 'cell-3' panicked")]
+    fn cell_panics_surface_with_label() {
+        let c = demo_campaign(6);
+        let _ = c.run(&RunnerOpts::default().with_workers(3), |cell| {
+            if cell.seed == 3 {
+                panic!("boom");
+            }
+            cell.seed
+        });
+    }
+
+    #[test]
+    fn env_overrides_parse() {
+        // Only exercises the parsing surface that does not touch global
+        // env state set by other tests.
+        let opts = RunnerOpts::serial();
+        assert_eq!(opts.resolved_workers(), 1);
+        let auto = RunnerOpts::default();
+        assert!(auto.resolved_workers() >= 1);
+    }
+}

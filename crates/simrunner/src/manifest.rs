@@ -1,0 +1,126 @@
+//! Run manifests: the machine-readable record of one campaign execution.
+//!
+//! A manifest is written next to the figure's `results/*.txt` artifact
+//! (e.g. `results/fig11.manifest.json`) and answers "how was this result
+//! produced, how long did it take, and how much came from cache" without
+//! re-running anything.
+
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+/// Per-cell execution record.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellRecord {
+    /// Position in campaign order.
+    pub index: usize,
+    /// Human-readable cell label.
+    pub label: String,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Content-address (cache key) as 16 hex digits.
+    pub key: String,
+    /// Whether the result came from cache.
+    pub cached: bool,
+    /// Wall time to compute the cell, in milliseconds (0 for hits).
+    pub wall_ms: f64,
+}
+
+/// The record of one [`Campaign::run`](crate::Campaign::run).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunManifest {
+    /// Experiment id.
+    pub experiment: String,
+    /// Version tag in effect.
+    pub version: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total cells in the campaign.
+    pub total_cells: usize,
+    /// Cells served from cache.
+    pub cache_hits: usize,
+    /// Cells recomputed.
+    pub cache_misses: usize,
+    /// Wall time of the whole run, seconds.
+    pub wall_secs: f64,
+    /// Throughput over the whole run (total cells / wall time).
+    pub cells_per_sec: f64,
+    /// Per-cell records, in campaign order.
+    pub cells: Vec<CellRecord>,
+}
+
+impl RunManifest {
+    /// Render as a JSON string (single line, trailing newline).
+    pub fn to_json_string(&self) -> String {
+        let mut s = serde::to_string(self);
+        s.push('\n');
+        s
+    }
+
+    /// Write the manifest to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json_string())
+    }
+
+    /// Fraction of cells served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_cells == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.total_cells as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            experiment: "exp".into(),
+            version: "v1".into(),
+            workers: 4,
+            total_cells: 10,
+            cache_hits: 9,
+            cache_misses: 1,
+            wall_secs: 2.0,
+            cells_per_sec: 5.0,
+            cells: vec![CellRecord {
+                index: 0,
+                label: "c0".into(),
+                seed: 1,
+                key: "00112233aabbccdd".into(),
+                cached: true,
+                wall_ms: 0.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_and_reports_hit_rate() {
+        let m = sample();
+        assert!((m.hit_rate() - 0.9).abs() < 1e-12);
+        let json = m.to_json_string();
+        assert!(json.contains("\"experiment\":\"exp\""));
+        assert!(json.contains("\"cache_hits\":9"));
+        assert!(json.ends_with('\n'));
+        // Must parse back as JSON.
+        assert!(serde::Json::parse(json.trim()).is_some());
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("simrunner-manifest-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("m.json");
+        sample().write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"total_cells\":10"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

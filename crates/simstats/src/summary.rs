@@ -42,6 +42,18 @@ impl Summary {
         })
     }
 
+    /// Summarize `(index, value)` pairs that may arrive out of order —
+    /// the shape a parallel campaign produces. Pairs are sorted by index
+    /// before aggregation, so the result (including every floating-point
+    /// rounding step of the mean/variance sums) is identical to
+    /// collecting the samples serially in index order, regardless of the
+    /// order the pairs were pushed in.
+    pub fn of_indexed(mut pairs: Vec<(usize, f64)>) -> Option<Summary> {
+        pairs.sort_by_key(|&(i, _)| i);
+        let xs: Vec<f64> = pairs.into_iter().map(|(_, v)| v).collect();
+        Summary::of(&xs)
+    }
+
     /// Half-width of the ~95% confidence interval for the mean
     /// (normal approximation, 1.96·σ/√n).
     pub fn ci95_half_width(&self) -> f64 {
@@ -98,6 +110,22 @@ mod tests {
         let s = Summary::of(&[7.0]).unwrap();
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn of_indexed_is_order_insensitive() {
+        // Values whose sum depends on accumulation order in the last ulp.
+        let vals = [1e16, 3.0, -1e16, 7.0, 0.1, 1e-9];
+        let forward: Vec<(usize, f64)> = vals.iter().copied().enumerate().collect();
+        let mut scrambled = forward.clone();
+        scrambled.rotate_left(3);
+        scrambled.swap(0, 2);
+        let a = Summary::of_indexed(forward).unwrap();
+        let b = Summary::of_indexed(scrambled).unwrap();
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+        assert_eq!(a, Summary::of(&vals).unwrap());
+        assert!(Summary::of_indexed(Vec::new()).is_none());
     }
 
     #[test]

@@ -272,7 +272,7 @@ mod literal_tests {
     #[test]
     fn literal_algorithm_diverges_from_main_text() {
         let cfg = SussConfig::default(); // k_max = 1
-        // Fast path: main text says G = 4 (Eq. 6 satisfied).
+                                         // Fast path: main text says G = 4 (Eq. 6 satisfied).
         let fast = GrowthInputs {
             ack_train: ms(10),
             min_rtt: ms(100),

@@ -57,7 +57,9 @@ pub mod schedule;
 pub mod suss;
 
 pub use config::SussConfig;
-pub use growth::{condition1, condition2, growth_factor, growth_factor_algorithm1_literal, GrowthInputs};
+pub use growth::{
+    condition1, condition2, growth_factor, growth_factor_algorithm1_literal, GrowthInputs,
+};
 pub use rounds::{AckObservation, Nanos, RoundSnapshot, RoundTracker};
 pub use schedule::{estimate_ack_train, plan_pacing, PacingPlan};
 pub use suss::{AckEvent, Suss, SussOutput};

@@ -281,7 +281,7 @@ mod tests {
         t.on_ack(100, 10_000, 20_000);
         t.mark_pacing_started(30_000);
         t.on_ack(200, 20_001, 40_000); // round 3; prev blue_end = 30_000
-        // Stretch ACK jumps from 20_001 straight past the blue boundary.
+                                       // Stretch ACK jumps from 20_001 straight past the blue boundary.
         let obs = t.on_ack(210, 32_000, 40_000);
         assert!(obs.blue_train_complete && obs.is_blue);
         // Reported exactly once.

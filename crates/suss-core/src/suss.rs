@@ -77,6 +77,12 @@ pub struct Suss {
     mo_rtt: Option<Duration>,
     /// Blue RTT samples seen this round.
     blue_samples: u32,
+    /// Rounds completed since a round last carried red (paced) data. A
+    /// pacing period disturbs the ACK arrival pattern for *two* rounds:
+    /// the round whose ACKs cover the red data itself, and the echo round
+    /// after it (its data was sent ACK-clocked on the spread red ACKs, so
+    /// its ACKs arrive spread too). Saturates at 2 = clean.
+    rounds_since_red: u64,
     /// Arrival time of the previous ACK (for ACK-train continuity).
     last_ack_at: Option<Nanos>,
     /// cwnd at the start of the current round (`cwnd_{i-1}`).
@@ -110,6 +116,7 @@ impl Suss {
             rounds_since_min_rtt: 0,
             mo_rtt: None,
             blue_samples: 0,
+            rounds_since_red: 2,
             last_ack_at: None,
             cwnd_base: iw_bytes,
             measured_this_round: false,
@@ -175,7 +182,7 @@ impl Suss {
 
         // Lifetime minRTT filter (all samples qualify, as in Linux).
         if let Some(rtt) = ev.rtt {
-            if self.min_rtt.map_or(true, |m| rtt < m) {
+            if self.min_rtt.is_none_or(|m| rtt < m) {
                 self.min_rtt = Some(rtt);
                 self.min_rtt_updated_this_round = true;
                 self.rounds_since_min_rtt = 0;
@@ -216,6 +223,15 @@ impl Suss {
             self.rounds_since_min_rtt = self.rounds_since_min_rtt.saturating_add(1);
         }
         self.min_rtt_updated_this_round = false;
+        let prev_had_red = self
+            .tracker
+            .prev()
+            .is_some_and(|p| p.total_bytes() > p.blue_bytes());
+        self.rounds_since_red = if prev_had_red {
+            0
+        } else {
+            (self.rounds_since_red + 1).min(2)
+        };
         self.mo_rtt = None;
         self.blue_samples = 0;
         self.measured_this_round = false;
@@ -245,34 +261,25 @@ impl Suss {
         // so their elapsed time says nothing about the pipe. The train must
         // also be contiguous (inter-ACK spacing bounded) for the elapsed
         // time to measure the train rather than idle gaps.
+        //
+        // This per-ACK check runs only in *clean* rounds (two or more
+        // rounds since any red data), where it is byte-for-byte the
+        // classic HyStart train detector — so SUSS-on and SUSS-off exit at
+        // the same cwnd when no pacing is in play (paper Fig. 9). In the
+        // two rounds a pacing period disturbs, elapsed time from the round
+        // start does not measure a burst train: the ACK stream is spread
+        // across the round by the pacing itself (directly, then as an echo
+        // through ACK clocking), so the raw check would trip at ~cwnd/2
+        // with the pipe half empty. Those rounds are covered by the scaled
+        // once-per-round check at blue-train completion (see
+        // `measure_growth`), which arms the cap instead of exiting.
         let train_intact = self
             .last_ack_at
-            .map_or(false, |t| ev.now.saturating_sub(t) <= ns(self.cfg.ack_spacing));
-        if is_blue && train_intact {
+            .is_some_and(|t| ev.now.saturating_sub(t) <= ns(self.cfg.ack_spacing));
+        if is_blue && train_intact && self.rounds_since_red >= 2 {
             let elapsed = Duration::from_nanos(ev.now.saturating_sub(self.tracker.round_start()));
-            // Scale elapsed time to estimate the *full* train from the blue
-            // part (the `ratio` variable of Fig. 8).
-            let ratio = self
-                .tracker
-                .prev()
-                .map(|p| {
-                    let blue = p.blue_bytes().max(1);
-                    p.total_bytes() as f64 / blue as f64
-                })
-                .unwrap_or(1.0);
-            let scaled = elapsed.mul_f64(ratio.max(1.0));
-            let threshold = min_rtt / self.cfg.ack_train_divisor;
-            if scaled > threshold {
-                if ratio > 1.0 {
-                    // Elapsed time was scaled: define a cap and postpone the
-                    // stop until the round's committed (traditional) growth
-                    // completes (Fig. 8's flag/cap path). A round whose
-                    // scaled train already exceeds minRTT/2 cannot have
-                    // G > 2, so its committed target is exactly 2·cwnd_base.
-                    self.cap = Some(2 * self.cwnd_base.max(1));
-                } else {
-                    out.exit_slow_start = true;
-                }
+            if elapsed > min_rtt / self.cfg.ack_train_divisor {
+                out.exit_slow_start = true;
             }
         }
 
@@ -298,6 +305,23 @@ impl Suss {
 
         let dt_bat = Duration::from_nanos(ev.now.saturating_sub(self.tracker.round_start()));
         let dt_at = estimate_ack_train(prev.total_bytes(), prev.blue_bytes(), dt_bat);
+
+        // Scaled ACK-train exit check (Fig. 8's ratio path), evaluated once
+        // per round on the completed blue train: if the estimated *full*
+        // train already exceeds minRTT/2, the pipe will be full within this
+        // round's committed growth. Arm the cap and postpone the stop until
+        // that growth completes (a round whose scaled train exceeds
+        // minRTT/2 cannot have G > 2, so the committed target is exactly
+        // 2·cwnd_base). This covers the paced round and its echo round; a
+        // clean round is handled per-ACK in `modified_hystart`,
+        // classic-style.
+        if self.cap.is_none()
+            && self.rounds_since_red < 2
+            && dt_at > min_rtt / self.cfg.ack_train_divisor
+        {
+            self.cap = Some(2 * self.cwnd_base.max(1));
+        }
+
         let g = growth_factor(
             &self.cfg,
             &GrowthInputs {
@@ -378,7 +402,7 @@ mod tests {
                     snd_nxt: self.snd_nxt,
                 });
                 self.cwnd += MSS; // slow start: cwnd += newly acked
-                // Clocked sending: 2x the acked data.
+                                  // Clocked sending: 2x the acked data.
                 self.snd_nxt += 2 * MSS;
                 if let Some(p) = out.start_pacing {
                     plan = Some(p);
@@ -521,7 +545,10 @@ mod tests {
         assert!(!exited);
         let plan3 = plan3.expect("round 3 accelerates again on a clean path");
         assert_eq!(plan3.growth_factor, 4);
-        assert!(plan3.cwnd_base >= plan.cwnd_target, "round 3 builds on 4*iw");
+        assert!(
+            plan3.cwnd_base >= plan.cwnd_target,
+            "round 3 builds on 4*iw"
+        );
     }
 
     #[test]

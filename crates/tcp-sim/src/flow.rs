@@ -39,11 +39,15 @@ pub fn install_flow(
 
 /// Wire each endpoint's egress half-link (sender→network, receiver→network).
 pub fn wire_flow(sim: &mut Sim, ends: FlowEnds, sender_egress: LinkId, receiver_egress: LinkId) {
-    sim.agent_mut::<SenderEndpoint>(ends.sender).set_egress(sender_egress);
-    sim.agent_mut::<ReceiverEndpoint>(ends.receiver).set_egress(receiver_egress);
+    sim.agent_mut::<SenderEndpoint>(ends.sender)
+        .set_egress(sender_egress);
+    sim.agent_mut::<ReceiverEndpoint>(ends.receiver)
+        .set_egress(receiver_egress);
 }
 
 /// Whether the flow has completed (receiver has the full byte stream).
 pub fn flow_complete(sim: &Sim, ends: FlowEnds) -> bool {
-    sim.agent::<ReceiverEndpoint>(ends.receiver).completed_at().is_some()
+    sim.agent::<ReceiverEndpoint>(ends.receiver)
+        .completed_at()
+        .is_some()
 }

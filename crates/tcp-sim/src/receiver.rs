@@ -127,7 +127,10 @@ impl ReceiverEndpoint {
         let cum = self.received.contiguous_end(0);
         // Flow control: in-order data is consumed by the application
         // immediately, so only out-of-order bytes occupy the buffer.
-        let held = self.received.total_bytes().saturating_sub(cum.min(self.received.total_bytes()));
+        let held = self
+            .received
+            .total_bytes()
+            .saturating_sub(cum.min(self.received.total_bytes()));
         let rwnd = self.policy.recv_buffer.saturating_sub(held);
         let ack = AckSeg {
             flow: self.flow,

@@ -51,7 +51,7 @@ impl RttEstimator {
             }
             Some(srtt) => {
                 // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
-                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                let err = srtt.abs_diff(rtt);
                 self.rttvar = self.rttvar.mul_f64(0.75) + err.mul_f64(0.25);
                 // SRTT = 7/8 SRTT + 1/8 R
                 self.srtt = Some(srtt.mul_f64(0.875) + rtt.mul_f64(0.125));

@@ -285,8 +285,7 @@ impl SenderEndpoint {
                         self.app_limited = true;
                         break;
                     }
-                    let len =
-                        u64::from(self.cfg.mss).min(self.cfg.flow_bytes - self.snd_nxt);
+                    let len = u64::from(self.cfg.mss).min(self.cfg.flow_bytes - self.snd_nxt);
                     (ByteRange::new(self.snd_nxt, self.snd_nxt + len), false)
                 }
             };
@@ -445,13 +444,10 @@ impl SenderEndpoint {
         }
 
         // --- Loss detection -------------------------------------------------
-        let in_recovery = self
-            .recovery_point
-            .is_some_and(|p| self.snd_una < p);
+        let in_recovery = self.recovery_point.is_some_and(|p| self.snd_una < p);
         if !in_recovery {
             self.recovery_point = None;
-            let sack_thresh =
-                u64::from(self.cfg.dupack_threshold) * u64::from(self.cfg.mss);
+            let sack_thresh = u64::from(self.cfg.dupack_threshold) * u64::from(self.cfg.mss);
             let dupack_trip = self.dup_acks >= self.cfg.dupack_threshold;
             let sack_trip = self
                 .sacked
@@ -479,8 +475,7 @@ impl SenderEndpoint {
                 // lost; marking on every partial ACK would spuriously
                 // retransmit data that is merely queued, snowballing under
                 // sustained congestion.
-                let hole_end =
-                    (self.snd_una + u64::from(self.cfg.mss)).min(self.snd_nxt);
+                let hole_end = (self.snd_una + u64::from(self.cfg.mss)).min(self.snd_nxt);
                 if hole_end > self.snd_una {
                     self.mark_lost(ByteRange::new(self.snd_una, hole_end));
                 }
@@ -524,8 +519,12 @@ impl SenderEndpoint {
             app_limited: self.app_limited,
         });
         if was_slow_start && !self.cc.in_slow_start() {
-            self.trace
-                .event(now, TraceEvent::SlowStartExit { cwnd: self.cc.cwnd() });
+            self.trace.event(
+                now,
+                TraceEvent::SlowStartExit {
+                    cwnd: self.cc.cwnd(),
+                },
+            );
         }
         self.drain_cc_events(now);
 
@@ -628,26 +627,20 @@ impl Agent for SenderEndpoint {
                 self.try_send(ctx);
                 self.sync_cc_timer(ctx);
             }
-            TK_RTO => {
-                if gen == self.rto_gen && self.rto_armed {
-                    self.rto_armed = false;
-                    self.handle_rto(ctx);
-                }
+            TK_RTO if gen == self.rto_gen && self.rto_armed => {
+                self.rto_armed = false;
+                self.handle_rto(ctx);
             }
-            TK_PACE => {
-                if gen == self.pace_gen && !self.done {
-                    self.try_send(ctx);
-                }
+            TK_PACE if gen == self.pace_gen && !self.done => {
+                self.try_send(ctx);
             }
-            TK_CC => {
-                if gen == self.cc_gen && !self.done {
-                    self.cc_deadline = None;
-                    self.cc.on_timer(ctx.now().as_nanos());
-                    self.drain_cc_events(ctx.now());
-                    self.sync_pacing_rate(ctx.now());
-                    self.try_send(ctx);
-                    self.sync_cc_timer(ctx);
-                }
+            TK_CC if gen == self.cc_gen && !self.done => {
+                self.cc_deadline = None;
+                self.cc.on_timer(ctx.now().as_nanos());
+                self.drain_cc_events(ctx.now());
+                self.sync_pacing_rate(ctx.now());
+                self.try_send(ctx);
+                self.sync_cc_timer(ctx);
             }
             _ => {}
         }

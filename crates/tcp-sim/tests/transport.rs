@@ -49,7 +49,10 @@ fn bulk_transfer_completes_and_fct_is_sane() {
     let fct = snd.stats.fct().unwrap();
     assert!(fct > Duration::from_millis(840), "fct {fct:?}");
     assert!(fct < Duration::from_secs(3), "fct {fct:?}");
-    assert_eq!(snd.stats.segs_retransmitted, 0, "clean path: no retransmits");
+    assert_eq!(
+        snd.stats.segs_retransmitted, 0,
+        "clean path: no retransmits"
+    );
     let rcv = sim.agent::<ReceiverEndpoint>(ends.receiver);
     assert_eq!(rcv.in_order_bytes(), 1_000_000);
     assert!(rcv.completed_at().is_some());
@@ -88,8 +91,7 @@ fn slow_start_doubles_cwnd_per_round() {
 
 #[test]
 fn random_loss_is_recovered_via_fast_retransmit() {
-    let spec = LinkSpec::clean(Bandwidth::from_mbps(20), Duration::from_millis(10))
-        .with_loss(0.02);
+    let spec = LinkSpec::clean(Bandwidth::from_mbps(20), Duration::from_millis(10)).with_loss(0.02);
     let (mut sim, ends) = direct_link_flow(
         3,
         2_000_000,
@@ -107,13 +109,16 @@ fn random_loss_is_recovered_via_fast_retransmit() {
         "losses should mostly be repaired by fast retransmit"
     );
     let rcv = sim.agent::<ReceiverEndpoint>(ends.receiver);
-    assert_eq!(rcv.in_order_bytes(), 2_000_000, "stream must be complete and exact");
+    assert_eq!(
+        rcv.in_order_bytes(),
+        2_000_000,
+        "stream must be complete and exact"
+    );
 }
 
 #[test]
 fn heavy_loss_still_completes_with_rtos() {
-    let spec = LinkSpec::clean(Bandwidth::from_mbps(10), Duration::from_millis(5))
-        .with_loss(0.15);
+    let spec = LinkSpec::clean(Bandwidth::from_mbps(10), Duration::from_millis(5)).with_loss(0.15);
     let (mut sim, ends) = direct_link_flow(
         4,
         300_000,
@@ -147,7 +152,10 @@ fn buffer_overflow_losses_are_repaired() {
     sim.run_until(SimTime::from_secs(120));
     let snd = sim.agent::<SenderEndpoint>(ends.sender);
     assert!(snd.is_done());
-    assert!(snd.stats.segs_retransmitted > 0, "overflow must cause retransmits");
+    assert!(
+        snd.stats.segs_retransmitted > 0,
+        "overflow must cause retransmits"
+    );
     let rcv = sim.agent::<ReceiverEndpoint>(ends.receiver);
     assert_eq!(rcv.in_order_bytes(), 1_000_000);
 }
@@ -215,11 +223,18 @@ fn trace_records_lifecycle_events() {
     );
     sim.run_until(SimTime::from_secs(10));
     let tr = &sim.agent::<SenderEndpoint>(ends.sender).trace;
-    assert!(tr.find_event(|e| matches!(e, TraceEvent::FlowStart)).is_some());
-    assert!(tr.find_event(|e| matches!(e, TraceEvent::FlowComplete)).is_some());
+    assert!(tr
+        .find_event(|e| matches!(e, TraceEvent::FlowStart))
+        .is_some());
+    assert!(tr
+        .find_event(|e| matches!(e, TraceEvent::FlowComplete))
+        .is_some());
     assert!(!tr.samples.is_empty());
     // Delivered bytes are monotone.
-    assert!(tr.samples.windows(2).all(|w| w[0].delivered <= w[1].delivered));
+    assert!(tr
+        .samples
+        .windows(2)
+        .all(|w| w[0].delivered <= w[1].delivered));
 }
 
 #[test]

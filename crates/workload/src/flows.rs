@@ -16,7 +16,7 @@ pub fn fct_sweep_sizes() -> Vec<u64> {
         128 * KB,
         256 * KB,
         512 * KB,
-        1 * MB,
+        MB,
         2 * MB,
         3 * MB,
         4 * MB,

@@ -104,7 +104,12 @@ pub enum LastHop {
 
 impl LastHop {
     /// All four technologies, in the paper's column order.
-    pub const ALL: [LastHop; 4] = [LastHop::FiveG, LastHop::Wired, LastHop::WiFi, LastHop::FourG];
+    pub const ALL: [LastHop; 4] = [
+        LastHop::FiveG,
+        LastHop::Wired,
+        LastHop::WiFi,
+        LastHop::FourG,
+    ];
 
     /// Short label for tables.
     pub fn label(self) -> &'static str {
@@ -136,7 +141,12 @@ impl LastHop {
                 1.0,
             ),
             // Wired: fast and clean.
-            LastHop::Wired => (Bandwidth::from_mbps(300), Duration::from_micros(100), 0.0, 1.0),
+            LastHop::Wired => (
+                Bandwidth::from_mbps(300),
+                Duration::from_micros(100),
+                0.0,
+                1.0,
+            ),
             // WiFi: moderate rate, bursty contention jitter.
             LastHop::WiFi => (
                 Bandwidth::from_mbps(80),
@@ -145,8 +155,12 @@ impl LastHop {
                 1.5,
             ),
             // 4G: slower, high correlated jitter, famously deep buffers.
+            // 45 Mbps matches contemporary LTE-A downlink medians in the
+            // paper's measurement region (NZ); at 30 Mbps a multi-MB
+            // transfer is serialization-dominated and the slow-start phase
+            // the paper measures barely registers in the FCT.
             LastHop::FourG => (
-                Bandwidth::from_mbps(30),
+                Bandwidth::from_mbps(45),
                 Duration::from_micros(4000),
                 0.6,
                 3.0,
@@ -205,6 +219,26 @@ impl PathScenario {
     /// Human-readable scenario id, e.g. `google-tokyo/4G`.
     pub fn id(&self) -> String {
         format!("{}/{}", self.site.label(), self.last_hop.label())
+    }
+
+    /// Canonical parameter string for cache identities: every physics
+    /// field that influences a simulation on this path, in a stable
+    /// order and encoding. Field *values* are encoded (not just the
+    /// site/hop names), so a scenario with an overridden field — e.g.
+    /// the loss experiment's shallow-buffer variant — hashes differently
+    /// from the stock scenario, and recalibrating a technology's
+    /// parameters invalidates exactly that technology's cached cells.
+    pub fn canonical_params(&self) -> String {
+        format!(
+            "site={} hop={} bw_bps={} ow_ns={} jstd_ns={} jcorr={} buf_bdp={}",
+            self.site.label(),
+            self.last_hop.label(),
+            self.bottleneck.as_bps(),
+            self.one_way.as_nanos(),
+            self.jitter_std.as_nanos(),
+            self.jitter_corr,
+            self.buffer_bdp,
+        )
     }
 
     /// Path round-trip propagation time (no queueing).
@@ -296,5 +330,21 @@ mod tests {
     fn id_format() {
         let s = PathScenario::new(ServerSite::OracleLondon, LastHop::FiveG);
         assert_eq!(s.id(), "oracle-london/5G");
+    }
+
+    #[test]
+    fn canonical_params_encode_field_values() {
+        let s = PathScenario::new(ServerSite::OracleLondon, LastHop::FiveG);
+        let base = s.canonical_params();
+        assert!(base.contains("site=oracle-london"));
+        assert!(base.contains("bw_bps=250000000"));
+        // An overridden field must change the encoding even though the
+        // site/hop names are unchanged (the loss experiment relies on
+        // this for correct cache identity).
+        let mut shallow = s;
+        shallow.buffer_bdp = 0.5;
+        assert_ne!(base, shallow.canonical_params());
+        // Stable across calls.
+        assert_eq!(base, s.canonical_params());
     }
 }

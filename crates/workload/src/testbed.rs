@@ -42,14 +42,11 @@ impl DumbbellConfig {
     /// minRTTs).
     pub fn stability(large_rtt: Duration, buffer_bdp: f64, smalls: usize) -> Self {
         let bottleneck_delay = Duration::from_millis(2);
-        let mut edge_delay =
-            vec![(large_rtt / 2).saturating_sub(bottleneck_delay)];
+        let mut edge_delay = vec![(large_rtt / 2).saturating_sub(bottleneck_delay)];
         for i in 0..smalls {
             // Small-flow minRTTs spread over 20..=130 ms.
             let rtt_ms = 20 + (i as u64 * 10) % 120;
-            edge_delay.push(
-                (Duration::from_millis(rtt_ms) / 2).saturating_sub(bottleneck_delay),
-            );
+            edge_delay.push((Duration::from_millis(rtt_ms) / 2).saturating_sub(bottleneck_delay));
         }
         DumbbellConfig {
             bottleneck: Bandwidth::from_mbps(50),
@@ -135,7 +132,10 @@ mod tests {
         let spec = c.to_spec();
         assert_eq!(spec.pairs(), 3);
         assert_eq!(spec.bottleneck_r2l.queue_bytes, c.buffer_bytes());
-        assert_eq!(spec.bottleneck_r2l.rate.base_rate(), Bandwidth::from_mbps(50));
+        assert_eq!(
+            spec.bottleneck_r2l.rate.base_rate(),
+            Bandwidth::from_mbps(50)
+        );
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run --release --example competing_flows`
 
+use std::time::Duration;
 use suss_repro::exp::dumbbell::{run_dumbbell, DumbbellFlow};
 use suss_repro::prelude::*;
 use suss_repro::stats::jain_index;
-use std::time::Duration;
 
 fn main() {
     let min_rtt = Duration::from_millis(100);
@@ -35,9 +35,11 @@ fn main() {
         let t0 = SimTime::from_secs(11);
         let goodputs: Vec<f64> = (0..4)
             .map(|i| {
-                out.flows[i]
-                    .delivered_series()
-                    .windowed_rate(t0 + Duration::from_secs(3), SimTime::from_secs(3), 0.0)
+                out.flows[i].delivered_series().windowed_rate(
+                    t0 + Duration::from_secs(3),
+                    SimTime::from_secs(3),
+                    0.0,
+                )
             })
             .collect();
         let jain = jain_index(&goodputs).unwrap_or(f64::NAN);

@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release --example quic_controller`
 
+use std::time::Duration;
 use suss_repro::cc::{CubicSuss, QuicAdapter, QuicController, QuicRtt};
 use suss_repro::prelude::*;
-use std::time::Duration;
 
 const RTT: Duration = Duration::from_millis(120);
 

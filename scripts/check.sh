@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: build, tests, lints, formatting.
+# Usage: scripts/check.sh (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "All checks passed."

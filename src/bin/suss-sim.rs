@@ -3,8 +3,12 @@
 //! ```text
 //! suss-sim [--site <name>] [--hop 5g|wired|wifi|4g] [--size <bytes|K|M>]
 //!          [--cc cubic|suss|bbr|bbr2|bbr-suss|reno|hspp] [--seed N]
-//!          [--iters N] [--trace]
+//!          [--iters N] [--workers N] [--trace]
 //! ```
+//!
+//! Multi-iteration runs (`--iters` > 1) execute as a simrunner campaign:
+//! the seeds shard across `--workers` threads (0 = all cores) with
+//! identical results at any worker count.
 //!
 //! Examples:
 //!
@@ -68,7 +72,7 @@ fn usage() -> ! {
         "usage: suss-sim [--site us-east|tokyo|singapore|us-west|sydney|london|nz]\n\
          \x20               [--hop 5g|wired|wifi|4g] [--size <bytes|K|M>]\n\
          \x20               [--cc cubic|suss|bbr|bbr2|bbr-suss|reno|hspp]\n\
-         \x20               [--seed N] [--iters N] [--trace]"
+         \x20               [--seed N] [--iters N] [--workers N] [--trace]"
     );
     std::process::exit(2);
 }
@@ -80,6 +84,7 @@ fn main() {
     let mut cc = CcKind::CubicSuss;
     let mut seed = 1u64;
     let mut iters = 1u64;
+    let mut workers = 0usize;
     let mut trace = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -111,6 +116,10 @@ fn main() {
                 iters = need(i).parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
+            "--workers" => {
+                workers = need(i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
             "--trace" => trace = true,
             _ => usage(),
         }
@@ -131,28 +140,33 @@ fn main() {
     if iters == 1 {
         let out = run_flow(&path, cc, size, seed, trace);
         println!("fct            : {:.3} s", out.fct_secs());
-        println!("goodput        : {:.2} Mbps", size as f64 * 8.0 / out.fct_secs() / 1e6);
+        println!(
+            "goodput        : {:.2} Mbps",
+            size as f64 * 8.0 / out.fct_secs() / 1e6
+        );
         println!("segments sent  : {}", out.segs_sent);
-        println!("retransmitted  : {} ({:.2}%)", out.segs_retransmitted, out.retransmit_rate * 100.0);
+        println!(
+            "retransmitted  : {} ({:.2}%)",
+            out.segs_retransmitted,
+            out.retransmit_rate * 100.0
+        );
         println!("bottleneck drops: {}", out.bottleneck_drops);
         println!("suss pacings   : {}", out.suss_pacings);
         if trace {
-            if let Some((t, _)) = out
-                .trace
-                .events
-                .iter()
-                .find(|(_, e)| matches!(e, suss_repro::transport::TraceEvent::SlowStartExit { .. }))
+            if let Some((t, _)) =
+                out.trace.events.iter().find(|(_, e)| {
+                    matches!(e, suss_repro::transport::TraceEvent::SlowStartExit { .. })
+                })
             {
                 println!("slow-start exit: t = {:.3} s", t.as_secs_f64());
             }
             println!("trace samples  : {}", out.trace.samples.len());
         }
     } else {
-        let fcts: Vec<f64> = (0..iters)
-            .map(|k| run_flow(&path, cc, size, seed + k, false).fct_secs())
-            .filter(|f| f.is_finite())
-            .collect();
-        let s = Summary::of(&fcts).expect("no iteration completed");
+        let mut grid = FlowGrid::new("suss-sim");
+        let batch = grid.batch(&path, cc, size, iters, seed);
+        let run = grid.run(&RunnerOpts::default().with_workers(workers));
+        let s: Summary = run.fct(batch);
         println!(
             "fct over {} iters: mean {:.3} s  σ {:.3}  min {:.3}  max {:.3}  (95% CI ±{:.3})",
             s.n,

@@ -38,6 +38,7 @@
 pub use cc_algos as cc;
 pub use experiments as exp;
 pub use netsim as sim;
+pub use simrunner as runner;
 pub use simstats as stats;
 pub use suss_core as suss;
 pub use tcp_sim as transport;
@@ -46,8 +47,9 @@ pub use workload as scenarios;
 /// The most common imports for experiments.
 pub mod prelude {
     pub use cc_algos::{make_controller, CcKind};
-    pub use experiments::{mean_fct, run_flow, FlowOutcome, IW, MSS};
+    pub use experiments::{mean_fct, run_flow, FlowGrid, FlowOutcome, IW, MSS};
     pub use netsim::{Bandwidth, LinkSpec, Sim, SimTime};
+    pub use simrunner::RunnerOpts;
     pub use suss_core::{Suss, SussConfig};
     pub use tcp_sim::{AckPolicy, SenderConfig};
     pub use workload::{DumbbellConfig, LastHop, PathScenario, ServerSite, KB, MB};

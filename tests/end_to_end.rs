@@ -1,10 +1,10 @@
 //! Workspace-level integration tests: the paper's headline results, driven
 //! through the public facade (`suss_repro::prelude`), across crates.
 
+use std::time::Duration;
 use suss_repro::exp::dumbbell::{run_dumbbell, DumbbellFlow};
 use suss_repro::prelude::*;
 use suss_repro::stats::improvement;
-use std::time::Duration;
 
 /// The paper's abstract: ">20% improvement in flow completion time in all
 /// experiments with flow sizes less than 5 MB and RTT larger than 50 ms."
@@ -26,8 +26,13 @@ fn headline_claim_small_flows_large_rtt() {
             path.id()
         );
         for size in [1 * MB, 2 * MB, 4 * MB] {
-            let off = mean_fct(&path, CcKind::Cubic, size, 3, 1);
-            let on = mean_fct(&path, CcKind::CubicSuss, size, 3, 1);
+            // The paper's claim is about means over many transfers, and
+            // individual seeds legitimately straddle the G-decision
+            // boundary (a marginal round measures G=2, the next round's
+            // unscaled train then exits at ~BDP/2, classic-HyStart style).
+            // Average over enough seeds for the mean to be meaningful.
+            let off = mean_fct(&path, CcKind::Cubic, size, 8, 1);
+            let on = mean_fct(&path, CcKind::CubicSuss, size, 8, 1);
             let imp = improvement(off.mean, on.mean);
             assert!(
                 imp > 0.15,
