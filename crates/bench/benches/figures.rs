@@ -80,7 +80,8 @@ fn bench_fig17_18(c: &mut Criterion) {
 
 fn bench_ablations(c: &mut Criterion) {
     c.bench_function("ablation_kmax", |b| {
-        b.iter(|| experiments::ablations::kmax_sweep(&[workload::MB], &[1, 2], 1, 1))
+        let opts = simrunner::RunnerOpts::serial();
+        b.iter(|| experiments::ablations::kmax_sweep(&[workload::MB], &[1, 2], 1, 1, &opts))
     });
     c.bench_function("ablation_btlbw", |b| {
         b.iter(|| experiments::ablations::btlbw_variation(2 * workload::MB, 1))

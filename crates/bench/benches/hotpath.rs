@@ -52,7 +52,7 @@ fn bench_cc_on_ack(c: &mut Criterion) {
         CcKind::Bbr,
         CcKind::Bbr2,
     ] {
-        g.bench_function(kind.label(), |b| b.iter(|| drive_acks(kind, 2_000)));
+        g.bench_function(&kind.label(), |b| b.iter(|| drive_acks(kind, 2_000)));
     }
     g.finish();
 }

@@ -18,6 +18,7 @@ fn main() {
             20,
         )
     };
-    let t = kmax_sweep(&sizes, &[1, 2, 3], iters, 1);
+    let (t, manifest) = kmax_sweep(&sizes, &[1, 2, 3], iters, 1, &o.runner());
+    o.write_manifest("ablation_kmax", &manifest);
     o.emit("Appendix A — FCT vs k_max (clean large-BDP path)", &t);
 }

@@ -11,6 +11,19 @@ fn main() {
         Fig02Params::paper()
     };
     let r = run(&p);
+    if let Some(mut sink) = o.open_trace("fig02") {
+        // Both arms share one file; dumbbell flow ids are 1-based, the
+        // joining flow is id 5.
+        for (label, out) in [("cubic", &r.cubic), ("bbr", &r.bbr)] {
+            let flows: Vec<(u64, &experiments::FlowOutcome)> = out
+                .flows
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i as u64 + 1, f))
+                .collect();
+            BinOpts::export_run(&mut sink, Some(label), &flows);
+        }
+    }
     o.emit(
         "Fig. 2 — joining-flow goodput (CUBIC vs BBR)",
         &r.to_table(),

@@ -11,6 +11,10 @@ fn main() {
         Fig09Params::paper()
     };
     let r = run(&p);
+    if let Some(mut sink) = o.open_trace("fig09") {
+        BinOpts::export_run(&mut sink, Some("suss-on"), &[(1, &r.suss_on)]);
+        BinOpts::export_run(&mut sink, Some("suss-off"), &[(1, &r.suss_off)]);
+    }
     o.emit(
         &format!("Fig. 9 — cwnd/RTT dynamics on {}", r.scenario.id()),
         &r.to_table(),

@@ -18,7 +18,7 @@ use simrunner::{RunManifest, RunnerOpts};
 use std::path::PathBuf;
 
 /// Command-line options shared by all figure binaries.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BinOpts {
     /// Run the scaled-down parameter set.
     pub quick: bool,
@@ -32,13 +32,18 @@ pub struct BinOpts {
     pub cold: bool,
     /// Suppress the stderr progress stream.
     pub no_progress: bool,
+    /// Structured JSONL trace output, from `--trace [path]` or
+    /// `SUSS_TRACE=path`. An empty path means "trace to the binary's
+    /// default `results/<name>.trace.jsonl`" — resolve it with
+    /// [`BinOpts::trace_path`].
+    pub trace: Option<PathBuf>,
 }
 
 impl BinOpts {
     /// Parse from `std::env::args`.
     pub fn from_args() -> Self {
         let mut o = BinOpts::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = std::env::args().skip(1).peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => o.quick = true,
@@ -55,10 +60,19 @@ impl BinOpts {
                 "--no-cache" => o.no_cache = true,
                 "--cold" => o.cold = true,
                 "--no-progress" => o.no_progress = true,
+                "--trace" => {
+                    // Optional operand: `--trace out.jsonl` or bare
+                    // `--trace` for the binary's default path.
+                    let explicit = args
+                        .peek()
+                        .is_some_and(|p| !p.starts_with('-'))
+                        .then(|| args.next().unwrap());
+                    o.trace = Some(explicit.map(PathBuf::from).unwrap_or_default());
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--quick] [--csv] [--workers N] [--no-cache] \
-                         [--cold] [--no-progress]"
+                         [--cold] [--no-progress] [--trace [PATH]]"
                     );
                     std::process::exit(0);
                 }
@@ -68,7 +82,54 @@ impl BinOpts {
                 }
             }
         }
+        if o.trace.is_none() {
+            if let Ok(p) = std::env::var("SUSS_TRACE") {
+                if !p.is_empty() {
+                    o.trace = Some(PathBuf::from(p));
+                }
+            }
+        }
         o
+    }
+
+    /// The resolved JSONL trace path, if tracing was requested. `name`
+    /// supplies the default `results/<name>.trace.jsonl` for a bare
+    /// `--trace`.
+    pub fn trace_path(&self, name: &str) -> Option<PathBuf> {
+        let p = self.trace.as_ref()?;
+        if p.as_os_str().is_empty() {
+            Some(PathBuf::from("results").join(format!("{name}.trace.jsonl")))
+        } else {
+            Some(p.clone())
+        }
+    }
+
+    /// Open the JSONL trace sink for this run (creating parent
+    /// directories), or `None` when tracing is off. The chosen path is
+    /// announced on stderr. Call [`simtrace::EventSink::flush`] — or let
+    /// the process exit via the sink's buffered writer being dropped at
+    /// end of `main` — after exporting.
+    pub fn open_trace(
+        &self,
+        name: &str,
+    ) -> Option<simtrace::JsonlSink<std::io::BufWriter<std::fs::File>>> {
+        let path = self.trace_path(name)?;
+        if let Some(parent) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return None;
+            }
+        }
+        match std::fs::File::create(&path) {
+            Ok(f) => {
+                eprintln!("trace: {}", path.display());
+                Some(simtrace::JsonlSink::new(std::io::BufWriter::new(f)))
+            }
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                None
+            }
+        }
     }
 
     /// Campaign execution options for this invocation: requested worker
@@ -91,6 +152,33 @@ impl BinOpts {
         match m.write(&path) {
             Ok(()) => eprintln!("manifest: {}", path.display()),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+
+    /// Export one simulation run's flows and counters into the trace
+    /// sink under `run` label, then flush. `flows` pairs each flow id
+    /// with its outcome; all outcomes must come from the same simulation
+    /// (they share one counter snapshot — the first one's is exported).
+    pub fn export_run(
+        sink: &mut dyn simtrace::EventSink,
+        run: Option<&str>,
+        flows: &[(u64, &experiments::FlowOutcome)],
+    ) {
+        let mut t_end = 0u64;
+        for (id, out) in flows {
+            out.trace.export(*id, run, sink);
+            if let Some(s) = out.trace.samples.last() {
+                t_end = t_end.max(s.t.as_nanos());
+            }
+            if let Some((t, _)) = out.trace.events.last() {
+                t_end = t_end.max(t.as_nanos());
+            }
+        }
+        if let Some((_, first)) = flows.first() {
+            simtrace::export_counters(&first.counters, t_end, run, sink);
+        }
+        if let Err(e) = sink.flush() {
+            eprintln!("trace flush failed: {e}");
         }
     }
 

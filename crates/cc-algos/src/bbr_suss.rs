@@ -176,6 +176,10 @@ impl CongestionControl for BbrSuss {
     fn take_events(&mut self) -> Vec<CcEvent> {
         std::mem::take(&mut self.events)
     }
+
+    fn bind_metrics(&mut self, registry: &simtrace::Registry) {
+        self.suss.bind_metrics(registry);
+    }
 }
 
 #[cfg(test)]

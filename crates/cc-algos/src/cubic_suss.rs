@@ -245,6 +245,10 @@ impl CongestionControl for CubicSuss {
     fn take_events(&mut self) -> Vec<CcEvent> {
         std::mem::take(&mut self.events)
     }
+
+    fn bind_metrics(&mut self, registry: &simtrace::Registry) {
+        self.suss.bind_metrics(registry);
+    }
 }
 
 #[cfg(test)]

@@ -7,9 +7,11 @@
 //!   injected as an un-paced burst, quantifying why the clocking+pacing
 //!   combination is needed.
 
-use crate::runner::{run_flow, FlowOutcome, IW, MSS};
+use crate::campaigns::FlowGrid;
+use crate::runner::{collect_sim_telemetry, FlowOutcome, IW, MSS};
 use cc_algos::{CcKind, CubicSuss};
 use netsim::{Bandwidth, FlowId, RateSchedule, Sim, SimTime};
+use simrunner::{RunManifest, RunnerOpts};
 use simstats::{fmt_bytes, fmt_pct, improvement, TextTable};
 use suss_core::SussConfig;
 use tcp_sim::flow::{install_flow, wire_flow};
@@ -18,22 +20,39 @@ use tcp_sim::sender::{SenderConfig, SenderEndpoint};
 use workload::{LastHop, PathScenario, ServerSite};
 
 /// Appendix A: FCT vs. k_max on a clean large-BDP path.
-pub fn kmax_sweep(sizes: &[u64], kmaxes: &[u8], iters: u64, seed_base: u64) -> TextTable {
+///
+/// Runs as one [`FlowGrid`] campaign — all (size × k × seed) cells shard
+/// across the worker pool and memoize in the shared cache — and returns
+/// the rendered table together with the run's manifest.
+pub fn kmax_sweep(
+    sizes: &[u64],
+    kmaxes: &[u8],
+    iters: u64,
+    seed_base: u64,
+    opts: &RunnerOpts,
+) -> (TextTable, RunManifest) {
     let scenario = PathScenario::new(ServerSite::GoogleTokyo, LastHop::Wired);
-    let mut t = TextTable::new(vec!["size", "k=0(off)", "k=1", "k=2", "k=3", "best-improv"]);
-    for &size in sizes {
-        let mean = |kind: CcKind| {
-            let xs: Vec<f64> = (0..iters)
-                .map(|i| run_flow(&scenario, kind, size, seed_base + i, false).fct_secs())
-                .filter(|f| f.is_finite())
+    let mut grid = FlowGrid::new("ablation_kmax");
+    let batches: Vec<_> = sizes
+        .iter()
+        .map(|&size| {
+            let off = grid.batch(&scenario, CcKind::Cubic, size, iters, seed_base);
+            let ks: Vec<_> = kmaxes
+                .iter()
+                .map(|&k| grid.batch(&scenario, CcKind::CubicSussKmax(k), size, iters, seed_base))
                 .collect();
-            xs.iter().sum::<f64>() / xs.len().max(1) as f64
-        };
-        let off = mean(CcKind::Cubic);
+            (size, off, ks)
+        })
+        .collect();
+    let run = grid.run(opts);
+
+    let mut t = TextTable::new(vec!["size", "k=0(off)", "k=1", "k=2", "k=3", "best-improv"]);
+    for (size, off_b, ks) in batches {
+        let off = run.fct(off_b).mean;
         let mut cols = vec![fmt_bytes(size), format!("{off:.3}")];
         let mut best = off;
-        for &k in kmaxes {
-            let v = mean(CcKind::CubicSussKmax(k));
+        for b in ks {
+            let v = run.fct(b).mean;
             best = best.min(v);
             cols.push(format!("{v:.3}"));
         }
@@ -43,7 +62,7 @@ pub fn kmax_sweep(sizes: &[u64], kmaxes: &[u8], iters: u64, seed_base: u64) -> T
         cols.push(fmt_pct(improvement(off, best)));
         t.row(cols);
     }
-    t
+    (t, run.manifest)
 }
 
 /// Appendix B result: FCT and loss with a mid-slow-start bandwidth change.
@@ -99,6 +118,7 @@ fn run_scheduled(
         bottleneck_drops: drops,
         exit_cwnd: None,
         suss_pacings: 0,
+        counters: collect_sim_telemetry(&sim),
         trace: snd.trace.clone(),
     }
 }
@@ -245,6 +265,7 @@ pub fn burst_ablation(flow_bytes: u64, seed: u64) -> TextTable {
                 bottleneck_drops: drops,
                 exit_cwnd: None,
                 suss_pacings: 0,
+                counters: collect_sim_telemetry(&sim),
                 trace: snd.trace.clone(),
             },
             bursty,
@@ -284,8 +305,11 @@ mod tests {
 
     #[test]
     fn kmax_table_shape() {
-        let t = kmax_sweep(&[MB], &[1, 2], 2, 1);
+        let (t, manifest) = kmax_sweep(&[MB], &[1, 2], 2, 1, &RunnerOpts::serial());
         assert_eq!(t.len(), 1);
+        // 1 size × (off + 2 ks) × 2 iters.
+        assert_eq!(manifest.total_cells, 6);
+        assert!(manifest.events_total > 0, "cells must report sim events");
     }
 
     #[test]

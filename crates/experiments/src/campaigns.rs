@@ -20,7 +20,7 @@ use workload::PathScenario;
 /// simulator physics, congestion-controller behaviour, experiment logic,
 /// or the [`FlowStats`] encoding. Stale entries then miss instead of
 /// silently serving results from the old code.
-pub const CAMPAIGN_VERSION: &str = "v1";
+pub const CAMPAIGN_VERSION: &str = "v2";
 
 /// The per-flow measurements a campaign cell persists.
 ///
@@ -38,6 +38,10 @@ pub struct FlowStats {
     pub segs_retransmitted: u64,
     /// Packets dropped at the bottleneck queue (ground truth).
     pub bottleneck_drops: u64,
+    /// Simulation-wide metric snapshot at flow end (see `simtrace::names`).
+    /// Merging these across cells is commutative, so campaign-level totals
+    /// are identical at any worker count.
+    pub counters: simtrace::CounterSnapshot,
 }
 
 impl FlowStats {
@@ -48,6 +52,7 @@ impl FlowStats {
             segs_sent: o.segs_sent,
             segs_retransmitted: o.segs_retransmitted,
             bottleneck_drops: o.bottleneck_drops,
+            counters: o.counters.clone(),
         }
     }
 }
@@ -173,6 +178,17 @@ impl FlowGridRun {
     /// Panics if the batch is empty.
     pub fn retransmit_rate(&self, b: Batch) -> Summary {
         self.summary(b, |s| s.retransmit_rate).expect("empty batch")
+    }
+
+    /// Merge every cell's counter snapshot into campaign-wide totals
+    /// (counters add, gauges keep their max). Deterministic across worker
+    /// counts because cells are merged in campaign order.
+    pub fn counters_total(&self) -> simtrace::CounterSnapshot {
+        let mut total = simtrace::CounterSnapshot::default();
+        for s in &self.stats {
+            total.merge(&s.counters);
+        }
+        total
     }
 }
 

@@ -9,7 +9,7 @@ use tcp_sim::receiver::{AckPolicy, ReceiverEndpoint};
 use tcp_sim::sender::{SenderConfig, SenderEndpoint};
 use workload::DumbbellConfig;
 
-use crate::runner::{FlowOutcome, IW, MSS};
+use crate::runner::{collect_sim_telemetry, FlowOutcome, IW, MSS};
 
 /// One flow in a dumbbell experiment.
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +129,9 @@ pub fn run_dumbbell(
     let ended_at = sim.now();
 
     let drops = sim.link_queue_stats(db.bottleneck_r2l).dropped_pkts;
+    // One shared simulation: snapshot once, every flow reports the same
+    // simulation-wide counters.
+    let counters = collect_sim_telemetry(&sim);
     let outcomes = ends
         .iter()
         .map(|e| {
@@ -144,6 +147,7 @@ pub fn run_dumbbell(
                 bottleneck_drops: 0, // shared queue: reported at outcome level
                 exit_cwnd: None,
                 suss_pacings: 0,
+                counters: counters.clone(),
                 trace: snd.trace.clone(),
             }
         })

@@ -5,7 +5,7 @@
 //!   bottleneck runs AQM instead of a drop-tail buffer (the related-work
 //!   section's network-assisted world meeting the paper's end-to-end one).
 
-use crate::runner::{run_flow, FlowOutcome, IW, MSS};
+use crate::runner::{collect_sim_telemetry, run_flow, FlowOutcome, IW, MSS};
 use cc_algos::CcKind;
 use netsim::{FlowId, Qdisc, Sim, SimTime};
 use simstats::{fmt_bytes, fmt_pct, improvement, TextTable};
@@ -72,6 +72,7 @@ pub fn run_flow_codel(
         bottleneck_drops: drops,
         exit_cwnd: None,
         suss_pacings: 0,
+        counters: collect_sim_telemetry(&sim),
         trace: snd.trace.clone(),
     };
     (out, aqm_drops)
@@ -250,6 +251,7 @@ pub fn cross_traffic_sweep(
             bottleneck_drops: drops,
             exit_cwnd: None,
             suss_pacings: 0,
+            counters: collect_sim_telemetry(&sim),
             trace: snd.trace.clone(),
         }
     };
@@ -365,6 +367,7 @@ pub fn parking_lot_probe(hops: usize, flow_bytes: u64, seed: u64) -> TextTable {
                 bottleneck_drops: drops.iter().sum(),
                 exit_cwnd: None,
                 suss_pacings: 0,
+                counters: collect_sim_telemetry(&sim),
                 trace: snd.trace.clone(),
             },
             drops,

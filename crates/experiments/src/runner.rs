@@ -37,6 +37,9 @@ pub struct FlowOutcome {
     pub exit_cwnd: Option<u64>,
     /// Number of SUSS pacing periods.
     pub suss_pacings: usize,
+    /// Simulation-wide metric snapshot at flow end (retransmits, RTOs,
+    /// HyStart exits, queue drops, …) — see `simtrace::names`.
+    pub counters: simtrace::CounterSnapshot,
     /// Full connection trace (samples populated only when tracing).
     pub trace: ConnTrace,
 }
@@ -81,6 +84,15 @@ impl FlowOutcome {
                 .collect(),
         )
     }
+}
+
+/// Snapshot a finished simulation's metric registry and report its
+/// dispatched-event count to the per-cell runtime tally (which simrunner
+/// workers fold into manifest telemetry). Call once per simulation, after
+/// the run loop.
+pub fn collect_sim_telemetry(sim: &Sim) -> simtrace::CounterSnapshot {
+    simtrace::runtime::add_cell_events(sim.events_dispatched());
+    sim.metrics().snapshot()
 }
 
 /// Run one download of `flow_bytes` over `scenario` with controller `kind`.
@@ -153,6 +165,7 @@ pub fn run_flow_with_horizon(
             .iter()
             .filter(|(_, e)| matches!(e, TraceEvent::SussPacing { .. }))
             .count(),
+        counters: collect_sim_telemetry(&sim),
         trace: snd.trace.clone(),
     }
 }
@@ -187,6 +200,13 @@ mod tests {
         assert!(fct < Duration::from_secs(1), "fct {fct:?}");
         assert_eq!(out.segs_retransmitted, 0);
         assert!(!out.trace.samples.is_empty());
+        // Registry counters mirror the sender stats.
+        assert_eq!(
+            out.counters.get(simtrace::names::TCP_SEGS_SENT),
+            Some(out.segs_sent)
+        );
+        assert_eq!(out.counters.get(simtrace::names::TCP_RETRANSMITS), Some(0));
+        assert!(out.counters.get(simtrace::names::NET_EVENTS).unwrap_or(0) > 0);
     }
 
     #[test]

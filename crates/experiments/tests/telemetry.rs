@@ -1,0 +1,80 @@
+//! Telemetry acceptance tests: simulation counters shard correctly across
+//! the worker pool (parallel totals == serial totals), and the JSONL trace
+//! export round-trips byte-exactly back through the query engine.
+
+use cc_algos::CcKind;
+use experiments::{run_flow, FlowGrid};
+use simrunner::RunnerOpts;
+use simtrace::JsonlSink;
+use workload::{LastHop, PathScenario, ServerSite, KB};
+
+/// Counter totals merged over a 4-worker campaign must equal the serial
+/// reference — the registry-per-simulation design plus commutative
+/// snapshot merging, exercised end to end (no cache, so every cell
+/// computes).
+#[test]
+fn parallel_counter_totals_match_serial() {
+    let scn_a = PathScenario::new(ServerSite::GoogleTokyo, LastHop::WiFi);
+    let scn_b = PathScenario::new(ServerSite::OracleLondon, LastHop::FiveG);
+    let build = || {
+        let mut grid = FlowGrid::new("telemetry-equiv");
+        grid.batch(&scn_a, CcKind::CubicSuss, 256 * KB, 3, 1);
+        grid.batch(&scn_b, CcKind::Cubic, 512 * KB, 3, 10);
+        grid
+    };
+    let serial = build().run(&RunnerOpts::serial());
+    let parallel = build().run(&RunnerOpts::default().with_workers(4));
+
+    let (s, p) = (serial.counters_total(), parallel.counters_total());
+    assert!(!s.is_empty());
+    assert_eq!(s, p, "counter totals diverged across worker counts");
+    assert!(s.get(simtrace::names::TCP_SEGS_SENT).unwrap_or(0) > 0);
+    assert!(s.get(simtrace::names::NET_EVENTS).unwrap_or(0) > 0);
+
+    // Runtime telemetry flows into both manifests identically.
+    assert_eq!(serial.manifest.events_total, parallel.manifest.events_total);
+    assert!(serial.manifest.events_total > 0);
+    for rec in &parallel.manifest.cells {
+        assert!(rec.events > 0, "cell {} reported no events", rec.label);
+    }
+}
+
+/// Export a traced flow to JSONL, parse it back, and require the query
+/// engine's CSV to match the producing `ConnTrace` sample-for-sample —
+/// the tool answers exactly what the simulation recorded.
+#[test]
+fn jsonl_export_round_trips_sample_for_sample() {
+    let scn = PathScenario::new(ServerSite::GoogleTokyo, LastHop::WiFi);
+    let out = run_flow(&scn, CcKind::CubicSuss, 400 * KB, 7, true);
+    assert!(!out.trace.samples.is_empty());
+
+    let mut sink = JsonlSink::new(Vec::new());
+    out.trace.export(1, Some("suss"), &mut sink);
+    simtrace::export_counters(&out.counters, 0, Some("suss"), &mut sink);
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let recs = simtrace::query::parse_jsonl(&text).unwrap();
+
+    let csv = simtrace::query::samples_csv(&recs, 1, Some("suss"));
+    let mut expect = String::from("t_ns,cwnd,inflight,delivered,rtt_ns,srtt_ns\n");
+    for s in &out.trace.samples {
+        expect.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            s.t.as_nanos(),
+            s.cwnd,
+            s.inflight,
+            s.delivered,
+            s.rtt.map(|r| r.as_nanos() as u64).unwrap_or(0),
+            s.srtt.map(|r| r.as_nanos() as u64).unwrap_or(0),
+        ));
+    }
+    assert_eq!(csv, expect, "CSV dump must match ConnTrace byte-exactly");
+
+    // Counters rebuilt from the file equal the in-process snapshot.
+    let rebuilt = simtrace::query::counters(&recs, Some("suss"));
+    assert_eq!(rebuilt, out.counters);
+
+    // The decimation fix: the final sample is the flow's last ACK even
+    // though sampling may skip intermediate ones.
+    let last = out.trace.samples.last().unwrap();
+    assert_eq!(last.delivered, 400 * KB, "final sample must be retained");
+}

@@ -9,6 +9,7 @@
 
 use crate::packet::{FlowId, LinkId};
 use crate::time::SimTime;
+use simtrace::{kind, EventSink, TraceRecord};
 use std::time::Duration;
 
 /// What happened to a packet at a capture point.
@@ -129,6 +130,25 @@ impl Capture {
             .collect()
     }
 
+    /// Export every captured event to a structured [`EventSink`] using the
+    /// common trace-record schema (`pkt_tx` / `pkt_rx` / `pkt_drop` /
+    /// `pkt_lost`).
+    pub fn export(&self, sink: &mut dyn EventSink) {
+        for e in &self.events {
+            let k = match e.kind {
+                CaptureKind::Transmitted => kind::PKT_TX,
+                CaptureKind::Delivered => kind::PKT_RX,
+                CaptureKind::QueueDropped => kind::PKT_DROP,
+                CaptureKind::RandomLost => kind::PKT_LOST,
+            };
+            let mut rec = TraceRecord::event(e.t.as_nanos(), e.flow.0, k);
+            rec.link = Some(e.link.index() as u64);
+            rec.size = Some(u64::from(e.size));
+            rec.packet_id = Some(e.packet_id);
+            sink.record(&rec);
+        }
+    }
+
     /// Render a compact text log (for debugging sessions).
     pub fn dump(&self, max_lines: usize) -> String {
         let mut out = String::new();
@@ -204,6 +224,21 @@ mod tests {
         assert_eq!(c.first_drop(FlowId(8)), None);
         let gaps = c.departure_gaps(FlowId(7), SimTime::ZERO, SimTime::from_secs(1));
         assert_eq!(gaps, vec![Duration::from_millis(1)]);
+    }
+
+    #[test]
+    fn export_maps_kinds_to_records() {
+        let mut c = Capture::new(&[], 100);
+        c.record(ev(1, 2, CaptureKind::Transmitted, 7));
+        c.record(ev(2, 2, CaptureKind::QueueDropped, 7));
+        let mut sink = simtrace::VecSink::new();
+        c.export(&mut sink);
+        assert_eq!(sink.records.len(), 2);
+        assert_eq!(sink.records[0].kind, kind::PKT_TX);
+        assert_eq!(sink.records[0].flow, Some(7));
+        assert_eq!(sink.records[0].link, Some(2));
+        assert_eq!(sink.records[1].kind, kind::PKT_DROP);
+        assert_eq!(sink.records[1].t_ns, SimTime::from_millis(2).as_nanos());
     }
 
     #[test]

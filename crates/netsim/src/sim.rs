@@ -15,6 +15,7 @@ use crate::packet::{LinkId, NodeId, Packet};
 use crate::queue::QueueStats;
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use simtrace::{Counter, Gauge, Registry};
 use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -95,6 +96,8 @@ struct NetCore {
     links: Vec<HalfLink>,
     next_packet_id: u64,
     capture: Option<Capture>,
+    ctr_queue_drops: Counter,
+    gauge_queue_hwm: Gauge,
 }
 
 impl NetCore {
@@ -143,7 +146,11 @@ impl NetCore {
             self.push(done, EventKind::TxDone { link });
         } else if let Err(dropped) = hl.queue.enqueue(pkt, now) {
             // Dropped by the qdisc: counted by the queue's own stats.
+            self.ctr_queue_drops.inc();
             self.capture_event(link, CaptureKind::QueueDropped, &dropped);
+        } else {
+            let backlog = self.links[link.index()].queue.backlog_bytes();
+            self.gauge_queue_hwm.observe(backlog);
         }
     }
 
@@ -245,11 +252,17 @@ pub struct Sim {
     rng: SimRng,
     started: bool,
     events_dispatched: u64,
+    metrics: Registry,
+    ctr_events: Counter,
 }
 
 impl Sim {
     /// Create an empty simulation with the given experiment seed.
     pub fn new(seed: u64) -> Self {
+        let metrics = Registry::new();
+        let ctr_events = metrics.counter(simtrace::names::NET_EVENTS);
+        let ctr_queue_drops = metrics.counter(simtrace::names::NET_QUEUE_DROPS);
+        let gauge_queue_hwm = metrics.gauge(simtrace::names::NET_QUEUE_DEPTH_HWM);
         Sim {
             core: NetCore {
                 now: SimTime::ZERO,
@@ -258,12 +271,22 @@ impl Sim {
                 links: Vec::new(),
                 next_packet_id: 1,
                 capture: None,
+                ctr_queue_drops,
+                gauge_queue_hwm,
             },
             agents: Vec::new(),
             rng: SimRng::new(seed),
             started: false,
             events_dispatched: 0,
+            metrics,
+            ctr_events,
         }
+    }
+
+    /// The simulation's metric registry. Endpoints wired into this sim
+    /// register their counters here so one snapshot covers the whole run.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Register an agent, returning its node id.
@@ -418,6 +441,7 @@ impl Sim {
         debug_assert!(entry.at >= self.core.now, "time went backwards");
         self.core.now = entry.at;
         self.events_dispatched += 1;
+        self.ctr_events.inc();
         match entry.kind {
             EventKind::TxDone { link } => self.core.link_tx_done(link),
             EventKind::Arrive { node, link, pkt } => {

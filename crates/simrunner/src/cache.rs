@@ -75,8 +75,13 @@ impl Cache {
     }
 
     /// Load a cached value, or `None` on any miss/corruption/mismatch.
+    ///
+    /// A hit bumps the entry's mtime so the size-capped sweep
+    /// ([`sweep_lru`]) evicts least-recently-*used* entries, not merely
+    /// least-recently-written ones.
     pub fn load<T: Deserialize>(&self, id: &CellIdentity<'_>) -> Option<T> {
-        let text = fs::read_to_string(self.path_for_key(id.key())).ok()?;
+        let path = self.path_for_key(id.key());
+        let text = fs::read_to_string(&path).ok()?;
         let json = Json::parse(&text)?;
         let obj = json.as_obj()?;
         let same = Json::field(obj, "experiment")?.as_str()? == id.experiment
@@ -86,7 +91,12 @@ impl Cache {
         if !same {
             return None;
         }
-        T::from_json(Json::field(obj, "value")?)
+        let value = T::from_json(Json::field(obj, "value")?)?;
+        // Best-effort recency touch; a failure only skews eviction order.
+        if let Ok(file) = fs::File::options().write(true).open(&path) {
+            let _ = file.set_modified(std::time::SystemTime::now());
+        }
+        Some(value)
     }
 
     /// Store a value under its identity (overwrites any previous entry).
@@ -106,6 +116,83 @@ impl Cache {
         fs::write(&tmp, entry.render())?;
         fs::rename(&tmp, &path)
     }
+}
+
+/// What [`sweep_lru`] found and removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Entry files present before the sweep.
+    pub entries_before: usize,
+    /// Total bytes on disk before the sweep.
+    pub bytes_before: u64,
+    /// Entry files deleted.
+    pub entries_removed: usize,
+    /// Bytes freed.
+    pub bytes_removed: u64,
+}
+
+impl SweepStats {
+    /// Entries remaining after the sweep.
+    pub fn entries_after(&self) -> usize {
+        self.entries_before - self.entries_removed
+    }
+
+    /// Bytes remaining after the sweep.
+    pub fn bytes_after(&self) -> u64 {
+        self.bytes_before - self.bytes_removed
+    }
+}
+
+/// Evict least-recently-used entries under the cache `root` (all
+/// experiment subdirectories) until the total size is at most
+/// `max_bytes`.
+///
+/// Recency is file mtime: stores write it, and [`Cache::load`] bumps it
+/// on every hit. Stray `.tmp` files from interrupted writes are always
+/// removed. A missing root is an empty cache, not an error.
+pub fn sweep_lru(root: &Path, max_bytes: u64) -> io::Result<SweepStats> {
+    let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+    let mut stats = SweepStats::default();
+    let dirs = match fs::read_dir(root) {
+        Ok(d) => d,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(stats),
+        Err(e) => return Err(e),
+    };
+    for dir in dirs {
+        let dir = dir?;
+        if !dir.file_type()?.is_dir() {
+            continue;
+        }
+        for file in fs::read_dir(dir.path())? {
+            let file = file?;
+            let path = file.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            if path.extension().is_none_or(|e| e != "json") {
+                continue;
+            }
+            let meta = file.metadata()?;
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((mtime, meta.len(), path));
+            stats.entries_before += 1;
+            stats.bytes_before += meta.len();
+        }
+    }
+    // Oldest first: those go first when we're over budget.
+    entries.sort();
+    let mut total = stats.bytes_before;
+    for (_, len, path) in entries {
+        if total <= max_bytes {
+            break;
+        }
+        fs::remove_file(&path)?;
+        total -= len;
+        stats.entries_removed += 1;
+        stats.bytes_removed += len;
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -157,6 +244,74 @@ mod tests {
         assert_eq!(cache.load::<f64>(&id), None);
         cache.store(&id, &1.25f64).unwrap();
         assert_eq!(cache.load::<f64>(&id), Some(1.25));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_evicts_oldest_first_and_clears_tmp() {
+        let root = scratch("sweep");
+        let cache = Cache::open(&root, "exp").unwrap();
+        let mut paths = Vec::new();
+        for seed in 0..4u64 {
+            let id = CellIdentity {
+                experiment: "exp",
+                version: "v1",
+                params: "p",
+                seed,
+            };
+            cache.store(&id, &(seed as f64)).unwrap();
+            let path = cache.entry_path(&id);
+            // Deterministic mtimes: seed 0 is oldest.
+            let t = std::time::UNIX_EPOCH + std::time::Duration::from_secs(1_000 + seed);
+            fs::File::options()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+            paths.push(path);
+        }
+        fs::write(cache.dir().join("stale.tmp"), b"junk").unwrap();
+        let per_entry = fs::metadata(&paths[0]).unwrap().len();
+        // Budget for exactly two entries: seeds 0 and 1 must go.
+        let stats = sweep_lru(&root, per_entry * 2).unwrap();
+        assert_eq!(stats.entries_before, 4);
+        assert_eq!(stats.entries_removed, 2);
+        assert_eq!(stats.entries_after(), 2);
+        assert!(!paths[0].exists() && !paths[1].exists());
+        assert!(paths[2].exists() && paths[3].exists());
+        assert!(!cache.dir().join("stale.tmp").exists());
+        // Under budget: nothing further removed.
+        let stats = sweep_lru(&root, u64::MAX).unwrap();
+        assert_eq!(stats.entries_removed, 0);
+        // Missing root is fine.
+        let stats = sweep_lru(&root.join("nope"), 0).unwrap();
+        assert_eq!(stats.entries_before, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn load_touches_entry_mtime() {
+        let root = scratch("touch");
+        let cache = Cache::open(&root, "exp").unwrap();
+        let id = CellIdentity {
+            experiment: "exp",
+            version: "v1",
+            params: "p",
+            seed: 9,
+        };
+        cache.store(&id, &1.0f64).unwrap();
+        let path = cache.entry_path(&id);
+        let old = std::time::UNIX_EPOCH + std::time::Duration::from_secs(1);
+        fs::File::options()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(old)
+            .unwrap();
+        assert_eq!(cache.load::<f64>(&id), Some(1.0));
+        let touched = fs::metadata(&path).unwrap().modified().unwrap();
+        assert!(touched > old, "hit must refresh recency");
         let _ = fs::remove_dir_all(&root);
     }
 

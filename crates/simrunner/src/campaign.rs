@@ -39,6 +39,9 @@ pub struct RunnerOpts {
     pub progress: bool,
     /// Bounded work-queue depth; `0` means `2 × workers`.
     pub queue_depth: usize,
+    /// Size cap for the whole cache root; after the run, least-recently
+    /// used entries are evicted until the cache fits. `None` = unbounded.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl RunnerOpts {
@@ -68,8 +71,15 @@ impl RunnerOpts {
         self
     }
 
-    /// Apply `SUSS_WORKERS`, `SUSS_NO_CACHE`, `SUSS_FORCE_COLD`, and
-    /// `SUSS_PROGRESS` environment overrides on top of these options.
+    /// Cap the cache root at `max_bytes` (LRU-swept after each run).
+    pub fn with_cache_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.cache_max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Apply `SUSS_WORKERS`, `SUSS_NO_CACHE`, `SUSS_FORCE_COLD`,
+    /// `SUSS_PROGRESS`, and `SUSS_CACHE_MAX_BYTES` environment overrides
+    /// on top of these options.
     pub fn env_overrides(mut self) -> Self {
         if let Ok(w) = std::env::var("SUSS_WORKERS") {
             if let Ok(w) = w.parse() {
@@ -84,6 +94,11 @@ impl RunnerOpts {
         }
         if let Ok(p) = std::env::var("SUSS_PROGRESS") {
             self.progress = p != "0";
+        }
+        if let Ok(b) = std::env::var("SUSS_CACHE_MAX_BYTES") {
+            if let Some(b) = parse_bytes(&b) {
+                self.cache_max_bytes = Some(b);
+            }
         }
         self
     }
@@ -200,6 +215,7 @@ impl Campaign {
                 key: format!("{:016x}", self.identity(c).key()),
                 cached: false,
                 wall_ms: 0.0,
+                events: 0,
             })
             .collect();
         let mut progress = Progress::new(&self.experiment, n, opts.progress);
@@ -233,7 +249,7 @@ impl Campaign {
                 workers * 2
             };
             let queue: BoundedQueue<&Cell> = BoundedQueue::new(depth);
-            type Done<T> = (usize, Result<(T, f64), String>);
+            type Done<T> = (usize, Result<(T, f64, u64), String>);
             let (tx, rx) = mpsc::channel::<Done<T>>();
             let mut first_panic: Option<(usize, String)> = None;
             thread::scope(|s| {
@@ -243,10 +259,15 @@ impl Campaign {
                     let f = &f;
                     s.spawn(move || {
                         while let Some(cell) = queue.pop() {
+                            // Bracket the cell with the thread-local event
+                            // tally so each record attributes exactly the
+                            // simulator events its own closure dispatched.
+                            let _ = simtrace::runtime::take_cell_events();
                             let t0 = Instant::now();
                             let outcome = catch_unwind(AssertUnwindSafe(|| f(cell)));
+                            let events = simtrace::runtime::take_cell_events();
                             let msg = match outcome {
-                                Ok(v) => Ok((v, t0.elapsed().as_secs_f64() * 1e3)),
+                                Ok(v) => Ok((v, t0.elapsed().as_secs_f64() * 1e3, events)),
                                 Err(payload) => Err(panic_message(&payload)),
                             };
                             if tx.send((cell.index, msg)).is_err() {
@@ -265,12 +286,13 @@ impl Campaign {
                 for _ in 0..pending.len() {
                     let (idx, msg) = rx.recv().expect("worker pool hung up early");
                     match msg {
-                        Ok((v, wall_ms)) => {
+                        Ok((v, wall_ms, events)) => {
                             if let Some(c) = &cache {
                                 // A failed store only costs a future miss.
                                 let _ = c.store(&self.identity(&self.cells[idx]), &v);
                             }
                             records[idx].wall_ms = wall_ms;
+                            records[idx].events = events;
                             results[idx] = Some(v);
                             progress.tick(false);
                         }
@@ -291,7 +313,24 @@ impl Campaign {
         }
         progress.finish();
 
+        // Size-capped LRU sweep over the whole cache root, after this
+        // run's stores have landed.
+        if let (Some(root), Some(max)) = (opts.cache_dir.as_deref(), opts.cache_max_bytes) {
+            if let Ok(stats) = crate::cache::sweep_lru(root, max) {
+                if opts.progress && stats.entries_removed > 0 {
+                    eprintln!(
+                        "cache sweep: evicted {} entries ({} bytes), {} bytes kept",
+                        stats.entries_removed,
+                        stats.bytes_removed,
+                        stats.bytes_after()
+                    );
+                }
+            }
+        }
+
         let wall_secs = started.elapsed().as_secs_f64();
+        let events_total: u64 = records.iter().map(|r| r.events).sum();
+        let worker_busy_secs: f64 = records.iter().map(|r| r.wall_ms).sum::<f64>() / 1e3;
         let manifest = RunManifest {
             experiment: self.experiment.clone(),
             version: self.version.clone(),
@@ -301,8 +340,15 @@ impl Campaign {
             cache_misses: n - cache_hits,
             wall_secs,
             cells_per_sec: n as f64 / wall_secs.max(1e-9),
+            events_total,
+            events_per_sec: events_total as f64 / wall_secs.max(1e-9),
+            worker_busy_secs,
+            utilization: worker_busy_secs / (wall_secs.max(1e-9) * workers as f64),
             cells: records,
         };
+        if opts.progress {
+            eprint!("{}", manifest.summary());
+        }
         RunOutcome {
             results: results
                 .into_iter()
@@ -311,6 +357,19 @@ impl Campaign {
             manifest,
         }
     }
+}
+
+/// Parse a byte-size string: plain bytes, or with a `K`/`M`/`G` suffix
+/// (case-insensitive, powers of 1024).
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1u64 << 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 1u64 << 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    digits.trim().parse::<u64>().ok()?.checked_mul(mult)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -373,6 +432,34 @@ mod tests {
             }
             cell.seed
         });
+    }
+
+    #[test]
+    fn cell_events_land_in_manifest_telemetry() {
+        let c = demo_campaign(8);
+        let out = c.run(&RunnerOpts::default().with_workers(4), |cell| {
+            simtrace::runtime::add_cell_events(100 + cell.seed);
+            cell.seed
+        });
+        let expect: u64 = (0..8).map(|s| 100 + s).sum();
+        assert_eq!(out.manifest.events_total, expect);
+        for rec in &out.manifest.cells {
+            assert_eq!(rec.events, 100 + rec.seed);
+        }
+        assert!(out.manifest.events_per_sec > 0.0);
+        assert!(out.manifest.worker_busy_secs >= 0.0);
+        assert!(out.manifest.utilization >= 0.0 && out.manifest.utilization <= 1.0);
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("1024"), Some(1024));
+        assert_eq!(parse_bytes("4K"), Some(4096));
+        assert_eq!(parse_bytes("2m"), Some(2 << 20));
+        assert_eq!(parse_bytes("1G"), Some(1 << 30));
+        assert_eq!(parse_bytes(" 8 K "), Some(8192));
+        assert_eq!(parse_bytes("nope"), None);
+        assert_eq!(parse_bytes(""), None);
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub mod manifest;
 pub mod pool;
 pub mod progress;
 
-pub use cache::{Cache, CellIdentity};
-pub use campaign::{Campaign, Cell, RunOutcome, RunnerOpts};
+pub use cache::{sweep_lru, Cache, CellIdentity, SweepStats};
+pub use campaign::{parse_bytes, Campaign, Cell, RunOutcome, RunnerOpts};
 pub use manifest::{CellRecord, RunManifest};
 
 /// FNV-1a 64-bit hash over a byte string — the stable content hash behind

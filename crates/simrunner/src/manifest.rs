@@ -24,6 +24,9 @@ pub struct CellRecord {
     pub cached: bool,
     /// Wall time to compute the cell, in milliseconds (0 for hits).
     pub wall_ms: f64,
+    /// Simulator events dispatched while computing the cell (0 for hits,
+    /// and for cells that never report via `simtrace::runtime`).
+    pub events: u64,
 }
 
 /// The record of one [`Campaign::run`](crate::Campaign::run).
@@ -45,6 +48,14 @@ pub struct RunManifest {
     pub wall_secs: f64,
     /// Throughput over the whole run (total cells / wall time).
     pub cells_per_sec: f64,
+    /// Simulator events dispatched across all computed cells.
+    pub events_total: u64,
+    /// Simulator event throughput over the whole run (events / wall time).
+    pub events_per_sec: f64,
+    /// Summed per-cell compute time — how long workers were busy.
+    pub worker_busy_secs: f64,
+    /// Worker utilization in `[0, 1]`: busy time / (wall time × workers).
+    pub utilization: f64,
     /// Per-cell records, in campaign order.
     pub cells: Vec<CellRecord>,
 }
@@ -73,6 +84,49 @@ impl RunManifest {
             self.cache_hits as f64 / self.total_cells as f64
         }
     }
+
+    /// Human-readable end-of-campaign summary: one header line plus the
+    /// slowest computed cells, ready to print on stderr.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{}: {} cells in {:.2}s | {} hit / {} miss | {} events ({}/s) | \
+             {} workers busy {:.2}s ({:.0}% util)\n",
+            self.experiment,
+            self.total_cells,
+            self.wall_secs,
+            self.cache_hits,
+            self.cache_misses,
+            human_count(self.events_total),
+            human_count(self.events_per_sec as u64),
+            self.workers,
+            self.worker_busy_secs,
+            self.utilization * 100.0,
+        );
+        let mut computed: Vec<&CellRecord> = self.cells.iter().filter(|c| !c.cached).collect();
+        computed.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
+        for c in computed.iter().take(3) {
+            s.push_str(&format!(
+                "  {:>9.1} ms  {:>10} ev  {}\n",
+                c.wall_ms,
+                human_count(c.events),
+                c.label
+            ));
+        }
+        s
+    }
+}
+
+/// Format a count with k/M/G suffixes for summary lines.
+fn human_count(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}G", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
 }
 
 #[cfg(test)]
@@ -89,14 +143,30 @@ mod tests {
             cache_misses: 1,
             wall_secs: 2.0,
             cells_per_sec: 5.0,
-            cells: vec![CellRecord {
-                index: 0,
-                label: "c0".into(),
-                seed: 1,
-                key: "00112233aabbccdd".into(),
-                cached: true,
-                wall_ms: 0.0,
-            }],
+            events_total: 1_500_000,
+            events_per_sec: 750_000.0,
+            worker_busy_secs: 1.5,
+            utilization: 0.1875,
+            cells: vec![
+                CellRecord {
+                    index: 0,
+                    label: "c0".into(),
+                    seed: 1,
+                    key: "00112233aabbccdd".into(),
+                    cached: true,
+                    wall_ms: 0.0,
+                    events: 0,
+                },
+                CellRecord {
+                    index: 1,
+                    label: "c1".into(),
+                    seed: 2,
+                    key: "00112233aabbccde".into(),
+                    cached: false,
+                    wall_ms: 1500.0,
+                    events: 1_500_000,
+                },
+            ],
         }
     }
 
@@ -107,9 +177,20 @@ mod tests {
         let json = m.to_json_string();
         assert!(json.contains("\"experiment\":\"exp\""));
         assert!(json.contains("\"cache_hits\":9"));
+        assert!(json.contains("\"events_total\":1500000"));
+        assert!(json.contains("\"worker_busy_secs\":1.5"));
         assert!(json.ends_with('\n'));
         // Must parse back as JSON.
         assert!(serde::Json::parse(json.trim()).is_some());
+    }
+
+    #[test]
+    fn summary_lists_slowest_computed_cells() {
+        let s = sample().summary();
+        assert!(s.contains("exp: 10 cells"));
+        assert!(s.contains("1.5M events"));
+        assert!(s.contains("c1"), "computed cell should be listed: {s}");
+        assert!(!s.contains(" c0"), "cached cell must not be listed: {s}");
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! # simtrace — unified structured telemetry for the SUSS reproduction
+//!
+//! Every layer of the stack (the discrete-event simulator, the transport,
+//! the SUSS state machine, and the campaign runner) reports into one small
+//! observability substrate:
+//!
+//! * [`Registry`] — a counter/gauge registry. Handles are `Rc<Cell<u64>>`
+//!   behind typed wrappers ([`Counter`], [`Gauge`]), so incrementing is a
+//!   single unsynchronized store: lock-free when serial. Parallel campaigns
+//!   shard naturally — each simulation owns its own registry, and
+//!   [`CounterSnapshot`]s merge additively (gauges merge by max), so totals
+//!   are identical at any worker count.
+//! * [`TraceRecord`] + [`EventSink`] — a common timestamped event schema
+//!   with JSONL ([`JsonlSink`]) and CSV ([`CsvSink`]) exporters. Producers
+//!   (`ConnTrace`, `Capture`) convert their native samples/events into
+//!   records; exporting is opt-in, so the hot path pays nothing when
+//!   tracing is disabled.
+//! * [`query`] — parse a JSONL trace back and answer the recurring
+//!   questions: a flow's cwnd timeseries, events in a time window, counter
+//!   totals, diffs between two runs. The `suss-trace` CLI bin is a thin
+//!   wrapper over this module.
+//! * [`runtime`] — thread-local per-cell accounting (sim events executed)
+//!   that the campaign runner samples around each cell to report
+//!   events/sec and worker utilization in run manifests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod query;
+pub mod record;
+pub mod runtime;
+pub mod sink;
+
+pub use metrics::{Counter, CounterSnapshot, Gauge, MetricValue, Registry};
+pub use record::{kind, TraceRecord};
+pub use sink::{export_counters, CsvSink, EventSink, JsonlSink, VecSink};
+
+/// Canonical metric names. Producers register by these constants so the
+/// catalogue stays greppable and `suss-trace diff` output lines up across
+/// runs.
+pub mod names {
+    /// Simulator events dispatched (one per timer/packet delivery).
+    pub const NET_EVENTS: &str = "net.events_processed";
+    /// Packets dropped by a full link queue.
+    pub const NET_QUEUE_DROPS: &str = "net.queue_drops";
+    /// High-water mark of any link queue backlog, in bytes (gauge).
+    pub const NET_QUEUE_DEPTH_HWM: &str = "net.queue_depth_hwm_bytes";
+    /// Data segments sent (including retransmissions).
+    pub const TCP_SEGS_SENT: &str = "tcp.segs_sent";
+    /// Segments retransmitted.
+    pub const TCP_RETRANSMITS: &str = "tcp.retransmits";
+    /// Retransmission timeouts fired.
+    pub const TCP_RTOS: &str = "tcp.rtos";
+    /// Fast retransmits (triple duplicate ACK / SACK recovery entries).
+    pub const TCP_FAST_RETRANSMITS: &str = "tcp.fast_retransmits";
+    /// Voluntary slow-start exits (HyStart-style, without packet loss).
+    pub const CC_HYSTART_EXITS: &str = "cc.hystart_exits";
+    /// SUSS pacing rounds started (one per predicted-growth period).
+    pub const SUSS_PACING_ROUNDS: &str = "suss.pacing_rounds";
+}

@@ -1,0 +1,336 @@
+//! Counter/gauge registry with unsynchronized `Rc<Cell<u64>>` handles.
+//!
+//! A [`Registry`] lives inside one simulation (one thread); handles hand
+//! out interior-mutable cells so the hot path is a load+store, no atomics.
+//! Cross-thread aggregation happens on immutable [`CounterSnapshot`]s,
+//! which are plain data and merge commutatively (counters add, gauges
+//! max) — the order cells complete in a parallel campaign cannot change
+//! the merged totals.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning shares the underlying cell; increments through any clone are
+/// visible to the owning [`Registry`]'s snapshots.
+#[derive(Clone)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.0.get())
+    }
+}
+
+/// A high-water-mark gauge handle. [`Gauge::observe`] keeps the maximum
+/// value seen; snapshots of parallel shards merge by max as well.
+#[derive(Clone)]
+pub struct Gauge(Rc<Cell<u64>>);
+
+impl Gauge {
+    /// Record an observation; the gauge retains the maximum.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if v > self.0.get() {
+            self.0.set(v);
+        }
+    }
+
+    /// Current high-water mark.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.0.get())
+    }
+}
+
+struct Slot {
+    name: String,
+    gauge: bool,
+    value: Rc<Cell<u64>>,
+}
+
+/// A per-simulation metric registry.
+///
+/// Registering the same name twice returns a handle to the same cell, so
+/// independent layers (transport, congestion controller) can share a
+/// metric without coordinating. Cloning the registry shares the slot
+/// table — a `Sim` clones it into each endpoint it wires up.
+#[derive(Clone, Default)]
+pub struct Registry {
+    slots: Rc<RefCell<Vec<Slot>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&self, name: &str, gauge: bool) -> Rc<Cell<u64>> {
+        let mut slots = self.slots.borrow_mut();
+        if let Some(s) = slots.iter().find(|s| s.name == name) {
+            debug_assert_eq!(
+                s.gauge, gauge,
+                "metric {name:?} registered as both counter and gauge"
+            );
+            return Rc::clone(&s.value);
+        }
+        let value = Rc::new(Cell::new(0));
+        slots.push(Slot {
+            name: name.to_string(),
+            gauge,
+            value: Rc::clone(&value),
+        });
+        value
+    }
+
+    /// Register (or look up) a counter by name.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.slot(name, false))
+    }
+
+    /// Register (or look up) a high-water-mark gauge by name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.slot(name, true))
+    }
+
+    /// Snapshot every registered metric, sorted by name.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let slots = self.slots.borrow();
+        let mut metrics: Vec<MetricValue> = slots
+            .iter()
+            .map(|s| MetricValue {
+                name: s.name.clone(),
+                gauge: s.gauge,
+                value: s.value.get(),
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        CounterSnapshot { metrics }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.snapshot().metrics.len())
+            .finish()
+    }
+}
+
+/// One metric in a [`CounterSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricValue {
+    /// Metric name (see [`crate::names`]).
+    pub name: String,
+    /// True for high-water-mark gauges (merged by max, not sum).
+    pub gauge: bool,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// An immutable, order-independent snapshot of a [`Registry`].
+///
+/// Snapshots are plain data (`Send`), serialize deterministically, and
+/// merge commutatively — the basis for the parallel-equals-serial
+/// counter-totals guarantee.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metrics sorted by name.
+    pub metrics: Vec<MetricValue>,
+}
+
+impl CounterSnapshot {
+    /// Value of a metric by name, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+
+    /// True when no metrics are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Merge another snapshot into this one: counters add, gauges keep
+    /// the maximum. Union of names; result stays sorted.
+    pub fn merge(&mut self, other: &CounterSnapshot) {
+        for m in &other.metrics {
+            match self.metrics.binary_search_by(|x| x.name.cmp(&m.name)) {
+                Ok(i) => {
+                    let mine = &mut self.metrics[i];
+                    if m.gauge {
+                        mine.value = mine.value.max(m.value);
+                    } else {
+                        mine.value = mine.value.wrapping_add(m.value);
+                    }
+                }
+                Err(i) => self.metrics.insert(i, m.clone()),
+            }
+        }
+    }
+
+    /// Per-metric difference `self - other` over the union of names.
+    /// Metrics absent on one side count as zero there.
+    pub fn diff(&self, other: &CounterSnapshot) -> Vec<(String, i64)> {
+        let mut names: Vec<&str> = self
+            .metrics
+            .iter()
+            .chain(&other.metrics)
+            .map(|m| m.name.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+            .into_iter()
+            .map(|n| {
+                let a = self.get(n).unwrap_or(0) as i64;
+                let b = other.get(n).unwrap_or(0) as i64;
+                (n.to_string(), a - b)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("a.count");
+        let g = r.gauge("a.hwm");
+        c.inc();
+        c.add(4);
+        g.observe(10);
+        g.observe(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.get("a.count"), Some(5));
+        assert_eq!(snap.get("a.hwm"), Some(10));
+    }
+
+    #[test]
+    fn same_name_shares_cell() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.counter("x").inc();
+        assert_eq!(r.snapshot().get("x"), Some(2));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mk = |c: u64, g: u64| CounterSnapshot {
+            metrics: vec![
+                MetricValue {
+                    name: "c".into(),
+                    gauge: false,
+                    value: c,
+                },
+                MetricValue {
+                    name: "g".into(),
+                    gauge: true,
+                    value: g,
+                },
+            ],
+        };
+        let (a, b) = (mk(3, 7), mk(4, 5));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get("c"), Some(7));
+        assert_eq!(ab.get("g"), Some(7));
+    }
+
+    #[test]
+    fn merge_inserts_missing_sorted() {
+        let mut a = CounterSnapshot {
+            metrics: vec![MetricValue {
+                name: "m".into(),
+                gauge: false,
+                value: 1,
+            }],
+        };
+        let b = CounterSnapshot {
+            metrics: vec![
+                MetricValue {
+                    name: "a".into(),
+                    gauge: false,
+                    value: 2,
+                },
+                MetricValue {
+                    name: "z".into(),
+                    gauge: false,
+                    value: 3,
+                },
+            ],
+        };
+        a.merge(&b);
+        let names: Vec<&str> = a.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn diff_covers_union() {
+        let a = CounterSnapshot {
+            metrics: vec![MetricValue {
+                name: "only_a".into(),
+                gauge: false,
+                value: 2,
+            }],
+        };
+        let b = CounterSnapshot {
+            metrics: vec![MetricValue {
+                name: "only_b".into(),
+                gauge: false,
+                value: 3,
+            }],
+        };
+        assert_eq!(
+            a.diff(&b),
+            vec![("only_a".to_string(), 2), ("only_b".to_string(), -3)]
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let r = Registry::new();
+        r.counter("b").add(9);
+        r.gauge("a").observe(4);
+        let snap = r.snapshot();
+        let s = serde::to_string(&snap);
+        assert_eq!(serde::from_str::<CounterSnapshot>(&s), Some(snap));
+    }
+}

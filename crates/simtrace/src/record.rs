@@ -1,0 +1,279 @@
+//! The common timestamped trace record.
+//!
+//! Every producer (per-ACK connection traces, packet captures, counter
+//! dumps) flattens into one record shape so a single JSONL file can hold
+//! a whole run and one query layer can answer questions about it.
+//! Serialization is hand-written rather than derived so `None` fields are
+//! *omitted* (compact JSONL) and unknown/missing fields deserialize
+//! tolerantly — old readers accept new traces and vice versa.
+
+use serde::{Deserialize, Json, Serialize};
+
+/// Record kind strings. Producers and queries share these constants;
+/// the field is a plain string in the JSON so readers stay forward
+/// compatible with kinds they don't know.
+pub mod kind {
+    /// Per-ACK connection state sample (`cwnd`/`inflight`/`delivered`/RTT).
+    pub const SAMPLE: &str = "sample";
+    /// First transmission of a flow.
+    pub const FLOW_START: &str = "flow_start";
+    /// Slow-start exit; `cwnd` carries the exit window in bytes.
+    pub const SLOW_START_EXIT: &str = "slow_start_exit";
+    /// Fast retransmit entered.
+    pub const FAST_RETRANSMIT: &str = "fast_retransmit";
+    /// Retransmission timeout fired.
+    pub const RTO: &str = "rto";
+    /// SUSS pacing round started; `value` carries the growth factor.
+    pub const SUSS_PACING: &str = "suss_pacing";
+    /// Flow finished delivering its payload.
+    pub const FLOW_COMPLETE: &str = "flow_complete";
+    /// Packet entered a link (capture).
+    pub const PKT_TX: &str = "pkt_tx";
+    /// Packet delivered by a link (capture).
+    pub const PKT_RX: &str = "pkt_rx";
+    /// Packet dropped by a full queue (capture).
+    pub const PKT_DROP: &str = "pkt_drop";
+    /// Packet lost to random loss injection (capture).
+    pub const PKT_LOST: &str = "pkt_lost";
+    /// Counter total at export time; `name`/`value` carry the metric.
+    pub const COUNTER: &str = "counter";
+    /// Gauge high-water mark at export time; `name`/`value` carry it.
+    pub const GAUGE: &str = "gauge";
+}
+
+/// One timestamped telemetry record.
+///
+/// `t_ns` and `kind` are always present; everything else is optional and
+/// omitted from the JSON when absent. Which fields are meaningful depends
+/// on [`kind`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceRecord {
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// Record kind (see [`kind`]).
+    pub kind: String,
+    /// Flow id, for per-flow records.
+    pub flow: Option<u64>,
+    /// Run label when one file holds several runs (e.g. `cubic` vs `bbr`).
+    pub run: Option<String>,
+    /// Congestion window in bytes.
+    pub cwnd: Option<u64>,
+    /// Bytes in flight.
+    pub inflight: Option<u64>,
+    /// Cumulative bytes delivered.
+    pub delivered: Option<u64>,
+    /// Last RTT sample in nanoseconds.
+    pub rtt_ns: Option<u64>,
+    /// Smoothed RTT in nanoseconds.
+    pub srtt_ns: Option<u64>,
+    /// Link id, for capture records.
+    pub link: Option<u64>,
+    /// Packet size in bytes, for capture records.
+    pub size: Option<u64>,
+    /// Packet id, for capture records.
+    pub packet_id: Option<u64>,
+    /// Metric name, for counter/gauge records.
+    pub name: Option<String>,
+    /// Generic numeric payload (growth factor, metric value, …).
+    pub value: Option<f64>,
+}
+
+impl TraceRecord {
+    /// A record with just timestamp and kind; set optional fields on the
+    /// returned value.
+    pub fn new(t_ns: u64, kind: &str) -> Self {
+        TraceRecord {
+            t_ns,
+            kind: kind.to_string(),
+            ..TraceRecord::default()
+        }
+    }
+
+    /// A per-flow event record.
+    pub fn event(t_ns: u64, flow: u64, kind: &str) -> Self {
+        TraceRecord {
+            flow: Some(flow),
+            ..TraceRecord::new(t_ns, kind)
+        }
+    }
+
+    /// A per-ACK connection sample.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample(
+        t_ns: u64,
+        flow: u64,
+        cwnd: u64,
+        inflight: u64,
+        delivered: u64,
+        rtt_ns: u64,
+        srtt_ns: u64,
+    ) -> Self {
+        TraceRecord {
+            cwnd: Some(cwnd),
+            inflight: Some(inflight),
+            delivered: Some(delivered),
+            rtt_ns: Some(rtt_ns),
+            srtt_ns: Some(srtt_ns),
+            ..TraceRecord::event(t_ns, flow, kind::SAMPLE)
+        }
+    }
+
+    /// A counter or gauge total (`kind` is [`kind::COUNTER`] or
+    /// [`kind::GAUGE`]).
+    pub fn metric(t_ns: u64, kind: &str, name: &str, value: u64) -> Self {
+        TraceRecord {
+            name: Some(name.to_string()),
+            value: Some(value as f64),
+            ..TraceRecord::new(t_ns, kind)
+        }
+    }
+
+    /// Timestamp in seconds.
+    pub fn t_secs(&self) -> f64 {
+        self.t_ns as f64 / 1e9
+    }
+
+    /// True for per-ACK samples.
+    pub fn is_sample(&self) -> bool {
+        self.kind == kind::SAMPLE
+    }
+
+    /// True for counter/gauge totals.
+    pub fn is_metric(&self) -> bool {
+        self.kind == kind::COUNTER || self.kind == kind::GAUGE
+    }
+
+    /// Header row matching [`TraceRecord::csv_row`].
+    pub const CSV_HEADER: &'static str =
+        "t_ns,kind,flow,run,cwnd,inflight,delivered,rtt_ns,srtt_ns,link,size,packet_id,name,value";
+
+    /// Render as one CSV row (empty cells for absent fields).
+    pub fn csv_row(&self) -> String {
+        fn cell<T: ToString>(v: &Option<T>) -> String {
+            v.as_ref().map(T::to_string).unwrap_or_default()
+        }
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.t_ns,
+            self.kind,
+            cell(&self.flow),
+            cell(&self.run),
+            cell(&self.cwnd),
+            cell(&self.inflight),
+            cell(&self.delivered),
+            cell(&self.rtt_ns),
+            cell(&self.srtt_ns),
+            cell(&self.link),
+            cell(&self.size),
+            cell(&self.packet_id),
+            cell(&self.name),
+            cell(&self.value),
+        )
+    }
+}
+
+impl Serialize for TraceRecord {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::with_capacity(6);
+        fields.push(("t_ns".into(), Json::Num(self.t_ns as f64)));
+        fields.push(("kind".into(), Json::Str(self.kind.clone())));
+        let mut num = |name: &str, v: &Option<u64>| {
+            if let Some(x) = v {
+                fields.push((name.into(), Json::Num(*x as f64)));
+            }
+        };
+        num("flow", &self.flow);
+        num("cwnd", &self.cwnd);
+        num("inflight", &self.inflight);
+        num("delivered", &self.delivered);
+        num("rtt_ns", &self.rtt_ns);
+        num("srtt_ns", &self.srtt_ns);
+        num("link", &self.link);
+        num("size", &self.size);
+        num("packet_id", &self.packet_id);
+        if let Some(s) = &self.run {
+            fields.push(("run".into(), Json::Str(s.clone())));
+        }
+        if let Some(s) = &self.name {
+            fields.push(("name".into(), Json::Str(s.clone())));
+        }
+        if let Some(x) = self.value {
+            fields.push(("value".into(), Json::Num(x)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl Deserialize for TraceRecord {
+    fn from_json(v: &Json) -> Option<Self> {
+        let o = v.as_obj()?;
+        let num = |name: &str| Json::field(o, name).and_then(u64::from_json);
+        let txt = |name: &str| Json::field(o, name).and_then(|j| j.as_str().map(str::to_string));
+        Some(TraceRecord {
+            t_ns: num("t_ns")?,
+            kind: txt("kind")?,
+            flow: num("flow"),
+            run: txt("run"),
+            cwnd: num("cwnd"),
+            inflight: num("inflight"),
+            delivered: num("delivered"),
+            rtt_ns: num("rtt_ns"),
+            srtt_ns: num("srtt_ns"),
+            link: num("link"),
+            size: num("size"),
+            packet_id: num("packet_id"),
+            name: txt("name"),
+            value: Json::field(o, "value").and_then(Json::as_f64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_fields_are_omitted() {
+        let r = TraceRecord::event(1_500_000, 3, kind::RTO);
+        let s = serde::to_string(&r);
+        assert_eq!(s, r#"{"t_ns":1500000,"kind":"rto","flow":3}"#);
+    }
+
+    #[test]
+    fn sample_roundtrips() {
+        let r = TraceRecord::sample(
+            2_000_000_000,
+            1,
+            14480,
+            7240,
+            100_000,
+            52_000_000,
+            51_000_000,
+        );
+        let s = serde::to_string(&r);
+        assert_eq!(serde::from_str::<TraceRecord>(&s), Some(r));
+    }
+
+    #[test]
+    fn missing_optional_fields_tolerated() {
+        let r: TraceRecord = serde::from_str(r#"{"t_ns":5,"kind":"sample"}"#).unwrap();
+        assert_eq!(r.t_ns, 5);
+        assert!(r.cwnd.is_none() && r.flow.is_none());
+    }
+
+    #[test]
+    fn unknown_fields_tolerated() {
+        let r: TraceRecord = serde::from_str(r#"{"t_ns":5,"kind":"x","mystery":true}"#).unwrap();
+        assert_eq!(r.kind, "x");
+    }
+
+    #[test]
+    fn metric_record_carries_name_and_value() {
+        let r = TraceRecord::metric(9, kind::COUNTER, "tcp.rtos", 4);
+        let s = serde::to_string(&r);
+        let back: TraceRecord = serde::from_str(&s).unwrap();
+        assert_eq!(back.name.as_deref(), Some("tcp.rtos"));
+        assert_eq!(back.value, Some(4.0));
+        assert!(back.is_metric());
+    }
+}

@@ -1,0 +1,56 @@
+//! Thread-local per-cell runtime accounting.
+//!
+//! A campaign worker cannot see inside the closure it runs, so the
+//! simulation reports its own effort here: after a run completes, the
+//! experiment layer calls [`add_cell_events`] with the number of simulator
+//! events dispatched, and the campaign runner brackets each cell with
+//! [`take_cell_events`] to attribute the count to that cell. Both sides
+//! touch only a thread-local `Cell`, so the accounting is free of
+//! synchronization and safe with any number of workers.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CELL_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credit `n` simulator events to the cell currently running on this
+/// thread. No-op outside a campaign (the count is simply never taken).
+pub fn add_cell_events(n: u64) {
+    CELL_EVENTS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Take and reset this thread's event count. Campaign workers call this
+/// after each cell; calling it before running a cell discards leftovers
+/// from unrelated work on the same thread.
+pub fn take_cell_events() -> u64 {
+    CELL_EVENTS.with(|c| c.replace(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_resets() {
+        take_cell_events();
+        add_cell_events(3);
+        add_cell_events(4);
+        assert_eq!(take_cell_events(), 7);
+        assert_eq!(take_cell_events(), 0);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        take_cell_events();
+        add_cell_events(5);
+        let other = std::thread::spawn(|| {
+            add_cell_events(1);
+            take_cell_events()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1);
+        assert_eq!(take_cell_events(), 5);
+    }
+}

@@ -99,6 +99,9 @@ pub struct Suss {
     exp_growth: bool,
     /// Total pacing periods started (diagnostics).
     pacing_periods: u64,
+    /// Optional registry-backed counter mirroring `pacing_periods`
+    /// (`suss.pacing_rounds`), wired via [`Suss::bind_metrics`].
+    ctr_pacing_rounds: Option<simtrace::Counter>,
 }
 
 impl Suss {
@@ -124,7 +127,16 @@ impl Suss {
             cap: None,
             exp_growth: true,
             pacing_periods: 0,
+            ctr_pacing_rounds: None,
         }
+    }
+
+    /// Register the `suss.pacing_rounds` counter on a simulation-wide
+    /// metric registry. Without this call the state machine still tracks
+    /// [`Suss::pacing_periods`] locally; binding just mirrors each start
+    /// into the shared registry.
+    pub fn bind_metrics(&mut self, registry: &simtrace::Registry) {
+        self.ctr_pacing_rounds = Some(registry.counter(simtrace::names::SUSS_PACING_ROUNDS));
     }
 
     /// The configuration in use.
@@ -163,6 +175,9 @@ impl Suss {
     pub fn mark_pacing_started(&mut self, snd_nxt: u64) {
         self.tracker.mark_pacing_started(snd_nxt);
         self.pacing_periods += 1;
+        if let Some(c) = &self.ctr_pacing_rounds {
+            c.inc();
+        }
     }
 
     /// Slow-start ended (loss, ssthresh crossing, or our own exit signal):

@@ -114,6 +114,12 @@ pub trait CongestionControl {
     fn take_events(&mut self) -> Vec<CcEvent> {
         Vec::new()
     }
+
+    /// Attach metric handles from the owning simulation's registry.
+    /// Called once when the endpoint is wired into a simulation.
+    /// Controllers with internal state machines (SUSS) register their own
+    /// counters here; the default registers nothing.
+    fn bind_metrics(&mut self, _registry: &simtrace::Registry) {}
 }
 
 /// Events a controller reports into the connection trace.

@@ -28,6 +28,9 @@ pub fn install_flow(
 ) -> FlowEnds {
     let sender = sim.add_agent(Box::new(SenderEndpoint::new(cfg, flow, cc)));
     let receiver = sim.add_agent(Box::new(ReceiverEndpoint::new(flow, policy)));
+    let registry = sim.metrics().clone();
+    sim.agent_mut::<SenderEndpoint>(sender)
+        .bind_metrics(&registry);
     sim.agent_mut::<SenderEndpoint>(sender).set_peer(receiver);
     sim.agent_mut::<ReceiverEndpoint>(receiver).set_peer(sender);
     FlowEnds {

@@ -19,6 +19,7 @@ use crate::rtt::RttEstimator;
 use crate::segment::{AckSeg, DataSeg};
 use crate::trace::{ConnTrace, FlowStats, TraceEvent, TraceSample};
 use netsim::{Agent, Ctx, FlowId, LinkId, NodeId, Packet, SimTime};
+use simtrace::{names, Counter, Registry};
 use std::any::Any;
 
 /// Timer token kinds (low 3 bits of the token).
@@ -68,6 +69,30 @@ impl SenderConfig {
     pub fn with_tracing(mut self) -> Self {
         self.trace_sampling = true;
         self
+    }
+}
+
+/// Registry-backed counter handles shared by every sender in a
+/// simulation. Increments land on the sim-wide registry, so one snapshot
+/// covers all flows.
+#[derive(Debug, Clone)]
+struct SenderMetrics {
+    segs_sent: Counter,
+    retransmits: Counter,
+    rtos: Counter,
+    fast_retransmits: Counter,
+    hystart_exits: Counter,
+}
+
+impl SenderMetrics {
+    fn bind(registry: &Registry) -> Self {
+        SenderMetrics {
+            segs_sent: registry.counter(names::TCP_SEGS_SENT),
+            retransmits: registry.counter(names::TCP_RETRANSMITS),
+            rtos: registry.counter(names::TCP_RTOS),
+            fast_retransmits: registry.counter(names::TCP_FAST_RETRANSMITS),
+            hystart_exits: registry.counter(names::CC_HYSTART_EXITS),
+        }
     }
 }
 
@@ -125,6 +150,9 @@ pub struct SenderEndpoint {
     pub trace: ConnTrace,
     /// Final flow statistics.
     pub stats: FlowStats,
+    /// Sim-wide counter handles, once wired (see
+    /// [`bind_metrics`](Self::bind_metrics)).
+    metrics: Option<SenderMetrics>,
 }
 
 impl SenderEndpoint {
@@ -171,7 +199,17 @@ impl SenderEndpoint {
             peer_rwnd: 65_535,
             trace,
             stats,
+            metrics: None,
         }
+    }
+
+    /// Register this sender's counters (and its controller's) on the
+    /// simulation-wide metric registry. Called by
+    /// [`crate::flow::install_flow`]; harmless to skip for ad-hoc setups —
+    /// counting is simply disabled.
+    pub fn bind_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(SenderMetrics::bind(registry));
+        self.cc.bind_metrics(registry);
     }
 
     /// Wire the egress half-link this endpoint transmits on.
@@ -326,6 +364,12 @@ impl SenderEndpoint {
             ctx.send(out, Packet::with_payload(self.flow, me, peer, wire, seg));
             self.pacer.on_sent(now_ns, u64::from(wire));
             self.stats.segs_sent += 1;
+            if let Some(m) = &self.metrics {
+                m.segs_sent.inc();
+                if is_rtx {
+                    m.retransmits.inc();
+                }
+            }
             if is_rtx {
                 self.stats.segs_retransmitted += 1;
                 self.rtx_sent.insert(range);
@@ -371,10 +415,16 @@ impl SenderEndpoint {
         match kind {
             LossKind::FastRetransmit => {
                 self.stats.fast_retransmits += 1;
+                if let Some(m) = &self.metrics {
+                    m.fast_retransmits.inc();
+                }
                 self.trace.event(now, TraceEvent::FastRetransmit);
             }
             LossKind::Timeout => {
                 self.stats.rtos += 1;
+                if let Some(m) = &self.metrics {
+                    m.rtos.inc();
+                }
                 self.trace.event(now, TraceEvent::Rto);
             }
         }
@@ -519,6 +569,14 @@ impl SenderEndpoint {
             app_limited: self.app_limited,
         });
         if was_slow_start && !self.cc.in_slow_start() {
+            // A loss-driven exit happens inside on_congestion_event, before
+            // `was_slow_start` is read — so a transition across `on_ack`
+            // outside recovery is the controller's own (HyStart/SUSS) exit.
+            if self.recovery_point.is_none() {
+                if let Some(m) = &self.metrics {
+                    m.hystart_exits.inc();
+                }
+            }
             self.trace.event(
                 now,
                 TraceEvent::SlowStartExit {
@@ -535,6 +593,8 @@ impl SenderEndpoint {
             self.trace.event(now, TraceEvent::FlowComplete);
             self.disarm_rto();
             self.trace_sample(now);
+            // Keep the completion-time sample even under decimation.
+            self.trace.flush_last();
             return;
         }
 

@@ -5,6 +5,7 @@
 //! Traces are the raw material for Figures 1, 9, 10, 13 and 16.
 
 use netsim::SimTime;
+use simtrace::{kind, EventSink, TraceRecord};
 use std::time::Duration;
 
 /// One per-ACK sample of sender state.
@@ -62,6 +63,10 @@ pub struct ConnTrace {
     pub decimation: u32,
     /// Samples offered since the last one kept.
     skipped: u32,
+    /// The most recently *skipped* sample, so the flow's final state can
+    /// be recovered by [`ConnTrace::flush_last`] even when decimation
+    /// would have dropped it.
+    pending: Option<TraceSample>,
 }
 
 impl ConnTrace {
@@ -96,6 +101,20 @@ impl ConnTrace {
         self.skipped += 1;
         if self.skipped >= self.decimation.max(1) {
             self.skipped = 0;
+            self.pending = None;
+            self.samples.push(s);
+        } else {
+            self.pending = Some(s);
+        }
+    }
+
+    /// Promote the most recently skipped sample, if any. The transport
+    /// calls this at flow completion (and harnesses may call it at a run
+    /// horizon) so the final sample — the one that pins FCT-adjacent
+    /// plots — survives any `decimation > 1`.
+    pub fn flush_last(&mut self) {
+        if let Some(s) = self.pending.take() {
+            self.skipped = 0;
             self.samples.push(s);
         }
     }
@@ -121,6 +140,39 @@ impl ConnTrace {
     /// Count of events equal to `e`.
     pub fn count_events(&self, e: TraceEvent) -> usize {
         self.events.iter().filter(|(_, x)| *x == e).count()
+    }
+
+    /// Export the whole trace (samples, then events) to a structured
+    /// [`EventSink`] using the common record schema, tagged with the flow
+    /// id and an optional run label.
+    pub fn export(&self, flow: u64, run: Option<&str>, sink: &mut dyn EventSink) {
+        for s in &self.samples {
+            let mut rec = TraceRecord::event(s.t.as_nanos(), flow, kind::SAMPLE);
+            rec.cwnd = Some(s.cwnd);
+            rec.inflight = Some(s.inflight);
+            rec.delivered = Some(s.delivered);
+            rec.rtt_ns = s.rtt.map(|d| d.as_nanos() as u64);
+            rec.srtt_ns = s.srtt.map(|d| d.as_nanos() as u64);
+            rec.run = run.map(str::to_string);
+            sink.record(&rec);
+        }
+        for (t, e) in &self.events {
+            let (k, cwnd, value) = match e {
+                TraceEvent::FlowStart => (kind::FLOW_START, None, None),
+                TraceEvent::SlowStartExit { cwnd } => (kind::SLOW_START_EXIT, Some(*cwnd), None),
+                TraceEvent::FastRetransmit => (kind::FAST_RETRANSMIT, None, None),
+                TraceEvent::Rto => (kind::RTO, None, None),
+                TraceEvent::SussPacing { growth_factor } => {
+                    (kind::SUSS_PACING, None, Some(f64::from(*growth_factor)))
+                }
+                TraceEvent::FlowComplete => (kind::FLOW_COMPLETE, None, None),
+            };
+            let mut rec = TraceRecord::event(t.as_nanos(), flow, k);
+            rec.cwnd = cwnd;
+            rec.value = value;
+            rec.run = run.map(str::to_string);
+            sink.record(&rec);
+        }
     }
 }
 
@@ -184,6 +236,95 @@ mod tests {
         assert_eq!(t.samples.len(), 3);
         assert_eq!(t.samples[0].delivered, 2);
         assert_eq!(t.samples[2].delivered, 8);
+    }
+
+    #[test]
+    fn flush_last_retains_final_decimated_sample() {
+        // Regression: with keep_every > 1 the final sample used to be
+        // silently dropped whenever the flow length was not a multiple of
+        // the decimation factor, skewing FCT-adjacent plots.
+        let mut t = ConnTrace::decimated(3);
+        for ms in 0..10u64 {
+            t.sample(TraceSample {
+                t: SimTime::from_millis(ms),
+                cwnd: ms,
+                inflight: 0,
+                delivered: ms,
+                rtt: None,
+                srtt: None,
+            });
+        }
+        // 10 offers at n=3 keep samples 2, 5, 8; sample 9 is pending.
+        assert_eq!(t.samples.len(), 3);
+        t.flush_last();
+        assert_eq!(t.samples.len(), 4);
+        assert_eq!(t.samples.last().unwrap().delivered, 9);
+        // Idempotent: nothing pending after a flush.
+        t.flush_last();
+        assert_eq!(t.samples.len(), 4);
+    }
+
+    #[test]
+    fn flush_last_no_duplicate_when_final_sample_was_kept() {
+        let mut t = ConnTrace::decimated(3);
+        for ms in 0..9u64 {
+            t.sample(TraceSample {
+                t: SimTime::from_millis(ms),
+                cwnd: 0,
+                inflight: 0,
+                delivered: ms,
+                rtt: None,
+                srtt: None,
+            });
+        }
+        // Sample 8 was kept by decimation; flush must not re-add it.
+        assert_eq!(t.samples.len(), 3);
+        t.flush_last();
+        assert_eq!(t.samples.len(), 3);
+    }
+
+    #[test]
+    fn export_emits_samples_and_events() {
+        let mut t = ConnTrace::enabled();
+        t.event(SimTime::from_millis(0), TraceEvent::FlowStart);
+        t.sample(TraceSample {
+            t: SimTime::from_millis(1),
+            cwnd: 1000,
+            inflight: 500,
+            delivered: 100,
+            rtt: Some(Duration::from_millis(10)),
+            srtt: None,
+        });
+        t.event(
+            SimTime::from_millis(2),
+            TraceEvent::SussPacing { growth_factor: 4 },
+        );
+        t.event(
+            SimTime::from_millis(3),
+            TraceEvent::SlowStartExit { cwnd: 9000 },
+        );
+        let mut sink = simtrace::VecSink::new();
+        t.export(7, Some("arm"), &mut sink);
+        assert_eq!(sink.records.len(), 4);
+        let sample = &sink.records[0];
+        assert_eq!(sample.kind, kind::SAMPLE);
+        assert_eq!(sample.flow, Some(7));
+        assert_eq!(sample.cwnd, Some(1000));
+        assert_eq!(sample.rtt_ns, Some(10_000_000));
+        assert_eq!(sample.srtt_ns, None);
+        assert_eq!(sample.run.as_deref(), Some("arm"));
+        let pacing = sink
+            .records
+            .iter()
+            .find(|r| r.kind == kind::SUSS_PACING)
+            .unwrap();
+        assert_eq!(pacing.value, Some(4.0));
+        let exit = sink
+            .records
+            .iter()
+            .find(|r| r.kind == kind::SLOW_START_EXIT)
+            .unwrap();
+        assert_eq!(exit.cwnd, Some(9000));
     }
 
     #[test]

@@ -10,6 +10,21 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== suss-trace smoke =="
+# A tiny traced download must produce JSONL that parses, carries non-zero
+# counters, and dumps a cwnd timeseries.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SUSS_TRACE="$SMOKE_DIR/smoke.jsonl" \
+    cargo run --release -q --bin suss-sim -- --size 300K --cc suss >/dev/null
+cargo run --release -q -p simtrace --bin suss-trace -- verify "$SMOKE_DIR/smoke.jsonl"
+rows=$(cargo run --release -q -p simtrace --bin suss-trace -- \
+    dump "$SMOKE_DIR/smoke.jsonl" --flow 1 --csv | wc -l)
+if [ "$rows" -lt 2 ]; then
+    echo "suss-trace dump produced no samples" >&2
+    exit 1
+fi
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 

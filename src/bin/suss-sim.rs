@@ -77,6 +77,37 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Write the flow's samples, events, and counters as JSONL (flow id 1,
+/// run label = the controller's name), for `suss-trace` to query.
+fn export_trace(path: &str, out: &suss_repro::exp::FlowOutcome, run: &str) {
+    use simtrace::EventSink as _;
+    let path = std::path::Path::new(path);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            return;
+        }
+    };
+    let mut sink = simtrace::JsonlSink::new(std::io::BufWriter::new(file));
+    out.trace.export(1, Some(run), &mut sink);
+    let t_end = out
+        .trace
+        .samples
+        .last()
+        .map(|s| s.t.as_nanos())
+        .max(out.trace.events.last().map(|(t, _)| t.as_nanos()))
+        .unwrap_or(0);
+    simtrace::export_counters(&out.counters, t_end, Some(run), &mut sink);
+    match sink.flush() {
+        Ok(()) => eprintln!("trace: {}", path.display()),
+        Err(e) => eprintln!("trace write failed: {e}"),
+    }
+}
+
 fn main() {
     let mut site = ServerSite::GoogleTokyo;
     let mut hop = LastHop::WiFi;
@@ -125,6 +156,11 @@ fn main() {
         }
         i += 1;
     }
+    // `SUSS_TRACE=path` implies tracing: the export needs the samples.
+    let trace_out = std::env::var("SUSS_TRACE").ok().filter(|p| !p.is_empty());
+    if trace_out.is_some() {
+        trace = true;
+    }
 
     let path = PathScenario::new(site, hop);
     println!(
@@ -161,6 +197,9 @@ fn main() {
                 println!("slow-start exit: t = {:.3} s", t.as_secs_f64());
             }
             println!("trace samples  : {}", out.trace.samples.len());
+        }
+        if let Some(path) = &trace_out {
+            export_trace(path, &out, &cc.label());
         }
     } else {
         let mut grid = FlowGrid::new("suss-sim");
