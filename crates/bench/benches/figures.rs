@@ -84,10 +84,12 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| experiments::ablations::kmax_sweep(&[workload::MB], &[1, 2], 1, 1, &opts))
     });
     c.bench_function("ablation_btlbw", |b| {
-        b.iter(|| experiments::ablations::btlbw_variation(2 * workload::MB, 1))
+        let opts = simrunner::RunnerOpts::serial();
+        b.iter(|| experiments::ablations::btlbw_sweep(2 * workload::MB, 1, 1, &opts))
     });
     c.bench_function("ablation_burst", |b| {
-        b.iter(|| experiments::ablations::burst_ablation(workload::MB, 1))
+        let opts = simrunner::RunnerOpts::serial();
+        b.iter(|| experiments::ablations::burst_ablation(workload::MB, 1, 1, &opts))
     });
 }
 

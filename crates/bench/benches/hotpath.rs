@@ -73,6 +73,52 @@ fn bench_sim_throughput(c: &mut Criterion) {
     });
 }
 
+/// Event-queue microbench: pure scheduler churn (trivial agent callbacks)
+/// under each engine, so the per-event push/pop cost dominates. The same
+/// seeded workload runs on the binary-heap baseline and the timer wheel;
+/// `scripts/bench_snapshot.sh` records the ratio in `BENCH_hotpath.json`.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for (label, engine) in [
+        ("heap", netsim::EngineConfig::baseline()),
+        ("wheel", netsim::EngineConfig::default()),
+    ] {
+        g.bench_function(format!("timer_churn_4k_{label}"), |b| {
+            b.iter(|| suss_bench::timer_churn(engine, 4_096, 50_000))
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end events/sec A/B: the same dumbbell download under the
+/// baseline (heap, no pooling) and default (wheel + pooling) engines.
+/// Results are byte-identical by the scheduler-equivalence contract; only
+/// wall time differs.
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    let scn =
+        workload::PathScenario::new(workload::ServerSite::GoogleTokyo, workload::LastHop::Wired);
+    let mut g = c.benchmark_group("engine_end_to_end");
+    for (label, engine) in [
+        ("heap", netsim::EngineConfig::baseline()),
+        ("wheel", netsim::EngineConfig::default()),
+    ] {
+        g.bench_function(format!("tokyo_wired_2mb_{label}"), |b| {
+            b.iter(|| {
+                experiments::run_flow_engine(
+                    &scn,
+                    CcKind::CubicSuss,
+                    2 * workload::MB,
+                    1,
+                    false,
+                    netsim::SimTime::from_secs(600),
+                    engine,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_suss_decision(c: &mut Criterion) {
     c.bench_function("suss_growth_factor", |b| {
         let cfg = suss_core::SussConfig::default();
@@ -89,6 +135,7 @@ fn bench_suss_decision(c: &mut Criterion) {
 criterion_group! {
     name = hotpath;
     config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
-    targets = bench_cc_on_ack, bench_sim_throughput, bench_suss_decision
+    targets = bench_cc_on_ack, bench_sim_throughput, bench_event_queue,
+              bench_engine_end_to_end, bench_suss_decision
 }
 criterion_main!(hotpath);

@@ -1,18 +1,16 @@
 //! Appendix B ablation: bottleneck-bandwidth variation mid-slow-start.
 
-use experiments::ablations::{btlbw_table, btlbw_variation};
-use suss_bench::BinOpts;
+use experiments::ablations::btlbw_sweep;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
-    let size = if o.quick {
-        3 * workload::MB
+    let o = BenchCli::parse("ablation_btlbw");
+    let (size, iters) = if o.quick {
+        (3 * workload::MB, 1)
     } else {
-        10 * workload::MB
+        (10 * workload::MB, 5)
     };
-    let results = btlbw_variation(size, 1);
-    o.emit(
-        "Appendix B — BtlBw variation robustness",
-        &btlbw_table(&results),
-    );
+    let (t, manifest) = btlbw_sweep(size, iters, 1, &o.runner());
+    o.write_manifest(&manifest);
+    o.emit("Appendix B — BtlBw variation robustness", &t);
 }

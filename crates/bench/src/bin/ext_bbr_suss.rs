@@ -2,10 +2,10 @@
 //! boosts vs plain BBRv1.
 
 use experiments::extensions::bbr_suss_sweep;
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("ext_bbr_suss");
     let (sizes, iters): (Vec<u64>, u64) = if o.quick {
         (vec![workload::MB, 2 * workload::MB], 2)
     } else {
@@ -20,6 +20,7 @@ fn main() {
             10,
         )
     };
-    let t = bbr_suss_sweep(&sizes, iters, 1);
+    let (t, manifest) = bbr_suss_sweep(&sizes, iters, 1, &o.runner());
+    o.write_manifest(&manifest);
     o.emit("Extension — BBR+SUSS vs BBR (paper §7 future work)", &t);
 }

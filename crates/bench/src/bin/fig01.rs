@@ -1,10 +1,10 @@
 //! Figure 1: slow-start under-utilization (CUBIC & BBR vs. the θ line).
 
 use experiments::fig01::{run, Fig01Params};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig01");
     let p = if o.quick {
         Fig01Params::quick()
     } else {

@@ -1,17 +1,17 @@
 //! Figure 2: a new flow competing against four established flows.
 
 use experiments::fig02::{run, Fig02Params};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig02");
     let p = if o.quick {
         Fig02Params::quick()
     } else {
         Fig02Params::paper()
     };
     let r = run(&p);
-    if let Some(mut sink) = o.open_trace("fig02") {
+    if let Some(mut sink) = o.open_trace() {
         // Both arms share one file; dumbbell flow ids are 1-based, the
         // joining flow is id 5.
         for (label, out) in [("cubic", &r.cubic), ("bbr", &r.bbr)] {
@@ -21,7 +21,7 @@ fn main() {
                 .enumerate()
                 .map(|(i, f)| (i as u64 + 1, f))
                 .collect();
-            BinOpts::export_run(&mut sink, Some(label), &flows);
+            BenchCli::export_run(&mut sink, Some(label), &flows);
         }
     }
     o.emit(

@@ -1,19 +1,19 @@
 //! Figure 9: cwnd and RTT dynamics with SUSS on vs. off.
 
 use experiments::fig09::{run, Fig09Params};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig09");
     let p = if o.quick {
         Fig09Params::quick()
     } else {
         Fig09Params::paper()
     };
     let r = run(&p);
-    if let Some(mut sink) = o.open_trace("fig09") {
-        BinOpts::export_run(&mut sink, Some("suss-on"), &[(1, &r.suss_on)]);
-        BinOpts::export_run(&mut sink, Some("suss-off"), &[(1, &r.suss_off)]);
+    if let Some(mut sink) = o.open_trace() {
+        BenchCli::export_run(&mut sink, Some("suss-on"), &[(1, &r.suss_on)]);
+        BenchCli::export_run(&mut sink, Some("suss-off"), &[(1, &r.suss_off)]);
     }
     o.emit(
         &format!("Fig. 9 — cwnd/RTT dynamics on {}", r.scenario.id()),

@@ -2,10 +2,10 @@
 
 use experiments::fig09::{run, Fig09Params};
 use netsim::SimTime;
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig10");
     let p = if o.quick {
         Fig09Params::quick()
     } else {

@@ -1,10 +1,10 @@
 //! Figure 11: FCT vs flow size for the four Tokyo-server scenarios.
 
 use experiments::fct_sweep::{fig11_scenarios, sweep_matrix, SweepParams};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig11");
     let p = if o.quick {
         SweepParams::quick()
     } else {
@@ -17,5 +17,5 @@ fn main() {
             &sweep.to_table(),
         );
     }
-    o.write_manifest("fig11", &m.manifest);
+    o.write_manifest(&m.manifest);
 }

@@ -2,10 +2,10 @@
 
 use experiments::fct_sweep::{fig11_scenarios, sweep_matrix, SweepParams};
 use simstats::{fmt_bytes, fmt_pct, TextTable};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig12");
     let p = if o.quick {
         SweepParams::quick()
     } else {
@@ -31,5 +31,5 @@ fn main() {
             fmt_pct(s.mean_improvement_below(2 * workload::MB))
         );
     }
-    o.write_manifest("fig12", &m.manifest);
+    o.write_manifest(&m.manifest);
 }

@@ -1,10 +1,10 @@
 //! Figure 13: SUSS has no impact on large flows (100 MB transfer).
 
 use experiments::fig13::{run, Fig13Params};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig13");
     let p = if o.quick {
         Fig13Params::quick()
     } else {

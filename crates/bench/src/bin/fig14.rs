@@ -1,10 +1,10 @@
 //! Figure 14: packet loss vs flow size (London server → Sweden 5G).
 
 use experiments::loss::{fig14_scenario, sweep_matrix, LossParams};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig14");
     let p = if o.quick {
         LossParams::quick()
     } else {
@@ -16,5 +16,5 @@ fn main() {
         &format!("Fig. 14 — retransmission rate, {}", sweep.scenario.id()),
         &sweep.to_table(),
     );
-    o.write_manifest("fig14", &m.manifest);
+    o.write_manifest(&m.manifest);
 }

@@ -1,10 +1,10 @@
 //! Figure 15: Jain fairness dynamics across minRTT × buffer grid.
 
 use experiments::fairness::{run_with, to_table, FairnessParams};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig15");
     let p = if o.quick {
         FairnessParams::quick()
     } else {
@@ -15,5 +15,5 @@ fn main() {
         "Fig. 15 — fairness recovery after a fifth flow joins",
         &to_table(&cells),
     );
-    o.write_manifest("fig15", &manifest);
+    o.write_manifest(&manifest);
 }

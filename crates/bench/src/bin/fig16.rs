@@ -2,10 +2,10 @@
 
 use experiments::stability::{fig16_timeline, StabilityParams};
 use std::time::Duration;
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig16");
     let p = if o.quick {
         StabilityParams::quick()
     } else {

@@ -2,11 +2,11 @@
 
 use experiments::loss::{sweep_matrix, LossParams};
 use simstats::TextTable;
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 use workload::PathScenario;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig17");
     let p = if o.quick {
         LossParams {
             sizes: vec![4 * workload::MB],
@@ -35,5 +35,5 @@ fn main() {
         ]);
     }
     o.emit("Fig. 17 — retransmission rates, all 28 scenarios", &t);
-    o.write_manifest("fig17", &m.manifest);
+    o.write_manifest(&m.manifest);
 }

@@ -2,10 +2,10 @@
 
 use experiments::fct_sweep::{fig18_scenarios, sweep_matrix, SweepParams};
 use simstats::{fmt_pct, TextTable};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("fig18");
     let p = if o.quick {
         SweepParams {
             sizes: vec![workload::MB, 4 * workload::MB],
@@ -51,5 +51,5 @@ fn main() {
     }
     o.emit("Fig. 18 — FCT across all 28 scenarios", &t);
     println!("SUSS beats plain CUBIC in {wins}/{cells} cells");
-    o.write_manifest("fig18", &m.manifest);
+    o.write_manifest(&m.manifest);
 }

@@ -1,10 +1,10 @@
 //! Table 1: stability of a large flow vs SUSS-accelerated small flows.
 
 use experiments::stability::{run_with, to_table, StabilityParams};
-use suss_bench::BinOpts;
+use suss_bench::BenchCli;
 
 fn main() {
-    let o = BinOpts::from_args();
+    let o = BenchCli::parse("table1");
     let p = if o.quick {
         StabilityParams::quick()
     } else {
@@ -27,5 +27,5 @@ fn main() {
             avg * 100.0
         );
     }
-    o.write_manifest("table1", &manifest);
+    o.write_manifest(&manifest);
 }

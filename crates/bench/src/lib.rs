@@ -6,20 +6,84 @@
 //! Every binary accepts `--quick` to run the scaled-down parameter set
 //! (useful for smoke tests; the default is the full paper-scale run) and
 //! `--csv` to emit machine-readable output after the human-readable
-//! table. Binaries whose experiment runs as a simrunner campaign also
-//! accept the parallel-execution flags (`--workers`, `--no-cache`,
-//! `--cold`, `--no-progress`), cache results under `results/cache/`, and
-//! write a run manifest to `results/<figure>.manifest.json`.
+//! table. All experiments run as simrunner campaigns, so every binary
+//! also accepts the parallel-execution flags (`--workers`, `--no-cache`,
+//! `--cold`, `--no-progress`), caches results under `results/cache/`, and
+//! writes a run manifest to `results/<name>.manifest.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use netsim::{Agent, Ctx, EngineConfig, Packet, Sim, SimTime};
 use simrunner::{RunManifest, RunnerOpts};
+use std::any::Any;
 use std::path::PathBuf;
+use std::time::Duration;
 
-/// Command-line options shared by all figure binaries.
-#[derive(Debug, Clone, Default)]
-pub struct BinOpts {
+/// Synthetic scheduler workload for the event-queue microbench: one agent
+/// keeps `pending` timers armed at all times, re-arming each as it fires
+/// with a deterministic pseudo-random delay (1 µs – 300 ms, so the far tail
+/// also exercises the wheel's overflow level). The event queue is the only
+/// non-trivial work, which isolates per-event scheduler cost.
+///
+/// Returns the number of events dispatched (≥ `events`), so callers can
+/// fold it into a benchmark result and keep the optimizer honest.
+pub fn timer_churn(engine: EngineConfig, pending: u64, events: u64) -> u64 {
+    struct Churn {
+        pending: u64,
+        lcg: u64,
+    }
+    impl Churn {
+        fn next_delay(&mut self) -> Duration {
+            // SplitMix64-style step; cheap and deterministic.
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Duration::from_nanos(1_000 + (self.lcg >> 16) % 300_000_000)
+        }
+    }
+    impl Agent for Churn {
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+            let d = self.next_delay();
+            ctx.set_timer(ctx.now() + d, token);
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for token in 0..self.pending {
+                let d = self.next_delay();
+                ctx.set_timer(ctx.now() + d, token);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    let mut sim = Sim::with_engine(7, engine);
+    sim.add_agent(Box::new(Churn {
+        pending,
+        lcg: 0x9E37_79B9_7F4A_7C15,
+    }));
+    sim.run_while(SimTime::from_secs(86_400), |s| {
+        s.events_dispatched() < events
+    });
+    sim.events_dispatched()
+}
+
+/// The shared command line of every figure/table/ablation binary.
+///
+/// Construct with [`BenchCli::parse`], passing the binary's artifact name
+/// once; the manifest and trace paths (`results/<name>.manifest.json`,
+/// `results/<name>.trace.jsonl`) derive from it, so binaries never thread
+/// their own name through each call.
+#[derive(Debug, Clone)]
+pub struct BenchCli {
+    /// Artifact name (manifest/trace file stem under `results/`).
+    name: &'static str,
     /// Run the scaled-down parameter set.
     pub quick: bool,
     /// Also emit CSV.
@@ -33,16 +97,26 @@ pub struct BinOpts {
     /// Suppress the stderr progress stream.
     pub no_progress: bool,
     /// Structured JSONL trace output, from `--trace [path]` or
-    /// `SUSS_TRACE=path`. An empty path means "trace to the binary's
-    /// default `results/<name>.trace.jsonl`" — resolve it with
-    /// [`BinOpts::trace_path`].
+    /// `SUSS_TRACE=path`. An empty path means "trace to the default
+    /// `results/<name>.trace.jsonl`" — resolve it with
+    /// [`BenchCli::trace_path`].
     pub trace: Option<PathBuf>,
 }
 
-impl BinOpts {
-    /// Parse from `std::env::args`.
-    pub fn from_args() -> Self {
-        let mut o = BinOpts::default();
+impl BenchCli {
+    /// Parse `std::env::args` for the binary publishing artifacts under
+    /// `results/<name>.*`.
+    pub fn parse(name: &'static str) -> Self {
+        let mut o = BenchCli {
+            name,
+            quick: false,
+            csv: false,
+            workers: 0,
+            no_cache: false,
+            cold: false,
+            no_progress: false,
+            trace: None,
+        };
         let mut args = std::env::args().skip(1).peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -71,7 +145,7 @@ impl BinOpts {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--quick] [--csv] [--workers N] [--no-cache] \
+                        "usage: {name} [--quick] [--csv] [--workers N] [--no-cache] \
                          [--cold] [--no-progress] [--trace [PATH]]"
                     );
                     std::process::exit(0);
@@ -92,13 +166,17 @@ impl BinOpts {
         o
     }
 
-    /// The resolved JSONL trace path, if tracing was requested. `name`
-    /// supplies the default `results/<name>.trace.jsonl` for a bare
-    /// `--trace`.
-    pub fn trace_path(&self, name: &str) -> Option<PathBuf> {
+    /// The binary's artifact name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The resolved JSONL trace path, if tracing was requested; a bare
+    /// `--trace` defaults to `results/<name>.trace.jsonl`.
+    pub fn trace_path(&self) -> Option<PathBuf> {
         let p = self.trace.as_ref()?;
         if p.as_os_str().is_empty() {
-            Some(PathBuf::from("results").join(format!("{name}.trace.jsonl")))
+            Some(PathBuf::from("results").join(format!("{}.trace.jsonl", self.name)))
         } else {
             Some(p.clone())
         }
@@ -109,11 +187,8 @@ impl BinOpts {
     /// announced on stderr. Call [`simtrace::EventSink::flush`] — or let
     /// the process exit via the sink's buffered writer being dropped at
     /// end of `main` — after exporting.
-    pub fn open_trace(
-        &self,
-        name: &str,
-    ) -> Option<simtrace::JsonlSink<std::io::BufWriter<std::fs::File>>> {
-        let path = self.trace_path(name)?;
+    pub fn open_trace(&self) -> Option<simtrace::JsonlSink<std::io::BufWriter<std::fs::File>>> {
+        let path = self.trace_path()?;
         if let Some(parent) = path.parent() {
             if let Err(e) = std::fs::create_dir_all(parent) {
                 eprintln!("cannot create {}: {e}", parent.display());
@@ -147,8 +222,8 @@ impl BinOpts {
     }
 
     /// Write a campaign manifest to `results/<name>.manifest.json`.
-    pub fn write_manifest(&self, name: &str, m: &RunManifest) {
-        let path = PathBuf::from("results").join(format!("{name}.manifest.json"));
+    pub fn write_manifest(&self, m: &RunManifest) {
+        let path = PathBuf::from("results").join(format!("{}.manifest.json", self.name));
         match m.write(&path) {
             Ok(()) => eprintln!("manifest: {}", path.display()),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),

@@ -65,17 +65,6 @@ pub fn kmax_sweep(
     (t, run.manifest)
 }
 
-/// Appendix B result: FCT and loss with a mid-slow-start bandwidth change.
-#[derive(Debug)]
-pub struct BtlBwResult {
-    /// Description of the rate change.
-    pub label: String,
-    /// SUSS on.
-    pub suss: FlowOutcome,
-    /// SUSS off.
-    pub cubic: FlowOutcome,
-}
-
 /// Run one flow over a path whose bottleneck follows `sched`.
 fn run_scheduled(
     kind: CcKind,
@@ -85,7 +74,7 @@ fn run_scheduled(
     seed: u64,
 ) -> FlowOutcome {
     let mut sim = Sim::new(seed);
-    let cfg = SenderConfig::bulk(flow_bytes).with_tracing();
+    let cfg = SenderConfig::bulk(flow_bytes);
     let ends = install_flow(
         &mut sim,
         FlowId(1),
@@ -123,8 +112,14 @@ fn run_scheduled(
     }
 }
 
-/// Appendix B: bandwidth drop and rise cases.
-pub fn btlbw_variation(flow_bytes: u64, seed: u64) -> Vec<BtlBwResult> {
+/// Appendix B: FCT and loss with a mid-slow-start bandwidth change
+/// (drop and rise cases), run as one [`FlowGrid`] campaign.
+pub fn btlbw_sweep(
+    flow_bytes: u64,
+    iters: u64,
+    seed_base: u64,
+    opts: &RunnerOpts,
+) -> (TextTable, RunManifest) {
     // The change lands mid-slow-start (~2 RTTs in on a 150 ms path).
     let drop = RateSchedule::steps(vec![
         (SimTime::ZERO, Bandwidth::from_mbps(100)),
@@ -134,18 +129,33 @@ pub fn btlbw_variation(flow_bytes: u64, seed: u64) -> Vec<BtlBwResult> {
         (SimTime::ZERO, Bandwidth::from_mbps(40)),
         (SimTime::from_millis(400), Bandwidth::from_mbps(100)),
     ]);
-    [("drop 100→40 Mbps", drop), ("rise 40→100 Mbps", rise)]
-        .into_iter()
-        .map(|(label, sched)| BtlBwResult {
-            label: label.to_string(),
-            suss: run_scheduled(CcKind::CubicSuss, sched.clone(), flow_bytes, 75, seed),
-            cubic: run_scheduled(CcKind::Cubic, sched, flow_bytes, 75, seed),
-        })
-        .collect()
-}
+    let cases = [
+        ("drop 100→40 Mbps", "drop100-40", drop),
+        ("rise 40→100 Mbps", "rise40-100", rise),
+    ];
 
-/// Render the Appendix B comparison.
-pub fn btlbw_table(results: &[BtlBwResult]) -> TextTable {
+    let mut grid = FlowGrid::new("ablation_btlbw");
+    let batches: Vec<_> = cases
+        .into_iter()
+        .map(|(label, tag, sched)| {
+            let mut arm = |kind: CcKind| {
+                let s = sched.clone();
+                grid.batch_fn(
+                    &format!("btlbw/{tag}/{}/{}B", kind.label(), flow_bytes),
+                    &format!(
+                        "topo=btlbw sched={tag}@400ms owd=75ms buf=1.0bdp cc={} size={flow_bytes}",
+                        kind.label()
+                    ),
+                    iters,
+                    seed_base,
+                    move |seed| run_scheduled(kind, s.clone(), flow_bytes, 75, seed),
+                )
+            };
+            (label, arm(CcKind::CubicSuss), arm(CcKind::Cubic))
+        })
+        .collect();
+    let run = grid.run(opts);
+
     let mut t = TextTable::new(vec![
         "case",
         "suss-fct(s)",
@@ -154,17 +164,23 @@ pub fn btlbw_table(results: &[BtlBwResult]) -> TextTable {
         "suss-drops",
         "cubic-drops",
     ]);
-    for r in results {
+    for (label, suss_b, cubic_b) in batches {
+        let (suss, cubic) = (run.fct(suss_b).mean, run.fct(cubic_b).mean);
+        let drops = |b| {
+            run.summary(b, |s| s.bottleneck_drops as f64)
+                .map(|s| s.mean)
+                .unwrap_or(f64::NAN)
+        };
         t.row(vec![
-            r.label.clone(),
-            format!("{:.3}", r.suss.fct_secs()),
-            format!("{:.3}", r.cubic.fct_secs()),
-            fmt_pct(improvement(r.cubic.fct_secs(), r.suss.fct_secs())),
-            format!("{}", r.suss.bottleneck_drops),
-            format!("{}", r.cubic.bottleneck_drops),
+            label.to_string(),
+            format!("{suss:.3}"),
+            format!("{cubic:.3}"),
+            fmt_pct(improvement(cubic, suss)),
+            format!("{:.1}", drops(suss_b)),
+            format!("{:.1}", drops(cubic_b)),
         ]);
     }
-    t
+    (t, run.manifest)
 }
 
 /// Burst-shaping ablation: run CUBIC+SUSS with the extra data injected as
@@ -233,47 +249,79 @@ impl tcp_sim::cc::CongestionControl for BurstSuss {
     }
 }
 
-/// Compare burst-mode SUSS against paced SUSS on a shallow buffer.
-pub fn burst_ablation(flow_bytes: u64, seed: u64) -> TextTable {
+/// Name of the campaign-local gauge carrying the bottleneck queue's
+/// high-water mark (bytes) for the burst ablation. A burst arriving
+/// faster than the drain rate piles up; paced arrivals at cwnd/minRTT
+/// (below the bottleneck rate while cwnd < BDP) do not.
+const PEAK_QUEUE_GAUGE: &str = "ablation.peak_queue_bytes";
+
+/// One burst-ablation cell on the shallow-buffered 5G path.
+fn run_burst_variant(flow_bytes: u64, burst: bool, seed: u64) -> FlowOutcome {
     let mut scn = PathScenario::new(ServerSite::GoogleTokyo, LastHop::FiveG);
     scn.buffer_bdp = 0.35; // shallow: bursts visibly overflow
-
-    let run_with = |cc: Box<dyn tcp_sim::cc::CongestionControl>| -> (FlowOutcome, f64) {
-        let mut sim = Sim::new(seed);
-        let cfg = SenderConfig::bulk(flow_bytes);
-        let ends = install_flow(&mut sim, FlowId(1), cfg, cc, AckPolicy::default());
-        let s2r = sim.add_half_link(ends.sender, ends.receiver, scn.data_link());
-        let r2s = sim.add_half_link(ends.receiver, ends.sender, scn.ack_link());
-        wire_flow(&mut sim, ends, s2r, r2s);
-        sim.run_while(SimTime::from_secs(600), |sim| {
-            !sim.agent::<SenderEndpoint>(ends.sender).is_done()
-        });
-        // Burstiness proxy: the bottleneck queue's high-water mark. A burst
-        // arriving faster than the drain rate piles up; paced arrivals at
-        // cwnd/minRTT (below the bottleneck rate while cwnd < BDP) do not.
-        let bursty =
-            sim.link_queue_stats(s2r).max_backlog_bytes as f64 / scn.bdp_bytes().max(1) as f64;
-        let drops = sim.link_queue_stats(s2r).dropped_pkts;
-        let snd = sim.agent::<SenderEndpoint>(ends.sender);
-        (
-            FlowOutcome {
-                fct: snd.stats.fct(),
-                fct_receiver: snd.stats.fct(),
-                segs_sent: snd.stats.segs_sent,
-                segs_retransmitted: snd.stats.segs_retransmitted,
-                retransmit_rate: snd.stats.retransmit_rate(),
-                bottleneck_drops: drops,
-                exit_cwnd: None,
-                suss_pacings: 0,
-                counters: collect_sim_telemetry(&sim),
-                trace: snd.trace.clone(),
-            },
-            bursty,
-        )
+    let cc = if burst {
+        BurstVariant::controller(IW, MSS)
+    } else {
+        cc_algos::make_controller(CcKind::CubicSuss, IW, MSS)
     };
 
-    let (paced, paced_bursty) = run_with(cc_algos::make_controller(CcKind::CubicSuss, IW, MSS));
-    let (burst, burst_bursty) = run_with(BurstVariant::controller(IW, MSS));
+    let mut sim = Sim::new(seed);
+    let cfg = SenderConfig::bulk(flow_bytes);
+    let ends = install_flow(&mut sim, FlowId(1), cfg, cc, AckPolicy::default());
+    let s2r = sim.add_half_link(ends.sender, ends.receiver, scn.data_link());
+    let r2s = sim.add_half_link(ends.receiver, ends.sender, scn.ack_link());
+    wire_flow(&mut sim, ends, s2r, r2s);
+    sim.run_while(SimTime::from_secs(600), |sim| {
+        !sim.agent::<SenderEndpoint>(ends.sender).is_done()
+    });
+    sim.metrics()
+        .gauge(PEAK_QUEUE_GAUGE)
+        .observe(sim.link_queue_stats(s2r).max_backlog_bytes);
+    let drops = sim.link_queue_stats(s2r).dropped_pkts;
+    let snd = sim.agent::<SenderEndpoint>(ends.sender);
+    FlowOutcome {
+        fct: snd.stats.fct(),
+        fct_receiver: snd.stats.fct(),
+        segs_sent: snd.stats.segs_sent,
+        segs_retransmitted: snd.stats.segs_retransmitted,
+        retransmit_rate: snd.stats.retransmit_rate(),
+        bottleneck_drops: drops,
+        exit_cwnd: None,
+        suss_pacings: 0,
+        counters: collect_sim_telemetry(&sim),
+        trace: snd.trace.clone(),
+    }
+}
+
+/// Compare burst-mode SUSS against paced SUSS on a shallow buffer, as a
+/// [`FlowGrid`] campaign.
+pub fn burst_ablation(
+    flow_bytes: u64,
+    iters: u64,
+    seed_base: u64,
+    opts: &RunnerOpts,
+) -> (TextTable, RunManifest) {
+    let mut scn = PathScenario::new(ServerSite::GoogleTokyo, LastHop::FiveG);
+    scn.buffer_bdp = 0.35; // mirror the cell runner for the BDP divisor
+    let bdp = scn.bdp_bytes().max(1) as f64;
+
+    let mut grid = FlowGrid::new("ablation_burst");
+    let mut arm = |tag: &str, burst: bool| {
+        grid.batch_fn(
+            &format!("burst/{tag}/{flow_bytes}B"),
+            &format!(
+                "{} variant={tag} cc=cubic+suss size={flow_bytes}",
+                scn.canonical_params()
+            ),
+            iters,
+            seed_base,
+            move |seed| run_burst_variant(flow_bytes, burst, seed),
+        )
+    };
+    let paced_b = arm("paced", false);
+    let burst_b = arm("burst", true);
+    let run = grid.run(opts);
+
     let mut t = TextTable::new(vec![
         "variant",
         "fct(s)",
@@ -281,21 +329,20 @@ pub fn burst_ablation(flow_bytes: u64, seed: u64) -> TextTable {
         "drops",
         "peak-queue(BDP)",
     ]);
-    t.row(vec![
-        "paced (paper)".to_string(),
-        format!("{:.3}", paced.fct_secs()),
-        format!("{:.2}", paced.retransmit_rate * 100.0),
-        format!("{}", paced.bottleneck_drops),
-        format!("{:.2}", paced_bursty),
-    ]);
-    t.row(vec![
-        "burst (ablation)".to_string(),
-        format!("{:.3}", burst.fct_secs()),
-        format!("{:.2}", burst.retransmit_rate * 100.0),
-        format!("{}", burst.bottleneck_drops),
-        format!("{:.2}", burst_bursty),
-    ]);
-    t
+    for (label, b) in [("paced (paper)", paced_b), ("burst (ablation)", burst_b)] {
+        let drops = run
+            .summary(b, |s| s.bottleneck_drops as f64)
+            .map(|s| s.mean)
+            .unwrap_or(f64::NAN);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.3}", run.fct(b).mean),
+            format!("{:.2}", run.retransmit_rate(b).mean * 100.0),
+            format!("{drops:.1}"),
+            format!("{:.2}", run.counter_mean(b, PEAK_QUEUE_GAUGE) / bdp),
+        ]);
+    }
+    (t, run.manifest)
 }
 
 #[cfg(test)]
@@ -314,25 +361,27 @@ mod tests {
 
     #[test]
     fn btlbw_drop_does_not_break_suss() {
-        let results = btlbw_variation(3 * MB, 1);
-        assert_eq!(results.len(), 2);
-        for r in &results {
-            assert!(
-                r.suss.fct_secs().is_finite(),
-                "{}: suss incomplete",
-                r.label
-            );
-            assert!(r.cubic.fct_secs().is_finite());
+        let (t, manifest) = btlbw_sweep(3 * MB, 1, 1, &RunnerOpts::serial());
+        assert_eq!(t.len(), 2);
+        // 2 cases × 2 arms × 1 iter.
+        assert_eq!(manifest.total_cells, 4);
+        for line in t.to_csv().lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            let suss: f64 = cols[1].parse().unwrap();
+            let cubic: f64 = cols[2].parse().unwrap();
+            assert!(suss.is_finite(), "{}: suss incomplete", cols[0]);
+            assert!(cubic.is_finite());
             // Appendix B: SUSS stays competitive under rate variation.
-            let rel = r.suss.fct_secs() / r.cubic.fct_secs();
-            assert!(rel < 1.15, "{}: suss/cubic FCT ratio {rel:.2}", r.label);
+            let rel = suss / cubic;
+            assert!(rel < 1.15, "{}: suss/cubic FCT ratio {rel:.2}", cols[0]);
         }
     }
 
     #[test]
     fn pacing_beats_bursting_on_shallow_buffers() {
-        let t = burst_ablation(3 * MB, 1);
+        let (t, manifest) = burst_ablation(3 * MB, 1, 1, &RunnerOpts::serial());
         assert_eq!(t.len(), 2);
+        assert_eq!(manifest.total_cells, 2);
         // Structural check only here; the CSV carries the numbers. The
         // stronger property (burst drops >= paced drops) is asserted in
         // the integration suite where more iterations amortize noise.

@@ -12,6 +12,7 @@ use cc_algos::CcKind;
 use serde::{Deserialize, Serialize};
 use simrunner::{RunManifest, RunnerOpts};
 use simstats::Summary;
+use std::sync::Arc;
 use workload::PathScenario;
 
 /// Version tag stamped into every experiment campaign's cache identity.
@@ -65,12 +66,17 @@ pub struct Batch {
     len: usize,
 }
 
+/// The simulation run backing one grid cell: seed in, outcome out.
+///
+/// Shared (`Arc`) across a batch's cells; must be `Send + Sync` so the
+/// worker pool can execute cells concurrently.
+type CellRunner = Arc<dyn Fn(u64) -> FlowOutcome + Send + Sync>;
+
 /// A grid of independent single-flow simulations, executed as one
 /// campaign.
-#[derive(Debug)]
 pub struct FlowGrid {
     campaign: simrunner::Campaign,
-    specs: Vec<(PathScenario, CcKind, u64)>,
+    runners: Vec<CellRunner>,
 }
 
 impl FlowGrid {
@@ -79,7 +85,7 @@ impl FlowGrid {
     pub fn new(experiment: &str) -> FlowGrid {
         FlowGrid {
             campaign: simrunner::Campaign::new(experiment, CAMPAIGN_VERSION),
-            specs: Vec::new(),
+            runners: Vec::new(),
         }
     }
 
@@ -96,19 +102,45 @@ impl FlowGrid {
         iters: u64,
         seed_base: u64,
     ) -> Batch {
+        let scn = *scenario;
+        self.batch_fn(
+            &format!("{}/{}/{}B", scenario.id(), kind.label(), size),
+            &format!(
+                "{} cc={} size={size}",
+                scenario.canonical_params(),
+                kind.label()
+            ),
+            iters,
+            seed_base,
+            move |seed| run_flow(&scn, kind, size, seed, false),
+        )
+    }
+
+    /// Queue `iters` seeded repetitions of an arbitrary single-simulation
+    /// experiment — custom topologies, qdiscs, rate schedules, bespoke
+    /// controllers — one `run(seed)` call per cell.
+    ///
+    /// `params` joins the cache identity, so it must encode **every**
+    /// input that influences `run`'s result besides the seed (scenario
+    /// physics, controller, flow size, qdisc, cross-traffic load, …);
+    /// under-encoding aliases distinct experiments in the cache.
+    /// `label_prefix` gets `/s<seed>` appended per cell for progress lines
+    /// and manifests.
+    pub fn batch_fn(
+        &mut self,
+        label_prefix: &str,
+        params: &str,
+        iters: u64,
+        seed_base: u64,
+        run: impl Fn(u64) -> FlowOutcome + Send + Sync + 'static,
+    ) -> Batch {
+        let runner: CellRunner = Arc::new(run);
         let start = self.campaign.len();
         for i in 0..iters {
             let seed = seed_base + i;
-            self.campaign.cell(
-                format!("{}/{}/{}B/s{seed}", scenario.id(), kind.label(), size),
-                format!(
-                    "{} cc={} size={size}",
-                    scenario.canonical_params(),
-                    kind.label()
-                ),
-                seed,
-            );
-            self.specs.push((*scenario, kind, size));
+            self.campaign
+                .cell(format!("{label_prefix}/s{seed}"), params, seed);
+            self.runners.push(Arc::clone(&runner));
         }
         Batch {
             start,
@@ -128,11 +160,8 @@ impl FlowGrid {
 
     /// Execute every queued cell.
     pub fn run(self, opts: &RunnerOpts) -> FlowGridRun {
-        let FlowGrid { campaign, specs } = self;
-        let out = campaign.run(opts, |cell| {
-            let (scenario, kind, size) = specs[cell.index];
-            FlowStats::of(&run_flow(&scenario, kind, size, cell.seed, false))
-        });
+        let FlowGrid { campaign, runners } = self;
+        let out = campaign.run(opts, |cell| FlowStats::of(&runners[cell.index](cell.seed)));
         FlowGridRun {
             stats: out.results,
             manifest: out.manifest,
@@ -178,6 +207,20 @@ impl FlowGridRun {
     /// Panics if the batch is empty.
     pub fn retransmit_rate(&self, b: Batch) -> Summary {
         self.summary(b, |s| s.retransmit_rate).expect("empty batch")
+    }
+
+    /// The per-cell stats of one batch, in seed order.
+    pub fn batch_stats(&self, b: Batch) -> &[FlowStats] {
+        &self.stats[b.start..b.start + b.len]
+    }
+
+    /// Mean of one registry counter (see `simtrace::names`) across a
+    /// batch; cells whose snapshot lacks the counter contribute 0.
+    pub fn counter_mean(&self, b: Batch, name: &str) -> f64 {
+        let sum: u64 = (b.start..b.start + b.len)
+            .map(|i| self.stats[i].counters.get(name).unwrap_or(0))
+            .sum();
+        sum as f64 / b.len.max(1) as f64
     }
 
     /// Merge every cell's counter snapshot into campaign-wide totals

@@ -85,8 +85,24 @@ pub fn run_dumbbell(
     seed: u64,
     horizon: SimTime,
 ) -> DumbbellOutcome {
+    run_dumbbell_engine(cfg, flows, seed, horizon, netsim::EngineConfig::default())
+}
+
+/// [`run_dumbbell`] with an explicit engine configuration.
+///
+/// Engine choice never changes results (netsim's scheduler-equivalence
+/// contract); this exists so the hotpath benchmark can A/B the timer-wheel
+/// engine against the binary-heap baseline on a many-flow dumbbell, where
+/// the pending-event population is large.
+pub fn run_dumbbell_engine(
+    cfg: &DumbbellConfig,
+    flows: &[DumbbellFlow],
+    seed: u64,
+    horizon: SimTime,
+    engine: netsim::EngineConfig,
+) -> DumbbellOutcome {
     assert_eq!(flows.len(), cfg.pairs(), "one flow per dumbbell pair");
-    let mut sim = Sim::new(seed);
+    let mut sim = Sim::with_engine(seed, engine);
 
     // Endpoints: senders (servers) right, receivers (clients) left.
     let mut ends: Vec<FlowEnds> = Vec::with_capacity(flows.len());
@@ -120,11 +136,17 @@ pub fn run_dumbbell(
         // Only long-lived flows: observe for the whole horizon.
         sim.run_until(horizon);
     } else {
-        sim.run_while(horizon, |sim| {
-            !finite
-                .iter()
-                .all(|&s| sim.agent::<SenderEndpoint>(s).is_done())
-        });
+        // O(1) completion check: each finite sender bumps the shared tally
+        // exactly once, so the stop boundary is the same event at which
+        // polling `is_done` on every sender would first report all-done —
+        // without touching N scattered agents after every event.
+        let tally = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        for &s in &finite {
+            sim.agent_mut::<SenderEndpoint>(s)
+                .notify_completion(std::rc::Rc::clone(&tally));
+        }
+        let all = finite.len() as u64;
+        sim.run_while(horizon, |_| tally.get() < all);
     }
     let ended_at = sim.now();
 

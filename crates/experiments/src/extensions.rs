@@ -3,11 +3,20 @@
 //! * **BBR + SUSS** — the paper's §7 future-work direction, measured;
 //! * **SUSS under CoDel** — how the acceleration behaves when the
 //!   bottleneck runs AQM instead of a drop-tail buffer (the related-work
-//!   section's network-assisted world meeting the paper's end-to-end one).
+//!   section's network-assisted world meeting the paper's end-to-end one);
+//! * **cross traffic** — SUSS sharing its bottleneck with an unresponsive
+//!   Poisson stream;
+//! * **parking lot** — a short flow crossing several stacked bottlenecks.
+//!
+//! Every sweep runs as one [`FlowGrid`] campaign: cells shard across the
+//! worker pool, memoize in the shared cache, and the function returns the
+//! rendered table together with the run's manifest.
 
-use crate::runner::{collect_sim_telemetry, run_flow, FlowOutcome, IW, MSS};
+use crate::campaigns::FlowGrid;
+use crate::runner::{collect_sim_telemetry, FlowOutcome, IW, MSS};
 use cc_algos::CcKind;
 use netsim::{FlowId, Qdisc, Sim, SimTime};
+use simrunner::{RunManifest, RunnerOpts};
 use simstats::{fmt_bytes, fmt_pct, improvement, TextTable};
 use tcp_sim::flow::{install_flow, wire_flow};
 use tcp_sim::receiver::AckPolicy;
@@ -15,18 +24,27 @@ use tcp_sim::sender::{SenderConfig, SenderEndpoint};
 use workload::{LastHop, PathScenario, ServerSite};
 
 /// BBR vs BBR+SUSS FCT across flow sizes on a clean large-BDP path.
-pub fn bbr_suss_sweep(sizes: &[u64], iters: u64, seed_base: u64) -> TextTable {
+pub fn bbr_suss_sweep(
+    sizes: &[u64],
+    iters: u64,
+    seed_base: u64,
+    opts: &RunnerOpts,
+) -> (TextTable, RunManifest) {
     let scn = PathScenario::new(ServerSite::GoogleTokyo, LastHop::Wired);
+    let mut grid = FlowGrid::new("ext_bbr_suss");
+    let batches: Vec<_> = sizes
+        .iter()
+        .map(|&size| {
+            let plain = grid.batch(&scn, CcKind::Bbr, size, iters, seed_base);
+            let boosted = grid.batch(&scn, CcKind::BbrSuss, size, iters, seed_base);
+            (size, plain, boosted)
+        })
+        .collect();
+    let run = grid.run(opts);
+
     let mut t = TextTable::new(vec!["size", "bbr(s)", "bbr+suss(s)", "improvement"]);
-    for &size in sizes {
-        let mean = |kind: CcKind| {
-            let xs: Vec<f64> = (0..iters)
-                .map(|i| run_flow(&scn, kind, size, seed_base + i, false).fct_secs())
-                .filter(|f| f.is_finite())
-                .collect();
-            xs.iter().sum::<f64>() / xs.len().max(1) as f64
-        };
-        let (plain, boosted) = (mean(CcKind::Bbr), mean(CcKind::BbrSuss));
+    for (size, plain_b, boosted_b) in batches {
+        let (plain, boosted) = (run.fct(plain_b).mean, run.fct(boosted_b).mean);
         t.row(vec![
             fmt_bytes(size),
             format!("{plain:.3}"),
@@ -34,16 +52,20 @@ pub fn bbr_suss_sweep(sizes: &[u64], iters: u64, seed_base: u64) -> TextTable {
             fmt_pct(improvement(plain, boosted)),
         ]);
     }
-    t
+    (t, run.manifest)
 }
 
 /// Run one flow over a scenario whose bottleneck uses CoDel.
+///
+/// AQM-initiated head drops surface through the engine's
+/// `net.aqm_drops` counter in [`FlowOutcome::counters`];
+/// `bottleneck_drops` keeps counting tail drops as usual.
 pub fn run_flow_codel(
     scenario: &PathScenario,
     kind: CcKind,
     flow_bytes: u64,
     seed: u64,
-) -> (FlowOutcome, u64) {
+) -> FlowOutcome {
     let mut sim = Sim::new(seed);
     let cfg = SenderConfig::bulk(flow_bytes);
     let ends = install_flow(
@@ -60,10 +82,9 @@ pub fn run_flow_codel(
     sim.run_while(SimTime::from_secs(600), |sim| {
         !sim.agent::<SenderEndpoint>(ends.sender).is_done()
     });
-    let aqm_drops = sim.link_aqm_drops(s2r);
     let drops = sim.link_queue_stats(s2r).dropped_pkts;
     let snd = sim.agent::<SenderEndpoint>(ends.sender);
-    let out = FlowOutcome {
+    FlowOutcome {
         fct: snd.stats.fct(),
         fct_receiver: snd.stats.fct(),
         segs_sent: snd.stats.segs_sent,
@@ -74,15 +95,40 @@ pub fn run_flow_codel(
         suss_pacings: 0,
         counters: collect_sim_telemetry(&sim),
         trace: snd.trace.clone(),
-    };
-    (out, aqm_drops)
+    }
 }
 
 /// SUSS on/off under a CoDel bottleneck: FCT and AQM drops.
-pub fn codel_sweep(sizes: &[u64], iters: u64, seed_base: u64) -> TextTable {
+pub fn codel_sweep(
+    sizes: &[u64],
+    iters: u64,
+    seed_base: u64,
+    opts: &RunnerOpts,
+) -> (TextTable, RunManifest) {
     // A deep-buffered 4G-ish path: exactly where AQM matters.
     let mut scn = PathScenario::new(ServerSite::GoogleUsEast, LastHop::FourG);
     scn.buffer_bdp = 4.0;
+
+    let mut grid = FlowGrid::new("ext_codel");
+    let mut arm = |kind: CcKind, size: u64| {
+        grid.batch_fn(
+            &format!("{}/{}/{}B/codel", scn.id(), kind.label(), size),
+            &format!(
+                "{} cc={} size={size} qdisc=codel",
+                scn.canonical_params(),
+                kind.label()
+            ),
+            iters,
+            seed_base,
+            move |seed| run_flow_codel(&scn, kind, size, seed),
+        )
+    };
+    let batches: Vec<_> = sizes
+        .iter()
+        .map(|&size| (size, arm(CcKind::Cubic, size), arm(CcKind::CubicSuss, size)))
+        .collect();
+    let run = grid.run(opts);
+
     let mut t = TextTable::new(vec![
         "size",
         "cubic(s)",
@@ -91,24 +137,10 @@ pub fn codel_sweep(sizes: &[u64], iters: u64, seed_base: u64) -> TextTable {
         "aqm-drops(cubic)",
         "aqm-drops(suss)",
     ]);
-    for &size in sizes {
-        let mean = |kind: CcKind| -> (f64, f64) {
-            let mut fcts = Vec::new();
-            let mut drops = Vec::new();
-            for i in 0..iters {
-                let (out, aqm) = run_flow_codel(&scn, kind, size, seed_base + i);
-                if out.fct_secs().is_finite() {
-                    fcts.push(out.fct_secs());
-                }
-                drops.push(aqm as f64);
-            }
-            (
-                fcts.iter().sum::<f64>() / fcts.len().max(1) as f64,
-                drops.iter().sum::<f64>() / drops.len().max(1) as f64,
-            )
-        };
-        let (off, d_off) = mean(CcKind::Cubic);
-        let (on, d_on) = mean(CcKind::CubicSuss);
+    for (size, off_b, on_b) in batches {
+        let (off, on) = (run.fct(off_b).mean, run.fct(on_b).mean);
+        let d_off = run.counter_mean(off_b, simtrace::names::NET_AQM_DROPS);
+        let d_on = run.counter_mean(on_b, simtrace::names::NET_AQM_DROPS);
         t.row(vec![
             fmt_bytes(size),
             format!("{off:.3}"),
@@ -118,12 +150,13 @@ pub fn codel_sweep(sizes: &[u64], iters: u64, seed_base: u64) -> TextTable {
             format!("{d_on:.1}"),
         ]);
     }
-    t
+    (t, run.manifest)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_flow;
     use workload::MB;
 
     #[test]
@@ -140,11 +173,20 @@ mod tests {
     }
 
     #[test]
+    fn bbr_suss_sweep_runs_as_a_campaign() {
+        let (t, manifest) = bbr_suss_sweep(&[MB], 2, 1, &RunnerOpts::serial());
+        assert_eq!(t.len(), 1);
+        // 1 size × 2 arms × 2 iters.
+        assert_eq!(manifest.total_cells, 4);
+        assert!(manifest.events_total > 0);
+    }
+
+    #[test]
     fn codel_path_completes_and_suss_still_helps() {
         let mut scn = PathScenario::new(ServerSite::GoogleUsEast, LastHop::FourG);
         scn.buffer_bdp = 4.0;
-        let (off, _) = run_flow_codel(&scn, CcKind::Cubic, 2 * MB, 1);
-        let (on, _) = run_flow_codel(&scn, CcKind::CubicSuss, 2 * MB, 1);
+        let off = run_flow_codel(&scn, CcKind::Cubic, 2 * MB, 1);
+        let on = run_flow_codel(&scn, CcKind::CubicSuss, 2 * MB, 1);
         assert!(off.fct_secs().is_finite() && on.fct_secs().is_finite());
         let imp = improvement(off.fct_secs(), on.fct_secs());
         assert!(imp > 0.0, "SUSS under CoDel: {:.1}%", imp * 100.0);
@@ -156,12 +198,23 @@ mod tests {
         // (bounding the standing queue) where drop-tail would only bloat.
         let mut scn = PathScenario::new(ServerSite::GoogleUsEast, LastHop::FourG);
         scn.buffer_bdp = 4.0;
-        let (out, aqm_drops) = run_flow_codel(&scn, CcKind::Cubic, 20 * MB, 1);
+        let out = run_flow_codel(&scn, CcKind::Cubic, 20 * MB, 1);
         assert!(out.fct_secs().is_finite());
+        let aqm_drops = out
+            .counters
+            .get(simtrace::names::NET_AQM_DROPS)
+            .unwrap_or(0);
         assert!(
             aqm_drops > 0,
             "CoDel must intervene on a bufferbloated path"
         );
+    }
+
+    #[test]
+    fn codel_sweep_reports_aqm_drops_per_arm() {
+        let (t, manifest) = codel_sweep(&[2 * MB], 2, 1, &RunnerOpts::serial());
+        assert_eq!(t.len(), 1);
+        assert_eq!(manifest.total_cells, 4);
     }
 }
 
@@ -177,11 +230,36 @@ pub fn cross_traffic_sweep(
     loads: &[f64],
     iters: u64,
     seed_base: u64,
-) -> TextTable {
-    use netsim::{ArrivalProcess, Bandwidth, Router, TrafficSink, TrafficSource};
-    use std::time::Duration;
-
+    opts: &RunnerOpts,
+) -> (TextTable, RunManifest) {
     let scn = PathScenario::new(ServerSite::GoogleTokyo, LastHop::Wired);
+
+    let mut grid = FlowGrid::new("ext_cross_traffic");
+    let mut arm = |kind: CcKind, load: f64| {
+        grid.batch_fn(
+            &format!(
+                "{}/{}/{}B/x{:02.0}",
+                scn.id(),
+                kind.label(),
+                flow_bytes,
+                load * 100.0
+            ),
+            &format!(
+                "{} cc={} size={flow_bytes} xtraffic=poisson xload={load:.3}",
+                scn.canonical_params(),
+                kind.label()
+            ),
+            iters,
+            seed_base,
+            move |seed| run_cross_traffic(&scn, kind, flow_bytes, load, seed),
+        )
+    };
+    let batches: Vec<_> = loads
+        .iter()
+        .map(|&load| (load, arm(CcKind::Cubic, load), arm(CcKind::CubicSuss, load)))
+        .collect();
+    let run = grid.run(opts);
+
     let mut t = TextTable::new(vec![
         "cross-load",
         "cubic(s)",
@@ -189,88 +267,9 @@ pub fn cross_traffic_sweep(
         "improvement",
         "suss-rtx(%)",
     ]);
-
-    let run_one = |kind: CcKind, load: f64, seed: u64| -> FlowOutcome {
-        let mut sim = Sim::new(seed);
-        let cfg = SenderConfig::bulk(flow_bytes);
-        let ends = install_flow(
-            &mut sim,
-            FlowId(1),
-            cfg,
-            cc_algos::make_controller(kind, IW, MSS),
-            AckPolicy::default(),
-        );
-        let sink = sim.add_agent(Box::new(TrafficSink::new()));
-        let router_a = sim.add_agent(Box::new(Router::new()));
-        let router_b = sim.add_agent(Box::new(Router::new()));
-
-        let edge = || netsim::LinkSpec::clean(Bandwidth::from_gbps(1), Duration::from_micros(100));
-        let s_in = sim.add_half_link(ends.sender, router_a, edge());
-        let bottleneck = sim.add_half_link(router_a, router_b, scn.data_link());
-        let b_rcv = sim.add_half_link(router_b, ends.receiver, edge());
-        let b_sink = sim.add_half_link(router_b, sink, edge());
-        let ack_back = sim.add_half_link(ends.receiver, ends.sender, scn.ack_link());
-        {
-            let ra = sim.agent_mut::<Router>(router_a);
-            ra.set_default_route(bottleneck);
-        }
-        {
-            let rb = sim.agent_mut::<Router>(router_b);
-            rb.add_route(ends.receiver, b_rcv);
-            rb.add_route(sink, b_sink);
-        }
-
-        // The cross source transmits on its own edge into router A.
-        let rate = Bandwidth::from_bps(((scn.bottleneck.as_bps() as f64 * load) as u64).max(1_000));
-        let rng = netsim::SimRng::new(seed ^ 0xC505_7AFF);
-        let src = sim.add_agent(Box::new(TrafficSource::new(
-            FlowId(2),
-            sink,
-            rate,
-            1_250,
-            ArrivalProcess::Poisson,
-            SimTime::ZERO,
-            SimTime::from_secs(600),
-            rng,
-        )));
-        let src_edge = sim.add_half_link(src, router_a, edge());
-        sim.agent_mut::<TrafficSource>(src).set_egress(src_edge);
-
-        wire_flow(&mut sim, ends, s_in, ack_back);
-        sim.run_while(SimTime::from_secs(600), |sim| {
-            !sim.agent::<SenderEndpoint>(ends.sender).is_done()
-        });
-        let drops = sim.link_queue_stats(bottleneck).dropped_pkts;
-        let snd = sim.agent::<SenderEndpoint>(ends.sender);
-        FlowOutcome {
-            fct: snd.stats.fct(),
-            fct_receiver: snd.stats.fct(),
-            segs_sent: snd.stats.segs_sent,
-            segs_retransmitted: snd.stats.segs_retransmitted,
-            retransmit_rate: snd.stats.retransmit_rate(),
-            bottleneck_drops: drops,
-            exit_cwnd: None,
-            suss_pacings: 0,
-            counters: collect_sim_telemetry(&sim),
-            trace: snd.trace.clone(),
-        }
-    };
-
-    for &load in loads {
-        let mean = |kind: CcKind| -> (f64, f64) {
-            let outs: Vec<FlowOutcome> = (0..iters)
-                .map(|i| run_one(kind, load, seed_base + i))
-                .collect();
-            let fcts: Vec<f64> = outs
-                .iter()
-                .map(|o| o.fct_secs())
-                .filter(|f| f.is_finite())
-                .collect();
-            let rtx = outs.iter().map(|o| o.retransmit_rate).sum::<f64>() / outs.len() as f64;
-            (fcts.iter().sum::<f64>() / fcts.len().max(1) as f64, rtx)
-        };
-        let (off, _) = mean(CcKind::Cubic);
-        let (on, rtx_on) = mean(CcKind::CubicSuss);
+    for (load, off_b, on_b) in batches {
+        let (off, on) = (run.fct(off_b).mean, run.fct(on_b).mean);
+        let rtx_on = run.retransmit_rate(on_b).mean;
         t.row(vec![
             format!("{:.0}%", load * 100.0),
             format!("{off:.3}"),
@@ -279,7 +278,84 @@ pub fn cross_traffic_sweep(
             format!("{:.2}", rtx_on * 100.0),
         ]);
     }
-    t
+    (t, run.manifest)
+}
+
+/// One cross-traffic cell: the download plus a Poisson stream at
+/// `load` × bottleneck rate through a shared two-router bottleneck.
+fn run_cross_traffic(
+    scn: &PathScenario,
+    kind: CcKind,
+    flow_bytes: u64,
+    load: f64,
+    seed: u64,
+) -> FlowOutcome {
+    use netsim::{ArrivalProcess, Bandwidth, Router, TrafficSink, TrafficSource};
+    use std::time::Duration;
+
+    let mut sim = Sim::new(seed);
+    let cfg = SenderConfig::bulk(flow_bytes);
+    let ends = install_flow(
+        &mut sim,
+        FlowId(1),
+        cfg,
+        cc_algos::make_controller(kind, IW, MSS),
+        AckPolicy::default(),
+    );
+    let sink = sim.add_agent(Box::new(TrafficSink::new()));
+    let router_a = sim.add_agent(Box::new(Router::new()));
+    let router_b = sim.add_agent(Box::new(Router::new()));
+
+    let edge = || netsim::LinkSpec::clean(Bandwidth::from_gbps(1), Duration::from_micros(100));
+    let s_in = sim.add_half_link(ends.sender, router_a, edge());
+    let bottleneck = sim.add_half_link(router_a, router_b, scn.data_link());
+    let b_rcv = sim.add_half_link(router_b, ends.receiver, edge());
+    let b_sink = sim.add_half_link(router_b, sink, edge());
+    let ack_back = sim.add_half_link(ends.receiver, ends.sender, scn.ack_link());
+    {
+        let ra = sim.agent_mut::<Router>(router_a);
+        ra.set_default_route(bottleneck);
+    }
+    {
+        let rb = sim.agent_mut::<Router>(router_b);
+        rb.add_route(ends.receiver, b_rcv);
+        rb.add_route(sink, b_sink);
+    }
+
+    // The cross source transmits on its own edge into router A.
+    let rate = Bandwidth::from_bps(((scn.bottleneck.as_bps() as f64 * load) as u64).max(1_000));
+    let rng = netsim::SimRng::new(seed ^ 0xC505_7AFF);
+    let src = sim.add_agent(Box::new(TrafficSource::new(
+        FlowId(2),
+        sink,
+        rate,
+        1_250,
+        ArrivalProcess::Poisson,
+        SimTime::ZERO,
+        SimTime::from_secs(600),
+        rng,
+    )));
+    let src_edge = sim.add_half_link(src, router_a, edge());
+    sim.agent_mut::<TrafficSource>(src).set_egress(src_edge);
+
+    wire_flow(&mut sim, ends, s_in, ack_back);
+    sim.run_while(SimTime::from_secs(600), |sim| {
+        !sim.agent::<SenderEndpoint>(ends.sender).is_done()
+    });
+    let drops = sim.link_queue_stats(bottleneck).dropped_pkts;
+    let snd = sim.agent::<SenderEndpoint>(ends.sender);
+    FlowOutcome {
+        fct: snd.stats.fct(),
+        fct_receiver: snd.stats.fct(),
+        segs_sent: snd.stats.segs_sent,
+        segs_retransmitted: snd.stats.segs_retransmitted,
+        retransmit_rate: snd.stats.retransmit_rate(),
+        bottleneck_drops: drops,
+        exit_cwnd: None,
+        suss_pacings: 0,
+        counters: collect_sim_telemetry(&sim),
+        trace: snd.trace.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -289,8 +365,10 @@ mod cross_tests {
 
     #[test]
     fn cross_traffic_table_renders_and_suss_survives_load() {
-        let t = cross_traffic_sweep(MB, &[0.0, 0.4], 2, 1);
+        let (t, manifest) = cross_traffic_sweep(MB, &[0.0, 0.4], 2, 1, &RunnerOpts::serial());
         assert_eq!(t.len(), 2);
+        // 2 loads × 2 arms × 2 iters.
+        assert_eq!(manifest.total_cells, 8);
         let csv = t.to_csv();
         // At zero load SUSS must win clearly; the row order is stable.
         let rows: Vec<&str> = csv.lines().skip(1).collect();
@@ -304,83 +382,35 @@ mod cross_tests {
 /// SUSS's conditions see the *aggregate* path (the tightest hop dominates
 /// the ACK train): the acceleration must remain safe when congestion can
 /// appear at any of several places.
-pub fn parking_lot_probe(hops: usize, flow_bytes: u64, seed: u64) -> TextTable {
-    use netsim::{build_parking_lot, Bandwidth, LinkSpec, ParkingLotSpec};
-    use std::time::Duration;
-
-    let run_one = |kind: CcKind| -> (FlowOutcome, Vec<u64>) {
-        let mut sim = Sim::new(seed);
-        // Long-path short flow under test.
-        let probe = install_flow(
-            &mut sim,
-            FlowId(1),
-            SenderConfig::bulk(flow_bytes),
-            cc_algos::make_controller(kind, IW, MSS),
-            AckPolicy::default(),
-        );
-        // One long-lived CUBIC cross flow per hop.
-        let crosses: Vec<tcp_sim::FlowEnds> = (0..hops)
-            .map(|i| {
-                install_flow(
-                    &mut sim,
-                    FlowId(10 + i as u64),
-                    SenderConfig::bulk(u64::MAX),
-                    cc_algos::make_controller(CcKind::Cubic, IW, MSS),
-                    AckPolicy::default(),
-                )
-            })
-            .collect();
-
-        let hop_spec = LinkSpec::clean(Bandwidth::from_mbps(60), Duration::from_millis(8))
-            .with_queue_bdp(Duration::from_millis(64), 1.0);
-        let spec = ParkingLotSpec {
-            hops: vec![hop_spec; hops],
-            edge: LinkSpec::clean(Bandwidth::from_gbps(1), Duration::from_millis(1)),
-        };
-        let pairs: Vec<(netsim::NodeId, netsim::NodeId)> =
-            crosses.iter().map(|c| (c.sender, c.receiver)).collect();
-        let pl = build_parking_lot(&mut sim, probe.sender, probe.receiver, &pairs, &spec);
-        tcp_sim::flow::wire_flow(&mut sim, probe, pl.long_src_egress, pl.long_dst_egress);
-        for (i, c) in crosses.iter().enumerate() {
-            tcp_sim::flow::wire_flow(&mut sim, *c, pl.cross_src_egress[i], pl.cross_dst_egress[i]);
-        }
-
-        // Let the cross flows saturate their hops, then start measuring:
-        // the probe's own start delay comes from SenderConfig (t=0 here, so
-        // instead give the crosses a head start via horizon accounting).
-        sim.run_while(SimTime::from_secs(300), |sim| {
-            !sim.agent::<SenderEndpoint>(probe.sender).is_done()
-        });
-        let drops: Vec<u64> = pl
-            .hop_links
-            .iter()
-            .map(|&h| sim.link_queue_stats(h).dropped_pkts)
-            .collect();
-        let snd = sim.agent::<SenderEndpoint>(probe.sender);
-        (
-            FlowOutcome {
-                fct: snd.stats.fct(),
-                fct_receiver: snd.stats.fct(),
-                segs_sent: snd.stats.segs_sent,
-                segs_retransmitted: snd.stats.segs_retransmitted,
-                retransmit_rate: snd.stats.retransmit_rate(),
-                bottleneck_drops: drops.iter().sum(),
-                exit_cwnd: None,
-                suss_pacings: 0,
-                counters: collect_sim_telemetry(&sim),
-                trace: snd.trace.clone(),
-            },
-            drops,
+pub fn parking_lot_probe(
+    hops: usize,
+    flow_bytes: u64,
+    seed: u64,
+    opts: &RunnerOpts,
+) -> (TextTable, RunManifest) {
+    let mut grid = FlowGrid::new("ext_parking_lot");
+    let mut arm = |kind: CcKind| {
+        grid.batch_fn(
+            &format!("parking-lot/{}/{}B/h{hops}", kind.label(), flow_bytes),
+            &format!(
+                "topo=parking-lot hops={hops} hop=60Mbps,8ms,1bdp cc={} size={flow_bytes}",
+                kind.label()
+            ),
+            1,
+            seed,
+            move |seed| run_parking_lot(hops, kind, flow_bytes, seed),
         )
     };
+    let off_b = arm(CcKind::Cubic);
+    let on_b = arm(CcKind::CubicSuss);
+    let run = grid.run(opts);
+    let (off, on) = (&run.batch_stats(off_b)[0], &run.batch_stats(on_b)[0]);
 
-    let (off, _) = run_one(CcKind::Cubic);
-    let (on, drops_on) = run_one(CcKind::CubicSuss);
     let mut t = TextTable::new(vec!["metric", "cubic", "suss"]);
     t.row(vec![
         "fct(s)".to_string(),
-        format!("{:.3}", off.fct_secs()),
-        format!("{:.3}", on.fct_secs()),
+        format!("{:.3}", off.fct_secs),
+        format!("{:.3}", on.fct_secs),
     ]);
     t.row(vec![
         "retransmits".to_string(),
@@ -390,14 +420,79 @@ pub fn parking_lot_probe(hops: usize, flow_bytes: u64, seed: u64) -> TextTable {
     t.row(vec![
         "improvement".to_string(),
         "-".to_string(),
-        fmt_pct(improvement(off.fct_secs(), on.fct_secs())),
+        fmt_pct(improvement(off.fct_secs, on.fct_secs)),
     ]);
     t.row(vec![
-        "hop drops".to_string(),
-        "-".to_string(),
-        format!("{drops_on:?}"),
+        "hop drops (total)".to_string(),
+        format!("{}", off.bottleneck_drops),
+        format!("{}", on.bottleneck_drops),
     ]);
-    t
+    (t, run.manifest)
+}
+
+/// One parking-lot cell: the probe flow across `hops` bottlenecks, each
+/// saturated by its own long-lived CUBIC cross flow.
+fn run_parking_lot(hops: usize, kind: CcKind, flow_bytes: u64, seed: u64) -> FlowOutcome {
+    use netsim::{build_parking_lot, Bandwidth, LinkSpec, ParkingLotSpec};
+    use std::time::Duration;
+
+    let mut sim = Sim::new(seed);
+    // Long-path short flow under test.
+    let probe = install_flow(
+        &mut sim,
+        FlowId(1),
+        SenderConfig::bulk(flow_bytes),
+        cc_algos::make_controller(kind, IW, MSS),
+        AckPolicy::default(),
+    );
+    // One long-lived CUBIC cross flow per hop.
+    let crosses: Vec<tcp_sim::FlowEnds> = (0..hops)
+        .map(|i| {
+            install_flow(
+                &mut sim,
+                FlowId(10 + i as u64),
+                SenderConfig::bulk(u64::MAX),
+                cc_algos::make_controller(CcKind::Cubic, IW, MSS),
+                AckPolicy::default(),
+            )
+        })
+        .collect();
+
+    let hop_spec = LinkSpec::clean(Bandwidth::from_mbps(60), Duration::from_millis(8))
+        .with_queue_bdp(Duration::from_millis(64), 1.0);
+    let spec = ParkingLotSpec {
+        hops: vec![hop_spec; hops],
+        edge: LinkSpec::clean(Bandwidth::from_gbps(1), Duration::from_millis(1)),
+    };
+    let pairs: Vec<(netsim::NodeId, netsim::NodeId)> =
+        crosses.iter().map(|c| (c.sender, c.receiver)).collect();
+    let pl = build_parking_lot(&mut sim, probe.sender, probe.receiver, &pairs, &spec);
+    tcp_sim::flow::wire_flow(&mut sim, probe, pl.long_src_egress, pl.long_dst_egress);
+    for (i, c) in crosses.iter().enumerate() {
+        tcp_sim::flow::wire_flow(&mut sim, *c, pl.cross_src_egress[i], pl.cross_dst_egress[i]);
+    }
+
+    sim.run_while(SimTime::from_secs(300), |sim| {
+        !sim.agent::<SenderEndpoint>(probe.sender).is_done()
+    });
+    let drops: u64 = pl
+        .hop_links
+        .iter()
+        .map(|&h| sim.link_queue_stats(h).dropped_pkts)
+        .sum();
+    let snd = sim.agent::<SenderEndpoint>(probe.sender);
+    FlowOutcome {
+        fct: snd.stats.fct(),
+        fct_receiver: snd.stats.fct(),
+        segs_sent: snd.stats.segs_sent,
+        segs_retransmitted: snd.stats.segs_retransmitted,
+        retransmit_rate: snd.stats.retransmit_rate(),
+        bottleneck_drops: drops,
+        exit_cwnd: None,
+        suss_pacings: 0,
+        counters: collect_sim_telemetry(&sim),
+        trace: snd.trace.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -407,8 +502,9 @@ mod parking_tests {
 
     #[test]
     fn multi_bottleneck_path_stays_safe() {
-        let t = parking_lot_probe(3, MB, 1);
+        let (t, manifest) = parking_lot_probe(3, MB, 1, &RunnerOpts::serial());
         assert_eq!(t.len(), 4);
+        assert_eq!(manifest.total_cells, 2);
         let csv = t.to_csv();
         // Extract the FCTs back out of the table for the assertion.
         let fct_row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();

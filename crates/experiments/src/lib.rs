@@ -29,5 +29,5 @@ pub mod loss;
 pub mod stability;
 
 pub use campaigns::{Batch, FlowGrid, FlowGridRun, FlowStats, CAMPAIGN_VERSION};
-pub use dumbbell::{run_dumbbell, DumbbellFlow, DumbbellOutcome};
-pub use runner::{mean_fct, run_flow, FlowOutcome, IW, MSS};
+pub use dumbbell::{run_dumbbell, run_dumbbell_engine, DumbbellFlow, DumbbellOutcome};
+pub use runner::{mean_fct, run_flow, run_flow_engine, FlowOutcome, IW, MSS};

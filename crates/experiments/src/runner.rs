@@ -126,7 +126,33 @@ pub fn run_flow_with_horizon(
     tracing: bool,
     horizon: SimTime,
 ) -> FlowOutcome {
-    let mut sim = Sim::new(seed);
+    run_flow_engine(
+        scenario,
+        kind,
+        flow_bytes,
+        seed,
+        tracing,
+        horizon,
+        netsim::EngineConfig::default(),
+    )
+}
+
+/// [`run_flow_with_horizon`] with an explicit engine configuration.
+///
+/// Engine choice never changes results (see netsim's scheduler-equivalence
+/// contract); this exists so the hotpath benchmark can A/B the timer-wheel
+/// engine against the binary-heap baseline on identical workloads.
+#[allow(clippy::too_many_arguments)]
+pub fn run_flow_engine(
+    scenario: &PathScenario,
+    kind: CcKind,
+    flow_bytes: u64,
+    seed: u64,
+    tracing: bool,
+    horizon: SimTime,
+    engine: netsim::EngineConfig,
+) -> FlowOutcome {
+    let mut sim = Sim::with_engine(seed, engine);
     let mut cfg = SenderConfig::bulk(flow_bytes);
     cfg.trace_sampling = tracing;
     let ends = install_flow(

@@ -1,0 +1,161 @@
+//! Engine-determinism acceptance test for the timer-wheel core: a fixed
+//! dumbbell cell has golden flow-completion times and counter totals
+//! recorded from the seed binary-heap engine, and the production wheel +
+//! pool engine must reproduce them bit-for-bit — serially and through a
+//! 4-worker campaign with a fresh result cache.
+//!
+//! If an intentional behavior change moves these numbers, regenerate with
+//! `cargo test -p experiments --test determinism -- --ignored --nocapture`
+//! and paste the printed constants.
+
+use cc_algos::CcKind;
+use experiments::{run_dumbbell_engine, DumbbellFlow, FlowGrid, FlowGridRun};
+use netsim::{EngineConfig, SimTime};
+use simrunner::RunnerOpts;
+use simtrace::names;
+use std::time::Duration;
+use workload::{DumbbellConfig, MB};
+
+const SEEDS: [u64; 2] = [1, 2];
+const PAIRS: usize = 4;
+
+/// Golden flow-0 receiver FCTs in seconds, one per seed, exact bits
+/// (`{:?}` prints the shortest round-trip representation, so these
+/// literals reproduce the measured f64 exactly).
+const GOLD_FCT_SECS: [f64; 2] = [0.915681728, 0.915681728];
+
+/// Golden catalogue counter totals merged over both cells. Scheduler- and
+/// pool-internal counters (`net.sched_cascades`, `net.pool_*`) are the
+/// only ones allowed to differ across engines and are deliberately absent.
+const GOLD_TOTALS: &[(&str, u64)] = &[
+    (names::NET_EVENTS, 75378),
+    (names::NET_EVENTS_SCHEDULED, 75820),
+    (names::NET_QUEUE_DROPS, 1098),
+    (names::TCP_SEGS_SENT, 6626),
+    (names::TCP_RETRANSMITS, 1098),
+    (names::TCP_RTOS, 0),
+    (names::TCP_FAST_RETRANSMITS, 16),
+    (names::CC_HYSTART_EXITS, 2),
+    (names::SUSS_PACING_ROUNDS, 16),
+];
+
+/// The fixed cell: four staggered SUSS downloads through a congested
+/// 50 Mbps / 50 ms / 1-BDP dumbbell — loss, fast recovery, HyStart and
+/// SUSS pacing all exercised, so the goldens pin real protocol behavior.
+fn cell(engine: EngineConfig, seed: u64) -> experiments::FlowOutcome {
+    let cfg = DumbbellConfig::fairness(Duration::from_millis(50), 1.0, PAIRS);
+    let flows: Vec<DumbbellFlow> = (0..PAIRS)
+        .map(|i| DumbbellFlow::download(CcKind::CubicSuss, MB, SimTime::from_millis(5 * i as u64)))
+        .collect();
+    let out = run_dumbbell_engine(&cfg, &flows, seed, SimTime::from_secs(60), engine);
+    let drops = out.bottleneck_drops;
+    let mut f0 = out.flows.into_iter().next().expect("pairs > 0");
+    f0.bottleneck_drops = drops;
+    f0
+}
+
+/// The same cells as a FlowGrid campaign under the production engine.
+fn wheel_grid() -> FlowGrid {
+    let mut grid = FlowGrid::new("determinism-golden");
+    grid.batch_fn(
+        "dumbbell/golden",
+        "topo=dumbbell pairs=4 btlneck=50Mbps rtt=50ms buf=1.0bdp \
+         cc=cubic+suss size=1MB stagger=5ms",
+        SEEDS.len() as u64,
+        SEEDS[0],
+        |seed| cell(EngineConfig::default(), seed),
+    );
+    grid
+}
+
+fn assert_matches_golden(run: &FlowGridRun, what: &str) {
+    assert_eq!(run.stats.len(), SEEDS.len());
+    for (i, s) in run.stats.iter().enumerate() {
+        assert_eq!(
+            s.fct_secs.to_bits(),
+            GOLD_FCT_SECS[i].to_bits(),
+            "{what}: seed {} fct {} != golden {}",
+            SEEDS[i],
+            s.fct_secs,
+            GOLD_FCT_SECS[i],
+        );
+    }
+    let totals = run.counters_total();
+    for &(name, want) in GOLD_TOTALS {
+        assert_eq!(
+            totals.get(name),
+            Some(want),
+            "{what}: counter {name} diverged from golden"
+        );
+    }
+}
+
+/// The goldens really do come from the seed engine: the binary-heap
+/// scheduler without payload pooling reproduces every constant.
+#[test]
+fn heap_baseline_matches_golden() {
+    let mut totals = simtrace::CounterSnapshot::default();
+    for (i, &seed) in SEEDS.iter().enumerate() {
+        let out = cell(EngineConfig::baseline(), seed);
+        assert_eq!(
+            out.fct_secs().to_bits(),
+            GOLD_FCT_SECS[i].to_bits(),
+            "heap: seed {seed} fct {} != golden {}",
+            out.fct_secs(),
+            GOLD_FCT_SECS[i],
+        );
+        totals.merge(&out.counters);
+    }
+    for &(name, want) in GOLD_TOTALS {
+        assert_eq!(
+            totals.get(name),
+            Some(want),
+            "heap: counter {name} diverged from golden"
+        );
+    }
+    // The baseline engine never pools or cascades.
+    assert_eq!(totals.get(names::NET_POOL_HITS).unwrap_or(0), 0);
+    assert_eq!(totals.get(names::NET_SCHED_CASCADES).unwrap_or(0), 0);
+}
+
+/// The wheel engine reproduces the heap goldens exactly, both on the
+/// serial path and sharded across 4 workers with a fresh cache — the
+/// scheduler-equivalence contract, end to end through the campaign layer.
+#[test]
+fn wheel_reproduces_golden_at_1_and_4_workers() {
+    let serial = wheel_grid().run(&RunnerOpts::serial());
+    assert_matches_golden(&serial, "wheel serial");
+    // The wheel engine actually pooled allocations on this workload (the
+    // counters above prove pooling didn't change results).
+    assert!(
+        serial
+            .counters_total()
+            .get(names::NET_POOL_HITS)
+            .unwrap_or(0)
+            > 0
+    );
+
+    let dir = std::env::temp_dir().join(format!("suss-det-golden-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let parallel = wheel_grid().run(&RunnerOpts::default().with_workers(4).with_cache(&dir));
+    assert_eq!(parallel.manifest.cache_hits, 0, "fresh cache must miss");
+    assert_matches_golden(&parallel, "wheel 4-worker");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regeneration helper: prints the constants to paste above.
+#[test]
+#[ignore = "golden generator, run with --ignored --nocapture"]
+fn print_golden() {
+    let mut totals = simtrace::CounterSnapshot::default();
+    let mut fcts = Vec::new();
+    for &seed in &SEEDS {
+        let out = cell(EngineConfig::baseline(), seed);
+        fcts.push(out.fct_secs());
+        totals.merge(&out.counters);
+    }
+    println!("const GOLD_FCT_SECS: [f64; 2] = {fcts:?};");
+    for &(name, _) in GOLD_TOTALS {
+        println!("({name:?}, {}),", totals.get(name).unwrap_or(0));
+    }
+}

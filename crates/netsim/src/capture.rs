@@ -258,7 +258,7 @@ mod engine_tests {
     use super::*;
     use crate::bandwidth::Bandwidth;
     use crate::link::LinkSpec;
-    use crate::packet::{NodeId, Packet};
+    use crate::packet::Packet;
     use crate::sim::{Agent, Ctx, Sim};
     use std::any::Any;
 

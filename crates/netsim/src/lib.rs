@@ -57,15 +57,16 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod traffic;
+mod wheel;
 
 pub use bandwidth::Bandwidth;
 pub use capture::{Capture, CaptureEvent, CaptureKind};
 pub use link::{JitterModel, LinkSpec, LinkStats, Qdisc, RateSchedule};
-pub use packet::{FlowId, LinkId, NodeId, Packet, PacketMeta};
+pub use packet::{FlowId, LinkId, NodeId, Packet, PacketMeta, PayloadPool};
 pub use queue::{CodelQueue, DropTailQueue, Queue, QueueStats};
 pub use rng::SimRng;
 pub use router::Router;
-pub use sim::{Agent, Ctx, Sim};
+pub use sim::{Agent, Ctx, EngineConfig, SchedulerKind, Sim};
 pub use time::SimTime;
 pub use topology::{
     build_dumbbell, build_parking_lot, Dumbbell, DumbbellSpec, ParkingLot, ParkingLotSpec,

@@ -289,6 +289,8 @@ pub(crate) struct HalfLink {
     pub(crate) last_arrival: SimTime,
     pub(crate) rng: SimRng,
     pub(crate) stats: LinkStats,
+    /// AQM drops already reported to the engine's registry counter.
+    pub(crate) aqm_reported: u64,
 }
 
 impl HalfLink {
@@ -303,6 +305,7 @@ impl HalfLink {
             last_arrival: SimTime::ZERO,
             rng,
             stats: LinkStats::default(),
+            aqm_reported: 0,
         }
     }
 

@@ -5,7 +5,7 @@
 //! payload and downcast on receipt — the engine itself is protocol-agnostic,
 //! mirroring how an IP network treats transport payloads.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::fmt;
 
 /// Identifies a node (agent) in the simulation.
@@ -94,13 +94,25 @@ impl Packet {
         size: u32,
         payload: T,
     ) -> Self {
+        Self::with_boxed_payload(flow, src, dst, size, Box::new(payload))
+    }
+
+    /// Construct a packet from an already-boxed payload (see
+    /// [`PayloadPool::boxed`] for the allocation-free path).
+    pub fn with_boxed_payload(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size: u32,
+        payload: Box<dyn Any>,
+    ) -> Self {
         Packet {
             id: 0,
             flow,
             src,
             dst,
             size,
-            payload: Some(Box::new(payload)),
+            payload: Some(payload),
         }
     }
 
@@ -132,6 +144,101 @@ impl Packet {
                 }
             },
             None => Err(self),
+        }
+    }
+
+    /// Take the payload downcast to `T`, returning its box to `pool` for
+    /// reuse instead of freeing it. The allocation-free counterpart of
+    /// [`Packet::take_payload`]; endpoints reach it through
+    /// `Ctx::take_payload`.
+    pub fn take_payload_with<T: Any + Default>(
+        mut self,
+        pool: &mut PayloadPool,
+    ) -> Result<(T, PacketMeta), Packet> {
+        match self.payload.take() {
+            Some(b) => match b.downcast::<T>() {
+                Ok(mut bt) => {
+                    let value = std::mem::take(&mut *bt);
+                    let meta = PacketMeta {
+                        id: self.id,
+                        flow: self.flow,
+                        src: self.src,
+                        dst: self.dst,
+                        size: self.size,
+                    };
+                    pool.recycle(bt);
+                    Ok((value, meta))
+                }
+                Err(b) => {
+                    self.payload = Some(b);
+                    Err(self)
+                }
+            },
+            None => Err(self),
+        }
+    }
+}
+
+/// Per-type shelves of recycled payload boxes.
+///
+/// Every data segment and ACK in a transfer is heap-allocated at the sender
+/// and freed at the receiver; at millions of events per run that `Box`
+/// churn dominates the packet path. The pool keeps consumed boxes on a
+/// shelf keyed by `TypeId` and refills them in place on the next
+/// allocation, so a steady-state flow reuses the same handful of boxes.
+///
+/// Reuse is value-transparent — a pooled box is overwritten with the new
+/// payload before it is handed out — so pooling cannot affect simulation
+/// results, only allocator traffic.
+pub struct PayloadPool {
+    /// `(payload type, recycled boxes)`; linear scan — real workloads carry
+    /// two payload types (data + ACK).
+    shelves: Vec<(TypeId, Vec<Box<dyn Any>>)>,
+    enabled: bool,
+}
+
+/// Recycled boxes kept per payload type; beyond this, recycle frees.
+const SHELF_CAP: usize = 1024;
+
+impl PayloadPool {
+    /// Create a pool; a disabled pool always allocates and never retains
+    /// (the seed-baseline configuration for benchmarking).
+    pub fn new(enabled: bool) -> Self {
+        PayloadPool {
+            shelves: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Box `value`, reusing a recycled allocation when one is shelved.
+    /// Returns the box and whether it was a pool hit.
+    pub fn boxed<T: Any>(&mut self, value: T) -> (Box<dyn Any>, bool) {
+        if self.enabled {
+            let key = TypeId::of::<T>();
+            if let Some((_, shelf)) = self.shelves.iter_mut().find(|(t, _)| *t == key) {
+                if let Some(b) = shelf.pop() {
+                    let mut bt = b.downcast::<T>().expect("shelf keyed by TypeId");
+                    *bt = value;
+                    return (bt, true);
+                }
+            }
+        }
+        (Box::new(value), false)
+    }
+
+    /// Return a consumed payload box to its type's shelf.
+    pub fn recycle(&mut self, b: Box<dyn Any>) {
+        if !self.enabled {
+            return;
+        }
+        let key = (*b).type_id();
+        match self.shelves.iter_mut().find(|(t, _)| *t == key) {
+            Some((_, shelf)) => {
+                if shelf.len() < SHELF_CAP {
+                    shelf.push(b);
+                }
+            }
+            None => self.shelves.push((key, vec![b])),
         }
     }
 }
@@ -205,5 +312,55 @@ mod tests {
         assert_eq!(NodeId(4).to_string(), "n4");
         assert_eq!(LinkId(7).to_string(), "l7");
         assert_eq!(FlowId(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn pool_reuses_recycled_box() {
+        let (a, b) = nodes();
+        let mut pool = PayloadPool::new(true);
+        let (boxed, hit) = pool.boxed(7u64);
+        assert!(!hit, "empty pool must miss");
+        let first = boxed.downcast_ref::<u64>().unwrap() as *const u64 as usize;
+        let p = Packet::with_boxed_payload(FlowId(1), a, b, 100, boxed);
+        let (v, _meta) = p.take_payload_with::<u64>(&mut pool).unwrap();
+        assert_eq!(v, 7);
+        // The freed box is shelved; the next same-type alloc reuses it.
+        let (boxed, hit) = pool.boxed(9u64);
+        assert!(hit, "recycled box must be reused");
+        let again = boxed.downcast_ref::<u64>().unwrap() as *const u64 as usize;
+        assert_eq!(again, first);
+        assert_eq!(boxed.downcast_ref::<u64>(), Some(&9));
+    }
+
+    #[test]
+    fn pool_shelves_are_per_type() {
+        let mut pool = PayloadPool::new(true);
+        let (b1, _) = pool.boxed(1u64);
+        pool.recycle(b1);
+        // A different payload type cannot hit the u64 shelf.
+        let (_, hit) = pool.boxed(String::from("x"));
+        assert!(!hit);
+        let (b2, hit) = pool.boxed(2u64);
+        assert!(hit);
+        assert_eq!(b2.downcast_ref::<u64>(), Some(&2));
+    }
+
+    #[test]
+    fn disabled_pool_never_hits() {
+        let mut pool = PayloadPool::new(false);
+        let (b, hit) = pool.boxed(1u64);
+        assert!(!hit);
+        pool.recycle(b);
+        let (_, hit) = pool.boxed(2u64);
+        assert!(!hit, "disabled pool must not retain boxes");
+    }
+
+    #[test]
+    fn take_payload_with_wrong_type_keeps_packet() {
+        let (a, b) = nodes();
+        let mut pool = PayloadPool::new(true);
+        let p = Packet::with_payload(FlowId(1), a, b, 100, 42u64);
+        let p = p.take_payload_with::<String>(&mut pool).unwrap_err();
+        assert_eq!(p.payload_ref::<u64>(), Some(&42));
     }
 }

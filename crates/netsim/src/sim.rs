@@ -11,10 +11,11 @@
 
 use crate::capture::{Capture, CaptureEvent, CaptureKind};
 use crate::link::{HalfLink, LinkSpec, LinkStats};
-use crate::packet::{LinkId, NodeId, Packet};
+use crate::packet::{LinkId, NodeId, Packet, PacketMeta, PayloadPool};
 use crate::queue::QueueStats;
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 use simtrace::{Counter, Gauge, Registry};
 use std::any::Any;
 use std::cmp::Ordering;
@@ -88,15 +89,112 @@ impl Ord for EventEntry {
     }
 }
 
+/// Which event-queue implementation backs the scheduler.
+///
+/// Both dispatch in exactly the same `(time, insertion-seq)` order, so
+/// simulation results are identical; they differ only in per-event cost.
+/// The heap is retained as the measurement baseline and for in-process
+/// equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// `BinaryHeap<EventEntry>` — `O(log n)` per op, the original engine.
+    BinaryHeap,
+    /// Calendar-queue timer wheel — amortized `O(1)` for near-future events.
+    TimerWheel,
+}
+
+/// Engine tuning knobs, orthogonal to simulation semantics.
+///
+/// The default is the fast path (timer wheel + payload pooling);
+/// [`EngineConfig::baseline`] reproduces the pre-wheel engine for A/B
+/// benchmarking. Any combination produces byte-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Event-queue implementation.
+    pub scheduler: SchedulerKind,
+    /// Recycle payload boxes through a free-list pool.
+    pub payload_pooling: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scheduler: SchedulerKind::TimerWheel,
+            payload_pooling: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The original engine: binary-heap scheduler, no pooling.
+    pub fn baseline() -> Self {
+        EngineConfig {
+            scheduler: SchedulerKind::BinaryHeap,
+            payload_pooling: false,
+        }
+    }
+}
+
+/// The scheduler behind [`NetCore`]: either implementation dispatches the
+/// same global `(at, seq)` order.
+enum EventQueue {
+    Heap(BinaryHeap<EventEntry>),
+    Wheel(Box<TimerWheel<EventKind>>),
+}
+
+impl EventQueue {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::BinaryHeap => EventQueue::Heap(BinaryHeap::new()),
+            SchedulerKind::TimerWheel => EventQueue::Wheel(Box::new(TimerWheel::new())),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, kind: EventKind) {
+        match self {
+            EventQueue::Heap(h) => h.push(EventEntry { at, seq, kind }),
+            EventQueue::Wheel(w) => w.push(at, seq, kind),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|e| (e.at, e.kind)),
+            EventQueue::Wheel(w) => w.pop().map(|e| (e.at, e.item)),
+        }
+    }
+
+    /// Earliest pending event time (`&mut`: the wheel may advance its
+    /// cursor to find it, which never changes dispatch order).
+    fn next_at(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|e| e.at),
+            EventQueue::Wheel(w) => w.next_at(),
+        }
+    }
+
+    fn cascades(&self) -> u64 {
+        match self {
+            EventQueue::Heap(_) => 0,
+            EventQueue::Wheel(w) => w.cascades(),
+        }
+    }
+}
+
 /// Engine internals shared between the dispatcher and agent callbacks.
 struct NetCore {
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<EventEntry>,
+    events: EventQueue,
     links: Vec<HalfLink>,
     next_packet_id: u64,
     capture: Option<Capture>,
+    pool: PayloadPool,
     ctr_queue_drops: Counter,
+    ctr_aqm_drops: Counter,
+    ctr_events_scheduled: Counter,
+    ctr_pool_hits: Counter,
+    ctr_pool_misses: Counter,
     gauge_queue_hwm: Gauge,
 }
 
@@ -125,11 +223,8 @@ impl NetCore {
             self.now
         );
         self.seq += 1;
-        self.events.push(EventEntry {
-            at: at.max(self.now),
-            seq: self.seq,
-            kind,
-        });
+        self.ctr_events_scheduled.inc();
+        self.events.push(at.max(self.now), self.seq, kind);
     }
 
     /// Offer a packet to a half-link for transmission.
@@ -191,7 +286,17 @@ impl NetCore {
 
         // Chain the next queued packet.
         let hl = &mut self.links[link.index()];
-        if let Some(next) = hl.queue.dequeue(now) {
+        let next = hl.queue.dequeue(now);
+        // AQM may have head-dropped while selecting `next`; surface the
+        // delta through the registry.
+        let aqm = hl.aqm_drops();
+        let aqm_delta = aqm - hl.aqm_reported;
+        hl.aqm_reported = aqm;
+        if aqm_delta > 0 {
+            self.ctr_aqm_drops.add(aqm_delta);
+        }
+        if let Some(next) = next {
+            let hl = &mut self.links[link.index()];
             let rate = hl.spec.rate.rate_at(now);
             let done = now + rate.tx_time(u64::from(next.size));
             hl.transmitting = Some(next);
@@ -243,6 +348,31 @@ impl Ctx<'_> {
     pub fn link_backlog_bytes(&self, link: LinkId) -> u64 {
         self.core.links[link.index()].queue.backlog_bytes()
     }
+
+    /// Box a payload through the engine's recycled-buffer pool.
+    ///
+    /// Pair with [`Packet::with_boxed_payload`]; on the steady-state path
+    /// this reuses a box freed by an earlier [`Ctx::take_payload`] instead
+    /// of hitting the allocator.
+    pub fn alloc_payload<T: Any>(&mut self, value: T) -> Box<dyn Any> {
+        let (boxed, hit) = self.core.pool.boxed(value);
+        if hit {
+            self.core.ctr_pool_hits.inc();
+        } else {
+            self.core.ctr_pool_misses.inc();
+        }
+        boxed
+    }
+
+    /// Take a packet's payload downcast to `T`, recycling its box into the
+    /// engine pool. The allocation-free counterpart of
+    /// [`Packet::take_payload`].
+    pub fn take_payload<T: Any + Default>(
+        &mut self,
+        pkt: Packet,
+    ) -> Result<(T, PacketMeta), Packet> {
+        pkt.take_payload_with(&mut self.core.pool)
+    }
 }
 
 /// The simulation: agents + links + event queue.
@@ -254,24 +384,45 @@ pub struct Sim {
     events_dispatched: u64,
     metrics: Registry,
     ctr_events: Counter,
+    ctr_cascades: Counter,
+    cascades_reported: u64,
 }
 
 impl Sim {
-    /// Create an empty simulation with the given experiment seed.
+    /// Create an empty simulation with the given experiment seed, using
+    /// the default (fast) engine configuration.
     pub fn new(seed: u64) -> Self {
+        Self::with_engine(seed, EngineConfig::default())
+    }
+
+    /// Create an empty simulation with an explicit engine configuration.
+    ///
+    /// Every configuration produces identical results; non-default ones
+    /// exist for benchmarking and scheduler-equivalence tests.
+    pub fn with_engine(seed: u64, engine: EngineConfig) -> Self {
         let metrics = Registry::new();
         let ctr_events = metrics.counter(simtrace::names::NET_EVENTS);
+        let ctr_cascades = metrics.counter(simtrace::names::NET_SCHED_CASCADES);
+        let ctr_events_scheduled = metrics.counter(simtrace::names::NET_EVENTS_SCHEDULED);
+        let ctr_pool_hits = metrics.counter(simtrace::names::NET_POOL_HITS);
+        let ctr_pool_misses = metrics.counter(simtrace::names::NET_POOL_MISSES);
         let ctr_queue_drops = metrics.counter(simtrace::names::NET_QUEUE_DROPS);
+        let ctr_aqm_drops = metrics.counter(simtrace::names::NET_AQM_DROPS);
         let gauge_queue_hwm = metrics.gauge(simtrace::names::NET_QUEUE_DEPTH_HWM);
         Sim {
             core: NetCore {
                 now: SimTime::ZERO,
                 seq: 0,
-                events: BinaryHeap::new(),
+                events: EventQueue::new(engine.scheduler),
                 links: Vec::new(),
                 next_packet_id: 1,
                 capture: None,
+                pool: PayloadPool::new(engine.payload_pooling),
                 ctr_queue_drops,
+                ctr_aqm_drops,
+                ctr_events_scheduled,
+                ctr_pool_hits,
+                ctr_pool_misses,
                 gauge_queue_hwm,
             },
             agents: Vec::new(),
@@ -280,6 +431,8 @@ impl Sim {
             events_dispatched: 0,
             metrics,
             ctr_events,
+            ctr_cascades,
+            cascades_reported: 0,
         }
     }
 
@@ -435,14 +588,19 @@ impl Sim {
     /// Dispatch the next event. Returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(entry) = self.core.events.pop() else {
+        let Some((at, kind)) = self.core.events.pop() else {
             return false;
         };
-        debug_assert!(entry.at >= self.core.now, "time went backwards");
-        self.core.now = entry.at;
+        debug_assert!(at >= self.core.now, "time went backwards");
+        self.core.now = at;
         self.events_dispatched += 1;
         self.ctr_events.inc();
-        match entry.kind {
+        let cascades = self.core.events.cascades();
+        if cascades != self.cascades_reported {
+            self.ctr_cascades.add(cascades - self.cascades_reported);
+            self.cascades_reported = cascades;
+        }
+        match kind {
             EventKind::TxDone { link } => self.core.link_tx_done(link),
             EventKind::Arrive { node, link, pkt } => {
                 self.core.capture_event(link, CaptureKind::Delivered, &pkt);
@@ -478,8 +636,8 @@ impl Sim {
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
         loop {
-            match self.core.events.peek() {
-                Some(e) if e.at <= deadline => {
+            match self.core.events.next_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => break,
@@ -495,8 +653,8 @@ impl Sim {
     pub fn run_while(&mut self, deadline: SimTime, mut pred: impl FnMut(&Sim) -> bool) {
         self.ensure_started();
         while pred(self) {
-            match self.core.events.peek() {
-                Some(e) if e.at <= deadline => {
+            match self.core.events.next_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => break,

@@ -42,8 +42,20 @@ pub use sink::{export_counters, CsvSink, EventSink, JsonlSink, VecSink};
 pub mod names {
     /// Simulator events dispatched (one per timer/packet delivery).
     pub const NET_EVENTS: &str = "net.events_processed";
+    /// Simulator events scheduled (pushes into the event queue).
+    pub const NET_EVENTS_SCHEDULED: &str = "net.events_scheduled";
+    /// Far timers cascaded from the scheduler's overflow heap into the
+    /// timer wheel (0 under the binary-heap scheduler).
+    pub const NET_SCHED_CASCADES: &str = "net.sched_cascades";
+    /// Payload allocations served from the recycled-buffer pool.
+    pub const NET_POOL_HITS: &str = "net.pool_hits";
+    /// Payload allocations that fell through to the global allocator.
+    pub const NET_POOL_MISSES: &str = "net.pool_misses";
     /// Packets dropped by a full link queue.
     pub const NET_QUEUE_DROPS: &str = "net.queue_drops";
+    /// Packets dropped by an AQM decision (CoDel head drops; excludes
+    /// overflow tail drops, which count under `net.queue_drops`).
+    pub const NET_AQM_DROPS: &str = "net.aqm_drops";
     /// High-water mark of any link queue backlog, in bytes (gauge).
     pub const NET_QUEUE_DEPTH_HWM: &str = "net.queue_depth_hwm_bytes";
     /// Data segments sent (including retransmissions).

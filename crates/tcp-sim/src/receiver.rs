@@ -144,7 +144,11 @@ impl ReceiverEndpoint {
         let wire = ack.wire_bytes();
         let me = ctx.self_id();
         let peer = self.peer.expect("receiver peer not wired (call set_peer)");
-        ctx.send(out, Packet::with_payload(self.flow, me, peer, wire, ack));
+        let boxed = ctx.alloc_payload(ack);
+        ctx.send(
+            out,
+            Packet::with_boxed_payload(self.flow, me, peer, wire, boxed),
+        );
         self.acks_sent += 1;
         self.unacked_segs = 0;
         self.delack_gen += 1; // cancel any pending delayed-ACK flush
@@ -189,7 +193,7 @@ impl Agent for ReceiverEndpoint {
         if pkt.flow != self.flow {
             return;
         }
-        if let Ok((seg, _meta)) = pkt.take_payload::<DataSeg>() {
+        if let Ok((seg, _meta)) = ctx.take_payload::<DataSeg>(pkt) {
             self.handle_data(seg, ctx);
         }
     }

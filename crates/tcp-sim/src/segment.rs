@@ -19,7 +19,10 @@ pub const TS_OPTION_BYTES: u32 = 12;
 pub const SACK_BLOCK_BYTES: u32 = 8;
 
 /// A data segment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Default` exists so consumed payload boxes can be blanked and recycled
+/// through the engine's [`netsim::PayloadPool`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DataSeg {
     /// Flow this segment belongs to.
     pub flow: FlowId,
@@ -48,7 +51,10 @@ impl DataSeg {
 }
 
 /// An acknowledgment segment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Default` exists so consumed payload boxes can be blanked and recycled
+/// through the engine's [`netsim::PayloadPool`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AckSeg {
     /// Flow this ACK belongs to.
     pub flow: FlowId,

@@ -141,6 +141,10 @@ pub struct SenderEndpoint {
     current_pacing_rate: Option<f64>,
     app_limited: bool,
     done: bool,
+    /// Shared completion tally, bumped once when the flow finishes. Lets
+    /// multi-flow harnesses stop with an O(1) check instead of polling
+    /// every sender after every event (see [`notify_completion`](Self::notify_completion)).
+    completion_tally: Option<std::rc::Rc<std::cell::Cell<u64>>>,
     /// Most recently advertised receive window (flow control). Starts at
     /// the classic 64 kB pre-window-scaling default (learned during the
     /// handshake in real TCP; updated by every ACK here).
@@ -196,6 +200,7 @@ impl SenderEndpoint {
             current_pacing_rate: None,
             app_limited: false,
             done: false,
+            completion_tally: None,
             peer_rwnd: 65_535,
             trace,
             stats,
@@ -225,6 +230,19 @@ impl SenderEndpoint {
     /// Whether the flow has been fully acknowledged.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Register a shared tally this sender increments exactly once, at
+    /// flow completion. Experiment loops over many flows use it to detect
+    /// "all done" in O(1) per event; the stop boundary is identical to
+    /// polling [`is_done`](Self::is_done) (both flip inside the same ACK's
+    /// dispatch). If the flow already completed, the tally is bumped
+    /// immediately.
+    pub fn notify_completion(&mut self, tally: std::rc::Rc<std::cell::Cell<u64>>) {
+        if self.done {
+            tally.set(tally.get() + 1);
+        }
+        self.completion_tally = Some(tally);
     }
 
     /// The congestion controller (for experiment inspection).
@@ -361,7 +379,11 @@ impl SenderEndpoint {
                 fin,
             };
             let peer = self.peer.expect("sender peer not wired (call set_peer)");
-            ctx.send(out, Packet::with_payload(self.flow, me, peer, wire, seg));
+            let boxed = ctx.alloc_payload(seg);
+            ctx.send(
+                out,
+                Packet::with_boxed_payload(self.flow, me, peer, wire, boxed),
+            );
             self.pacer.on_sent(now_ns, u64::from(wire));
             self.stats.segs_sent += 1;
             if let Some(m) = &self.metrics {
@@ -589,6 +611,9 @@ impl SenderEndpoint {
         // --- Completion ------------------------------------------------------
         if self.snd_una >= self.cfg.flow_bytes {
             self.done = true;
+            if let Some(t) = &self.completion_tally {
+                t.set(t.get() + 1);
+            }
             self.stats.completed_at = Some(now);
             self.trace.event(now, TraceEvent::FlowComplete);
             self.disarm_rto();
@@ -670,7 +695,7 @@ impl Agent for SenderEndpoint {
         if pkt.flow != self.flow {
             return;
         }
-        if let Ok((ack, _meta)) = pkt.take_payload::<AckSeg>() {
+        if let Ok((ack, _meta)) = ctx.take_payload::<AckSeg>(pkt) {
             self.handle_ack(ack, ctx);
         }
     }

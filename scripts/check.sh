@@ -25,6 +25,19 @@ if [ "$rows" -lt 2 ]; then
     exit 1
 fi
 
+echo "== engine determinism gate =="
+# The scheduler-equivalence contract, release-compiled: the timer wheel
+# must reproduce the binary-heap goldens exactly, serial and 4-worker.
+cargo test --release -q -p netsim --test wheel_equivalence
+cargo test --release -q -p experiments --test determinism
+
+echo "== bench smoke (engine A/B snapshot, quick) =="
+# Short-iteration hotpath run: proves the A/B harness runs end to end and
+# that both engines still produce byte-identical results (the bin exits
+# non-zero on divergence). Timing numbers from quick mode are not the
+# committed snapshot; see scripts/bench_snapshot.sh.
+scripts/bench_snapshot.sh --quick >/dev/null
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
