@@ -167,6 +167,25 @@ impl FlowGrid {
             manifest: out.manifest,
         }
     }
+
+    /// Execute every queued cell with crash-proofing
+    /// ([`simrunner::Campaign::run_resilient`]): a panicking cell is
+    /// retried on a fresh worker, a hung cell is abandoned by the
+    /// watchdog, and the grid always completes — failed cells come back
+    /// as `None` and are recorded in the manifest instead of tearing the
+    /// campaign down. Chaos campaigns use this; the clean-path figures
+    /// keep [`FlowGrid::run`], where any panic is a bug worth crashing
+    /// on.
+    pub fn run_resilient(self, opts: &RunnerOpts) -> FlowGridResilientRun {
+        let FlowGrid { campaign, runners } = self;
+        let out = campaign.run_resilient(opts, move |cell| {
+            FlowStats::of(&runners[cell.index](cell.seed))
+        });
+        FlowGridResilientRun {
+            stats: out.results,
+            manifest: out.manifest,
+        }
+    }
 }
 
 /// A completed [`FlowGrid`] run: per-cell stats in campaign order plus
@@ -229,6 +248,72 @@ impl FlowGridRun {
     pub fn counters_total(&self) -> simtrace::CounterSnapshot {
         let mut total = simtrace::CounterSnapshot::default();
         for s in &self.stats {
+            total.merge(&s.counters);
+        }
+        total
+    }
+}
+
+/// A completed resilient [`FlowGrid`] run: failed cells are `None`.
+#[derive(Debug)]
+pub struct FlowGridResilientRun {
+    /// Per-cell flow stats in queue order; `None` for cells that panicked
+    /// past the retry budget or were abandoned by the watchdog.
+    pub stats: Vec<Option<FlowStats>>,
+    /// The run's manifest, including per-cell [`simrunner::CellStatus`]
+    /// and the resilience totals.
+    pub manifest: RunManifest,
+}
+
+impl FlowGridResilientRun {
+    /// Whether every cell produced a result.
+    pub fn all_ok(&self) -> bool {
+        self.manifest.all_ok()
+    }
+
+    /// Aggregate the surviving cells of one batch through an extractor,
+    /// dropping failed cells and non-finite samples. `None` when every
+    /// cell of the batch failed (or produced non-finite values).
+    pub fn summary(&self, b: Batch, f: impl Fn(&FlowStats) -> f64) -> Option<Summary> {
+        Summary::of_indexed(
+            (b.start..b.start + b.len)
+                .filter_map(|i| self.stats[i].as_ref().map(|s| (i, f(s))))
+                .filter(|&(_, v)| v.is_finite())
+                .collect(),
+        )
+    }
+
+    /// FCT summary of a batch's surviving cells.
+    pub fn fct(&self, b: Batch) -> Option<Summary> {
+        self.summary(b, |s| s.fct_secs)
+    }
+
+    /// How many cells of a batch produced a result.
+    pub fn survivors(&self, b: Batch) -> usize {
+        (b.start..b.start + b.len)
+            .filter(|&i| self.stats[i].is_some())
+            .count()
+    }
+
+    /// Mean of one registry counter across a batch's surviving cells
+    /// (0 when the whole batch failed).
+    pub fn counter_mean(&self, b: Batch, name: &str) -> f64 {
+        let n = self.survivors(b);
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: u64 = (b.start..b.start + b.len)
+            .filter_map(|i| self.stats[i].as_ref())
+            .map(|s| s.counters.get(name).unwrap_or(0))
+            .sum();
+        sum as f64 / n as f64
+    }
+
+    /// Merge the surviving cells' counter snapshots into campaign-wide
+    /// totals, in campaign order (deterministic across worker counts).
+    pub fn counters_total(&self) -> simtrace::CounterSnapshot {
+        let mut total = simtrace::CounterSnapshot::default();
+        for s in self.stats.iter().flatten() {
             total.merge(&s.counters);
         }
         total

@@ -18,6 +18,7 @@ pub mod runner;
 
 pub mod ablations;
 pub mod campaigns;
+pub mod chaos;
 pub mod extensions;
 pub mod fairness;
 pub mod fct_sweep;
@@ -28,6 +29,9 @@ pub mod fig13;
 pub mod loss;
 pub mod stability;
 
-pub use campaigns::{Batch, FlowGrid, FlowGridRun, FlowStats, CAMPAIGN_VERSION};
+pub use campaigns::{
+    Batch, FlowGrid, FlowGridResilientRun, FlowGridRun, FlowStats, CAMPAIGN_VERSION,
+};
+pub use chaos::{chaos_table, run_flow_faulted, run_flow_faulted_engine, FaultFamily};
 pub use dumbbell::{run_dumbbell, run_dumbbell_engine, DumbbellFlow, DumbbellOutcome};
 pub use runner::{mean_fct, run_flow, run_flow_engine, FlowOutcome, IW, MSS};

@@ -143,6 +143,76 @@ fn wheel_reproduces_golden_at_1_and_4_workers() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Fault-injected cells obey the same determinism contract as clean
+/// ones: a faulted grid's FCT bits and counter totals are identical
+/// serially and across 4 workers, and the wheel engine reproduces the
+/// heap engine exactly under every fault family. No goldens here —
+/// the invariant is engine/sharding independence, not pinned values.
+#[test]
+fn faulted_cells_are_engine_and_worker_invariant() {
+    use experiments::chaos::{chaos_scenario, run_flow_faulted_engine, FaultFamily};
+
+    let faulted_grid = |engine: EngineConfig| {
+        let scn = chaos_scenario();
+        let mut grid = FlowGrid::new("determinism-faulted");
+        for family in FaultFamily::ALL {
+            let plan = family.plan();
+            grid.batch_fn(
+                &format!("faulted/{}", family.key()),
+                &format!(
+                    "{} cc=cubic+suss size={MB} {} engine-check",
+                    scn.canonical_params(),
+                    plan.canonical_params()
+                ),
+                SEEDS.len() as u64,
+                SEEDS[0],
+                move |seed| {
+                    run_flow_faulted_engine(&scn, CcKind::CubicSuss, MB, seed, &plan, engine)
+                },
+            );
+        }
+        grid
+    };
+    let assert_same = |a: &FlowGridRun, b: &FlowGridRun, what: &str| {
+        assert_eq!(a.stats.len(), b.stats.len());
+        for (i, (x, y)) in a.stats.iter().zip(&b.stats).enumerate() {
+            assert_eq!(
+                x.fct_secs.to_bits(),
+                y.fct_secs.to_bits(),
+                "{what}: cell {i} fct {} != {}",
+                x.fct_secs,
+                y.fct_secs
+            );
+        }
+        let (ta, tb) = (a.counters_total(), b.counters_total());
+        for m in &ta.metrics {
+            // Scheduler/pool internals legitimately differ across engines.
+            if m.name.starts_with("net.sched_") || m.name.starts_with("net.pool_") {
+                continue;
+            }
+            assert_eq!(
+                tb.get(&m.name),
+                Some(m.value),
+                "{what}: counter {} diverged",
+                m.name
+            );
+        }
+    };
+
+    let wheel_serial = faulted_grid(EngineConfig::default()).run(&RunnerOpts::serial());
+    // Faults really fired: injected losses and flap transitions counted.
+    let totals = wheel_serial.counters_total();
+    assert!(totals.get(names::NET_FAULTS_INJECTED).unwrap_or(0) > 0);
+    assert!(totals.get(names::NET_LINK_FLAPS).unwrap_or(0) > 0);
+
+    let wheel_parallel =
+        faulted_grid(EngineConfig::default()).run(&RunnerOpts::default().with_workers(4));
+    assert_same(&wheel_serial, &wheel_parallel, "faulted 1-vs-4 workers");
+
+    let heap_serial = faulted_grid(EngineConfig::baseline()).run(&RunnerOpts::serial());
+    assert_same(&wheel_serial, &heap_serial, "faulted wheel-vs-heap");
+}
+
 /// Regeneration helper: prints the constants to paste above.
 #[test]
 #[ignore = "golden generator, run with --ignored --nocapture"]

@@ -1,0 +1,421 @@
+//! Deterministic link-fault injection.
+//!
+//! A [`FaultPlan`] attaches to a [`LinkSpec`](crate::LinkSpec) and models the
+//! pathologies of real last-hop paths that the clean link model cannot:
+//! bursty loss (Gilbert–Elliott), scheduled link flaps (radio outages with
+//! queue-drain on recovery), packet reordering and duplication, and RTT step
+//! changes (route changes). All randomness comes from a dedicated per-link
+//! RNG substream forked off the simulation seed, so fault-enabled runs are
+//! byte-identical across worker counts and scheduler engines, and a link
+//! without a plan draws exactly the numbers it always did.
+//!
+//! Every knob is canonicalised into a stable string by
+//! [`FaultPlan::canonical_params`] so experiment cache keys incorporate the
+//! fault configuration by construction.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Two-state Gilbert–Elliott loss process.
+///
+/// The chain steps once per transmitted packet: from Good it enters Bad
+/// with probability `p_good_bad`, from Bad it recovers with `p_bad_good`;
+/// the packet is then lost with the state's loss probability. The classic
+/// Gilbert model is `loss_good = 0`, `loss_bad` high — long loss bursts
+/// with mean length `1 / p_bad_good` packets.
+#[derive(Debug, Clone, Copy)]
+pub struct GilbertElliott {
+    /// Per-packet transition probability Good → Bad.
+    pub p_good_bad: f64,
+    /// Per-packet transition probability Bad → Good.
+    pub p_bad_good: f64,
+    /// Loss probability while in the Good state.
+    pub loss_good: f64,
+    /// Loss probability while in the Bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A classic Gilbert burst-loss process: lossless Good state, `loss_bad`
+    /// loss in Bad, with the given transition probabilities.
+    pub fn gilbert(p_good_bad: f64, p_bad_good: f64, loss_bad: f64) -> Self {
+        GilbertElliott {
+            p_good_bad,
+            p_bad_good,
+            loss_good: 0.0,
+            loss_bad,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("p_good_bad", self.p_good_bad),
+            ("p_bad_good", self.p_bad_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "GE {name} out of range: {p}");
+        }
+    }
+}
+
+/// One scheduled outage: the link is down in `[down, up)`.
+///
+/// While down, packets finishing serialization are cut on the wire and new
+/// arrivals accumulate in the egress queue; at `up` the queue starts
+/// draining again (the radio-reattach model — buffers survive the outage).
+#[derive(Debug, Clone, Copy)]
+pub struct FlapWindow {
+    /// Instant the link goes down (inclusive).
+    pub down: SimTime,
+    /// Instant the link comes back up (exclusive end of the outage).
+    pub up: SimTime,
+}
+
+/// Late-delivery reordering: each delivered packet is independently held
+/// back by `extra` with probability `prob`, letting packets behind it
+/// overtake — the `netem reorder` model expressed as explicit lateness.
+#[derive(Debug, Clone, Copy)]
+pub struct ReorderModel {
+    /// Probability a packet is held back.
+    pub prob: f64,
+    /// Extra delay applied to a held-back packet.
+    pub extra: Duration,
+}
+
+/// A complete fault schedule for one half-link.
+///
+/// The default plan is empty and injects nothing; compose faults with the
+/// builder methods. Attach with
+/// [`LinkSpec::with_faults`](crate::LinkSpec::with_faults).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Bursty-loss process, applied in addition to the spec's i.i.d. loss.
+    pub ge_loss: Option<GilbertElliott>,
+    /// Scheduled outages, sorted and non-overlapping.
+    pub flaps: Vec<FlapWindow>,
+    /// Probabilistic late-delivery reordering.
+    pub reorder: Option<ReorderModel>,
+    /// Per-packet duplication probability.
+    pub duplicate: f64,
+    /// Extra one-way delay steps `(effective_from, extra)` — a route-change
+    /// model; the step at or before `t` is in effect (zero before the first).
+    pub delay_steps: Vec<(SimTime, Duration)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.ge_loss.is_none()
+            && self.flaps.is_empty()
+            && self.reorder.is_none()
+            && self.duplicate == 0.0
+            && self.delay_steps.is_empty()
+    }
+
+    /// Add a Gilbert–Elliott bursty-loss process.
+    pub fn with_ge(mut self, ge: GilbertElliott) -> Self {
+        ge.validate();
+        self.ge_loss = Some(ge);
+        self
+    }
+
+    /// Add scheduled link flaps.
+    ///
+    /// # Panics
+    /// Panics if any window is empty or windows overlap / are unsorted.
+    pub fn with_flaps(mut self, flaps: Vec<FlapWindow>) -> Self {
+        for w in &flaps {
+            assert!(w.down < w.up, "empty flap window {:?}", w);
+        }
+        assert!(
+            flaps.windows(2).all(|w| w[0].up <= w[1].down),
+            "flap windows must be sorted and non-overlapping"
+        );
+        self.flaps = flaps;
+        self
+    }
+
+    /// Add late-delivery reordering.
+    pub fn with_reorder(mut self, prob: f64, extra: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "reorder prob out of range");
+        self.reorder = Some(ReorderModel { prob, extra });
+        self
+    }
+
+    /// Add per-packet duplication with the given probability.
+    pub fn with_duplicate(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "duplicate prob out of range");
+        self.duplicate = prob;
+        self
+    }
+
+    /// Add extra-delay steps (route-change model).
+    ///
+    /// # Panics
+    /// Panics if the steps are not strictly increasing in time.
+    pub fn with_delay_steps(mut self, steps: Vec<(SimTime, Duration)>) -> Self {
+        assert!(
+            steps.windows(2).all(|w| w[0].0 < w[1].0),
+            "delay steps must be strictly increasing in time"
+        );
+        self.delay_steps = steps;
+        self
+    }
+
+    /// Whether the link is down at `t` under the flap schedule.
+    pub fn down_at(&self, t: SimTime) -> bool {
+        // Windows are sorted and non-overlapping: find the last window
+        // starting at or before t and check whether it is still open.
+        match self.flaps.binary_search_by(|w| w.down.cmp(&t)) {
+            Ok(i) => t < self.flaps[i].up,
+            Err(0) => false,
+            Err(i) => t < self.flaps[i - 1].up,
+        }
+    }
+
+    /// The extra one-way delay in effect at `t`.
+    pub fn extra_delay_at(&self, t: SimTime) -> Duration {
+        match self.delay_steps.binary_search_by(|(st, _)| st.cmp(&t)) {
+            Ok(i) => self.delay_steps[i].1,
+            Err(0) => Duration::ZERO,
+            Err(i) => self.delay_steps[i - 1].1,
+        }
+    }
+
+    /// A stable, canonical encoding of the whole plan for cache identity.
+    ///
+    /// Empty plans encode to the empty string, so fault-free cells hash to
+    /// exactly the keys they always did.
+    pub fn canonical_params(&self) -> String {
+        if self.is_empty() {
+            return String::new();
+        }
+        let mut s = String::from("faults[");
+        let mut first = true;
+        let mut sep = |s: &mut String| {
+            if !std::mem::take(&mut first) {
+                s.push(' ');
+            }
+        };
+        if let Some(ge) = &self.ge_loss {
+            sep(&mut s);
+            let _ = write!(
+                s,
+                "ge={}:{}:{}:{}",
+                ge.p_good_bad, ge.p_bad_good, ge.loss_good, ge.loss_bad
+            );
+        }
+        if !self.flaps.is_empty() {
+            sep(&mut s);
+            s.push_str("flaps=");
+            for (i, w) in self.flaps.iter().enumerate() {
+                if i > 0 {
+                    s.push(';');
+                }
+                let _ = write!(s, "{}-{}", w.down.as_nanos(), w.up.as_nanos());
+            }
+        }
+        if let Some(r) = &self.reorder {
+            sep(&mut s);
+            let _ = write!(s, "reorder={}:{}", r.prob, r.extra.as_nanos());
+        }
+        if self.duplicate > 0.0 {
+            sep(&mut s);
+            let _ = write!(s, "dup={}", self.duplicate);
+        }
+        if !self.delay_steps.is_empty() {
+            sep(&mut s);
+            s.push_str("dsteps=");
+            for (i, (t, d)) in self.delay_steps.iter().enumerate() {
+                if i > 0 {
+                    s.push(';');
+                }
+                let _ = write!(s, "{}:{}", t.as_nanos(), d.as_nanos());
+            }
+        }
+        s.push(']');
+        s
+    }
+}
+
+/// Runtime fault state of one half-link. Only links with a non-empty plan
+/// carry one, so fault-free links take no fault branches and draw no fault
+/// randomness.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    /// Dedicated RNG substream — fault draws never perturb the link's
+    /// jitter/loss stream, so adding a plan leaves those draws intact.
+    rng: SimRng,
+    /// Gilbert–Elliott chain state: currently in Bad?
+    in_bad: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, rng: SimRng) -> Self {
+        FaultState {
+            plan,
+            rng,
+            in_bad: false,
+        }
+    }
+
+    /// Step the GE chain for one transmitted packet and roll its loss.
+    pub(crate) fn roll_ge(&mut self) -> bool {
+        let Some(ge) = self.plan.ge_loss else {
+            return false;
+        };
+        let flip = if self.in_bad {
+            self.rng.chance(ge.p_bad_good)
+        } else {
+            self.rng.chance(ge.p_good_bad)
+        };
+        if flip {
+            self.in_bad = !self.in_bad;
+        }
+        let p = if self.in_bad {
+            ge.loss_bad
+        } else {
+            ge.loss_good
+        };
+        p > 0.0 && self.rng.chance(p)
+    }
+
+    /// Roll duplication for one delivered packet.
+    pub(crate) fn roll_duplicate(&mut self) -> bool {
+        self.plan.duplicate > 0.0 && self.rng.chance(self.plan.duplicate)
+    }
+
+    /// Roll late-delivery reordering; `Some(extra)` holds the packet back.
+    pub(crate) fn roll_reorder(&mut self) -> Option<Duration> {
+        let r = self.plan.reorder?;
+        (r.prob > 0.0 && self.rng.chance(r.prob)).then_some(r.extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_canonical_empty() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.canonical_params(), "");
+        assert!(!p.down_at(ms(5)));
+        assert_eq!(p.extra_delay_at(ms(5)), Duration::ZERO);
+    }
+
+    #[test]
+    fn down_at_respects_half_open_windows() {
+        let p = FaultPlan::new().with_flaps(vec![
+            FlapWindow {
+                down: ms(10),
+                up: ms(20),
+            },
+            FlapWindow {
+                down: ms(50),
+                up: ms(60),
+            },
+        ]);
+        assert!(!p.down_at(ms(9)));
+        assert!(p.down_at(ms(10)));
+        assert!(p.down_at(ms(19)));
+        assert!(!p.down_at(ms(20)));
+        assert!(p.down_at(ms(55)));
+        assert!(!p.down_at(ms(60)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_flaps_rejected() {
+        FaultPlan::new().with_flaps(vec![
+            FlapWindow {
+                down: ms(10),
+                up: ms(30),
+            },
+            FlapWindow {
+                down: ms(20),
+                up: ms(40),
+            },
+        ]);
+    }
+
+    #[test]
+    fn extra_delay_steps_select_latest() {
+        let p = FaultPlan::new().with_delay_steps(vec![
+            (ms(100), Duration::from_millis(20)),
+            (ms(200), Duration::from_millis(5)),
+        ]);
+        assert_eq!(p.extra_delay_at(ms(99)), Duration::ZERO);
+        assert_eq!(p.extra_delay_at(ms(100)), Duration::from_millis(20));
+        assert_eq!(p.extra_delay_at(ms(150)), Duration::from_millis(20));
+        assert_eq!(p.extra_delay_at(ms(200)), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn ge_burst_lengths_follow_recovery_probability() {
+        let plan = FaultPlan::new().with_ge(GilbertElliott::gilbert(0.05, 0.2, 1.0));
+        let mut st = FaultState::new(plan, SimRng::new(9));
+        let n = 100_000;
+        let losses = (0..n).filter(|_| st.roll_ge()).count();
+        // Stationary Bad occupancy = pgb / (pgb + pbg) = 0.2.
+        let rate = losses as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn canonical_params_is_stable_and_complete() {
+        let p = FaultPlan::new()
+            .with_ge(GilbertElliott::gilbert(0.01, 0.25, 0.5))
+            .with_flaps(vec![FlapWindow {
+                down: ms(100),
+                up: ms(200),
+            }])
+            .with_reorder(0.02, Duration::from_millis(8))
+            .with_duplicate(0.01)
+            .with_delay_steps(vec![(ms(300), Duration::from_millis(25))]);
+        let s = p.canonical_params();
+        assert_eq!(
+            s,
+            "faults[ge=0.01:0.25:0:0.5 flaps=100000000-200000000 \
+             reorder=0.02:8000000 dup=0.01 dsteps=300000000:25000000]"
+        );
+        // Stable across clones / repeated calls.
+        assert_eq!(p.clone().canonical_params(), s);
+    }
+
+    #[test]
+    fn fault_draws_are_seed_deterministic() {
+        let plan = FaultPlan::new()
+            .with_ge(GilbertElliott::gilbert(0.1, 0.3, 0.8))
+            .with_duplicate(0.05)
+            .with_reorder(0.05, Duration::from_millis(3));
+        let run = |seed| {
+            let mut st = FaultState::new(plan.clone(), SimRng::new(seed));
+            (0..200)
+                .map(|_| {
+                    (
+                        st.roll_ge(),
+                        st.roll_duplicate(),
+                        st.roll_reorder().is_some(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+}

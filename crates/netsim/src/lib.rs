@@ -48,6 +48,7 @@
 
 pub mod bandwidth;
 pub mod capture;
+pub mod faults;
 pub mod link;
 pub mod packet;
 pub mod queue;
@@ -61,8 +62,9 @@ mod wheel;
 
 pub use bandwidth::Bandwidth;
 pub use capture::{Capture, CaptureEvent, CaptureKind};
+pub use faults::{FaultPlan, FlapWindow, GilbertElliott, ReorderModel};
 pub use link::{JitterModel, LinkSpec, LinkStats, Qdisc, RateSchedule};
-pub use packet::{FlowId, LinkId, NodeId, Packet, PacketMeta, PayloadPool};
+pub use packet::{FlowId, LinkId, NodeId, Packet, PacketMeta, PayloadHandle, PayloadPool};
 pub use queue::{CodelQueue, DropTailQueue, Queue, QueueStats};
 pub use rng::SimRng;
 pub use router::Router;

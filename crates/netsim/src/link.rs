@@ -7,6 +7,7 @@
 //! drives the half-link state machine: enqueue → serialize → propagate.
 
 use crate::bandwidth::Bandwidth;
+use crate::faults::{FaultPlan, FaultState, FlapWindow};
 use crate::packet::{NodeId, Packet};
 use crate::queue::{CodelQueue, DropTailQueue, Queue, QueueStats};
 use crate::rng::SimRng;
@@ -201,6 +202,9 @@ pub struct LinkSpec {
     pub queue_bytes: u64,
     /// Egress queue discipline.
     pub qdisc: Qdisc,
+    /// Deterministic fault schedule (bursty loss, flaps, reordering,
+    /// duplication, delay steps); `None` injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl LinkSpec {
@@ -213,7 +217,15 @@ impl LinkSpec {
             loss: 0.0,
             queue_bytes: u64::MAX,
             qdisc: Qdisc::DropTail,
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan to this half-link. An empty plan is dropped, so
+    /// the link stays on the fault-free fast path.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
+        self
     }
 
     /// Use a different queue discipline on the egress buffer.
@@ -273,6 +285,14 @@ pub struct LinkStats {
     pub delivered_pkts: u64,
     /// Bytes delivered to the far end.
     pub delivered_bytes: u64,
+    /// Packets lost to the Gilbert–Elliott fault process.
+    pub ge_lost_pkts: u64,
+    /// Packets cut on the wire by a link flap.
+    pub flap_lost_pkts: u64,
+    /// Fault-injected duplicate deliveries.
+    pub dup_pkts: u64,
+    /// Packets held back by fault-injected reordering.
+    pub reordered_pkts: u64,
 }
 
 /// Runtime state of one direction of a link. Driven by the engine.
@@ -291,10 +311,18 @@ pub(crate) struct HalfLink {
     pub(crate) stats: LinkStats,
     /// AQM drops already reported to the engine's registry counter.
     pub(crate) aqm_reported: u64,
+    /// Fault-injection state; `None` for fault-free links, which then take
+    /// no fault branches and draw no fault randomness.
+    pub(crate) faults: Option<FaultState>,
 }
 
 impl HalfLink {
-    pub(crate) fn new(spec: LinkSpec, to_node: NodeId, rng: SimRng) -> Self {
+    pub(crate) fn new(mut spec: LinkSpec, to_node: NodeId, rng: SimRng, fault_rng: SimRng) -> Self {
+        let faults = spec
+            .faults
+            .take()
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultState::new(p, fault_rng));
         let queue = LinkQueue::new(spec.qdisc, spec.queue_bytes);
         HalfLink {
             spec,
@@ -306,6 +334,7 @@ impl HalfLink {
             rng,
             stats: LinkStats::default(),
             aqm_reported: 0,
+            faults,
         }
     }
 
@@ -325,6 +354,38 @@ impl HalfLink {
     /// Whether the random-loss process claims this packet.
     pub(crate) fn roll_loss(&mut self) -> bool {
         self.spec.loss > 0.0 && self.rng.chance(self.spec.loss)
+    }
+
+    /// Whether the flap schedule has this link down at `now`.
+    pub(crate) fn fault_down(&self, now: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.plan.down_at(now))
+    }
+
+    /// Step the Gilbert–Elliott chain for one packet and roll its loss.
+    pub(crate) fn fault_roll_ge(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(|f| f.roll_ge())
+    }
+
+    /// Roll fault-injected duplication for one delivered packet.
+    pub(crate) fn fault_roll_duplicate(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(|f| f.roll_duplicate())
+    }
+
+    /// Roll fault-injected reordering; `Some(extra)` holds the packet back.
+    pub(crate) fn fault_roll_reorder(&mut self) -> Option<Duration> {
+        self.faults.as_mut().and_then(|f| f.roll_reorder())
+    }
+
+    /// The route-change extra delay in effect at `now`.
+    pub(crate) fn fault_extra_delay(&self, now: SimTime) -> Duration {
+        self.faults
+            .as_ref()
+            .map_or(Duration::ZERO, |f| f.plan.extra_delay_at(now))
+    }
+
+    /// Scheduled flap windows (empty for fault-free links).
+    pub(crate) fn flap_windows(&self) -> &[FlapWindow] {
+        self.faults.as_ref().map_or(&[], |f| &f.plan.flaps)
     }
 
     /// Queue statistics for this half-link's egress buffer.
@@ -407,7 +468,7 @@ mod tests {
     #[test]
     fn jitterless_propagation_is_fixed() {
         let spec = LinkSpec::clean(Bandwidth::from_mbps(1), Duration::from_millis(20));
-        let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(1));
+        let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(1), SimRng::new(99));
         for _ in 0..10 {
             assert_eq!(hl.sample_propagation(), Duration::from_millis(20));
         }
@@ -417,7 +478,7 @@ mod tests {
     fn jitter_never_goes_negative() {
         let spec = LinkSpec::clean(Bandwidth::from_mbps(1), Duration::from_millis(1))
             .with_jitter(JitterModel::gaussian(Duration::from_millis(50)));
-        let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(2));
+        let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(2), SimRng::new(99));
         for _ in 0..1000 {
             let d = hl.sample_propagation();
             assert!(d >= Duration::ZERO);
@@ -429,7 +490,7 @@ mod tests {
         let mk = |corr: f64, seed| {
             let spec = LinkSpec::clean(Bandwidth::from_mbps(1), Duration::from_millis(100))
                 .with_jitter(JitterModel::correlated(Duration::from_millis(10), corr));
-            let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(seed));
+            let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(seed), SimRng::new(99));
             let xs: Vec<f64> = (0..2000)
                 .map(|_| hl.sample_propagation().as_secs_f64())
                 .collect();
@@ -442,7 +503,7 @@ mod tests {
     #[test]
     fn loss_roll_rates() {
         let spec = LinkSpec::clean(Bandwidth::from_mbps(1), Duration::ZERO).with_loss(0.3);
-        let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(3));
+        let mut hl = HalfLink::new(spec, NodeId(0), SimRng::new(3), SimRng::new(99));
         let losses = (0..10_000).filter(|_| hl.roll_loss()).count();
         let rate = losses as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.02, "rate {rate}");

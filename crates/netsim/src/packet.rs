@@ -71,6 +71,45 @@ pub struct Packet {
     pub size: u32,
     /// Type-erased protocol payload (e.g. a TCP segment header).
     pub payload: Option<Box<dyn Any>>,
+    /// Clone function for the payload, captured where the concrete type is
+    /// known. Lets fault injection duplicate type-erased packets.
+    pub(crate) cloner: Option<PayloadCloner>,
+}
+
+/// Clone function for a type-erased payload; monomorphized where the
+/// concrete type is known, stored as a plain `fn` pointer.
+pub(crate) type PayloadCloner = fn(&dyn Any) -> Box<dyn Any>;
+
+/// Monomorphized payload clone function; stored as a plain `fn` pointer on
+/// packets and [`PayloadHandle`]s.
+fn clone_payload<T: Any + Clone>(p: &dyn Any) -> Box<dyn Any> {
+    Box::new(
+        p.downcast_ref::<T>()
+            .expect("payload cloner type mismatch")
+            .clone(),
+    )
+}
+
+/// A boxed payload paired with its clone function.
+///
+/// Produced by `Ctx::alloc_payload` (possibly reusing a pooled box) and
+/// consumed by [`Packet::with_boxed_payload`]; the attached cloner is what
+/// lets a link fault plan duplicate packets whose payload type has been
+/// erased.
+pub struct PayloadHandle {
+    pub(crate) boxed: Box<dyn Any>,
+    pub(crate) cloner: fn(&dyn Any) -> Box<dyn Any>,
+}
+
+impl PayloadHandle {
+    /// Wrap an already-boxed payload of concrete type `T`.
+    pub fn of<T: Any + Clone>(boxed: Box<dyn Any>) -> Self {
+        debug_assert!(boxed.is::<T>(), "boxed payload is not a T");
+        PayloadHandle {
+            boxed,
+            cloner: clone_payload::<T>,
+        }
+    }
 }
 
 impl Packet {
@@ -83,28 +122,17 @@ impl Packet {
             dst,
             size,
             payload: None,
+            cloner: None,
         }
     }
 
     /// Construct a packet carrying a typed payload.
-    pub fn with_payload<T: Any>(
+    pub fn with_payload<T: Any + Clone>(
         flow: FlowId,
         src: NodeId,
         dst: NodeId,
         size: u32,
         payload: T,
-    ) -> Self {
-        Self::with_boxed_payload(flow, src, dst, size, Box::new(payload))
-    }
-
-    /// Construct a packet from an already-boxed payload (see
-    /// [`PayloadPool::boxed`] for the allocation-free path).
-    pub fn with_boxed_payload(
-        flow: FlowId,
-        src: NodeId,
-        dst: NodeId,
-        size: u32,
-        payload: Box<dyn Any>,
     ) -> Self {
         Packet {
             id: 0,
@@ -112,8 +140,50 @@ impl Packet {
             src,
             dst,
             size,
-            payload: Some(payload),
+            payload: Some(Box::new(payload)),
+            cloner: Some(clone_payload::<T>),
         }
+    }
+
+    /// Construct a packet from an already-boxed payload (see
+    /// `Ctx::alloc_payload` for the allocation-free path).
+    pub fn with_boxed_payload(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size: u32,
+        payload: PayloadHandle,
+    ) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            size,
+            payload: Some(payload.boxed),
+            cloner: Some(payload.cloner),
+        }
+    }
+
+    /// Clone this packet for fault-injected duplication.
+    ///
+    /// Returns `None` when the payload cannot be cloned (a payload attached
+    /// without a cloner), in which case the duplication is skipped.
+    pub(crate) fn clone_for_duplicate(&self) -> Option<Packet> {
+        let payload = match (&self.payload, self.cloner) {
+            (None, _) => None,
+            (Some(b), Some(c)) => Some(c(b.as_ref())),
+            (Some(_), None) => return None,
+        };
+        Some(Packet {
+            id: self.id,
+            flow: self.flow,
+            src: self.src,
+            dst: self.dst,
+            size: self.size,
+            payload,
+            cloner: self.cloner,
+        })
     }
 
     /// Borrow the payload downcast to `T`, if present and of that type.
@@ -321,7 +391,7 @@ mod tests {
         let (boxed, hit) = pool.boxed(7u64);
         assert!(!hit, "empty pool must miss");
         let first = boxed.downcast_ref::<u64>().unwrap() as *const u64 as usize;
-        let p = Packet::with_boxed_payload(FlowId(1), a, b, 100, boxed);
+        let p = Packet::with_boxed_payload(FlowId(1), a, b, 100, PayloadHandle::of::<u64>(boxed));
         let (v, _meta) = p.take_payload_with::<u64>(&mut pool).unwrap();
         assert_eq!(v, 7);
         // The freed box is shelved; the next same-type alloc reuses it.
@@ -353,6 +423,23 @@ mod tests {
         pool.recycle(b);
         let (_, hit) = pool.boxed(2u64);
         assert!(!hit, "disabled pool must not retain boxes");
+    }
+
+    #[test]
+    fn duplicate_clones_typed_payloads() {
+        let (a, b) = nodes();
+        let p = Packet::with_payload(FlowId(2), a, b, 900, 11u64);
+        let d = p.clone_for_duplicate().expect("typed payload is clonable");
+        assert_eq!(d.payload_ref::<u64>(), Some(&11));
+        assert_eq!((d.flow, d.size), (p.flow, p.size));
+        // The clone is a distinct allocation.
+        let orig = p.payload_ref::<u64>().unwrap() as *const u64;
+        let twin = d.payload_ref::<u64>().unwrap() as *const u64;
+        assert_ne!(orig, twin);
+        // Opaque packets duplicate trivially.
+        assert!(Packet::opaque(FlowId(0), a, b, 64)
+            .clone_for_duplicate()
+            .is_some());
     }
 
     #[test]

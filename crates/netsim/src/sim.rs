@@ -11,7 +11,7 @@
 
 use crate::capture::{Capture, CaptureEvent, CaptureKind};
 use crate::link::{HalfLink, LinkSpec, LinkStats};
-use crate::packet::{LinkId, NodeId, Packet, PacketMeta, PayloadPool};
+use crate::packet::{LinkId, NodeId, Packet, PacketMeta, PayloadHandle, PayloadPool};
 use crate::queue::QueueStats;
 use crate::rng::SimRng;
 use crate::time::SimTime;
@@ -59,6 +59,8 @@ enum EventKind {
     TxDone { link: LinkId },
     /// An agent timer fires.
     Timer { node: NodeId, token: u64 },
+    /// A flapped link comes back up and resumes draining its queue.
+    LinkRestore { link: LinkId },
 }
 
 struct EventEntry {
@@ -195,6 +197,8 @@ struct NetCore {
     ctr_events_scheduled: Counter,
     ctr_pool_hits: Counter,
     ctr_pool_misses: Counter,
+    ctr_faults_injected: Counter,
+    ctr_link_flaps: Counter,
     gauge_queue_hwm: Gauge,
 }
 
@@ -233,7 +237,7 @@ impl NetCore {
         self.next_packet_id += 1;
         let now = self.now;
         let hl = &mut self.links[link.index()];
-        if hl.transmitting.is_none() {
+        if hl.transmitting.is_none() && !hl.fault_down(now) {
             // Link idle: begin serializing immediately.
             let rate = hl.spec.rate.rate_at(now);
             let done = now + rate.tx_time(u64::from(pkt.size));
@@ -261,7 +265,20 @@ impl NetCore {
         hl.stats.tx_pkts += 1;
         hl.stats.tx_bytes += u64::from(pkt.size);
 
-        let lost = hl.roll_loss();
+        if hl.fault_down(now) {
+            // The link flapped while this packet was on the wire: it is
+            // cut, and the queue holds until the restore event drains it.
+            hl.stats.flap_lost_pkts += 1;
+            self.ctr_faults_injected.inc();
+            self.capture_event(link, CaptureKind::RandomLost, &pkt);
+            return;
+        }
+
+        let iid_lost = hl.roll_loss();
+        // The GE chain steps once per transmitted packet, independent of
+        // the i.i.d. outcome, so burst statistics match the model exactly.
+        let ge_lost = hl.fault_roll_ge();
+        let lost = iid_lost || ge_lost;
         let kind = if lost {
             CaptureKind::RandomLost
         } else {
@@ -270,18 +287,55 @@ impl NetCore {
         self.capture_event(link, kind, &pkt);
         let hl = &mut self.links[link.index()];
         if lost {
-            hl.stats.random_lost_pkts += 1;
-        } else {
-            let prop = hl.sample_propagation();
-            let mut arrival = now + prop;
-            if !hl.spec.jitter.allow_reorder {
-                arrival = arrival.max(hl.last_arrival);
+            if iid_lost {
+                hl.stats.random_lost_pkts += 1;
+            } else {
+                hl.stats.ge_lost_pkts += 1;
+                self.ctr_faults_injected.inc();
             }
-            hl.last_arrival = hl.last_arrival.max(arrival);
+        } else {
+            let dup = hl.fault_roll_duplicate();
+            let held_back = hl.fault_roll_reorder();
+            let prop = hl.sample_propagation();
+            let mut arrival = now + prop + hl.fault_extra_delay(now);
+            match held_back {
+                Some(extra) => {
+                    // Held-back delivery: packets behind it overtake, so it
+                    // neither clamps to nor advances the FIFO frontier.
+                    arrival += extra;
+                    hl.stats.reordered_pkts += 1;
+                }
+                None => {
+                    if !hl.spec.jitter.allow_reorder {
+                        arrival = arrival.max(hl.last_arrival);
+                    }
+                    hl.last_arrival = hl.last_arrival.max(arrival);
+                }
+            }
             hl.stats.delivered_pkts += 1;
             hl.stats.delivered_bytes += u64::from(pkt.size);
             let node = hl.to_node;
+            let twin = if dup { pkt.clone_for_duplicate() } else { None };
+            if twin.is_some() {
+                hl.stats.dup_pkts += 1;
+                hl.stats.delivered_pkts += 1;
+                hl.stats.delivered_bytes += u64::from(pkt.size);
+            }
+            let injected = u64::from(held_back.is_some()) + u64::from(twin.is_some());
+            if injected > 0 {
+                self.ctr_faults_injected.add(injected);
+            }
             self.push(arrival, EventKind::Arrive { node, link, pkt });
+            if let Some(twin) = twin {
+                self.push(
+                    arrival,
+                    EventKind::Arrive {
+                        node,
+                        link,
+                        pkt: twin,
+                    },
+                );
+            }
         }
 
         // Chain the next queued packet.
@@ -289,6 +343,30 @@ impl NetCore {
         let next = hl.queue.dequeue(now);
         // AQM may have head-dropped while selecting `next`; surface the
         // delta through the registry.
+        let aqm = hl.aqm_drops();
+        let aqm_delta = aqm - hl.aqm_reported;
+        hl.aqm_reported = aqm;
+        if aqm_delta > 0 {
+            self.ctr_aqm_drops.add(aqm_delta);
+        }
+        if let Some(next) = next {
+            let hl = &mut self.links[link.index()];
+            let rate = hl.spec.rate.rate_at(now);
+            let done = now + rate.tx_time(u64::from(next.size));
+            hl.transmitting = Some(next);
+            self.push(done, EventKind::TxDone { link });
+        }
+    }
+
+    /// A flapped link came back up: resume draining the egress queue.
+    fn link_restore(&mut self, link: LinkId) {
+        self.ctr_link_flaps.inc();
+        let now = self.now;
+        let hl = &mut self.links[link.index()];
+        if hl.transmitting.is_some() || hl.fault_down(now) {
+            return;
+        }
+        let next = hl.queue.dequeue(now);
         let aqm = hl.aqm_drops();
         let aqm_delta = aqm - hl.aqm_reported;
         hl.aqm_reported = aqm;
@@ -354,14 +432,14 @@ impl Ctx<'_> {
     /// Pair with [`Packet::with_boxed_payload`]; on the steady-state path
     /// this reuses a box freed by an earlier [`Ctx::take_payload`] instead
     /// of hitting the allocator.
-    pub fn alloc_payload<T: Any>(&mut self, value: T) -> Box<dyn Any> {
+    pub fn alloc_payload<T: Any + Clone>(&mut self, value: T) -> PayloadHandle {
         let (boxed, hit) = self.core.pool.boxed(value);
         if hit {
             self.core.ctr_pool_hits.inc();
         } else {
             self.core.ctr_pool_misses.inc();
         }
-        boxed
+        PayloadHandle::of::<T>(boxed)
     }
 
     /// Take a packet's payload downcast to `T`, recycling its box into the
@@ -408,6 +486,8 @@ impl Sim {
         let ctr_pool_misses = metrics.counter(simtrace::names::NET_POOL_MISSES);
         let ctr_queue_drops = metrics.counter(simtrace::names::NET_QUEUE_DROPS);
         let ctr_aqm_drops = metrics.counter(simtrace::names::NET_AQM_DROPS);
+        let ctr_faults_injected = metrics.counter(simtrace::names::NET_FAULTS_INJECTED);
+        let ctr_link_flaps = metrics.counter(simtrace::names::NET_LINK_FLAPS);
         let gauge_queue_hwm = metrics.gauge(simtrace::names::NET_QUEUE_DEPTH_HWM);
         Sim {
             core: NetCore {
@@ -423,6 +503,8 @@ impl Sim {
                 ctr_events_scheduled,
                 ctr_pool_hits,
                 ctr_pool_misses,
+                ctr_faults_injected,
+                ctr_link_flaps,
                 gauge_queue_hwm,
             },
             agents: Vec::new(),
@@ -455,7 +537,17 @@ impl Sim {
     pub fn add_half_link(&mut self, _from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
         let id = LinkId(u32::try_from(self.core.links.len()).expect("too many links"));
         let rng = self.rng.fork_labeled(0x11C0 + id.0 as u64);
-        self.core.links.push(HalfLink::new(spec, to, rng));
+        // Fault draws come from their own labelled substream, so attaching
+        // a plan never perturbs the link's jitter/loss stream.
+        let fault_rng = self.rng.fork_labeled(0xFA17_0000 + id.0 as u64);
+        let hl = HalfLink::new(spec, to, rng, fault_rng);
+        // One restore event per scheduled outage resumes the queue drain;
+        // fault-free links schedule nothing extra.
+        let ups: Vec<SimTime> = hl.flap_windows().iter().map(|w| w.up).collect();
+        self.core.links.push(hl);
+        for up in ups {
+            self.core.push(up, EventKind::LinkRestore { link: id });
+        }
         id
     }
 
@@ -594,6 +686,12 @@ impl Sim {
         debug_assert!(at >= self.core.now, "time went backwards");
         self.core.now = at;
         self.events_dispatched += 1;
+        if self.events_dispatched & 0xFFF == 0 {
+            // Cheap liveness heartbeat for the campaign watchdog: a frozen
+            // tick under wall-clock pressure distinguishes a livelocked
+            // cell from a merely slow one.
+            simtrace::runtime::tick_progress();
+        }
         self.ctr_events.inc();
         let cascades = self.core.events.cascades();
         if cascades != self.cascades_reported {
@@ -625,6 +723,7 @@ impl Sim {
                 agent.on_timer(token, &mut ctx);
                 self.agents[node.index()] = Some(agent);
             }
+            EventKind::LinkRestore { link } => self.core.link_restore(link),
         }
         true
     }

@@ -4,8 +4,8 @@
 //! engine configurations.
 
 use netsim::{
-    Agent, Bandwidth, Ctx, EngineConfig, FlowId, JitterModel, LinkId, LinkSpec, Packet,
-    SchedulerKind, Sim, SimTime,
+    Agent, Bandwidth, Ctx, EngineConfig, FaultPlan, FlapWindow, FlowId, GilbertElliott,
+    JitterModel, LinkId, LinkSpec, Packet, SchedulerKind, Sim, SimTime,
 };
 use std::any::Any;
 use std::time::Duration;
@@ -84,6 +84,57 @@ fn wheel_reproduces_heap_dispatch_order() {
     });
     let wheel = echo_mesh_trace(EngineConfig::default());
     assert_eq!(heap, wheel, "schedulers must dispatch identically");
+}
+
+/// The echo mesh again, with every fault family active on the a→b
+/// direction: fault RNG substreams and the reorder/duplication event
+/// churn must replay identically on both schedulers.
+fn faulted_mesh_trace(engine: EngineConfig) -> (Vec<(SimTime, u64)>, Vec<(SimTime, u64)>) {
+    let mut sim = Sim::with_engine(42, engine);
+    let a = sim.add_agent(Box::new(Echo::new()));
+    let b = sim.add_agent(Box::new(Echo::new()));
+    let plan = FaultPlan::new()
+        .with_ge(GilbertElliott::gilbert(0.05, 0.3, 0.8))
+        .with_flaps(vec![FlapWindow {
+            down: SimTime::from_millis(40),
+            up: SimTime::from_millis(70),
+        }])
+        .with_reorder(0.1, Duration::from_millis(3))
+        .with_duplicate(0.05)
+        .with_delay_steps(vec![(SimTime::from_millis(30), Duration::from_millis(5))]);
+    let fwd = LinkSpec::clean(Bandwidth::from_mbps(20), Duration::from_millis(7))
+        .with_jitter(JitterModel::correlated(Duration::from_millis(2), 0.5))
+        .with_loss(0.02)
+        .with_queue_bytes(20_000)
+        .with_faults(plan);
+    let rev = LinkSpec::clean(Bandwidth::from_mbps(20), Duration::from_millis(12))
+        .with_queue_bytes(20_000);
+    let (ab, ba) = sim.add_link(a, b, fwd, rev);
+    sim.agent_mut::<Echo>(b).out = Some(ba);
+    sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
+        for i in 0..300u64 {
+            ctx.send(ab, Packet::opaque(FlowId(1), a, b, 1200));
+            ctx.set_timer(SimTime::from_millis(i / 3), i);
+        }
+    });
+    sim.run_to_completion();
+    let got_b = sim.agent::<Echo>(b).got.clone();
+    let timers_a = sim.agent::<Echo>(a).timer_log.clone();
+    (got_b, timers_a)
+}
+
+#[test]
+fn wheel_reproduces_heap_dispatch_order_under_faults() {
+    let heap = faulted_mesh_trace(EngineConfig {
+        scheduler: SchedulerKind::BinaryHeap,
+        payload_pooling: false,
+    });
+    let wheel = faulted_mesh_trace(EngineConfig::default());
+    assert!(
+        !heap.0.is_empty(),
+        "faulted mesh must still deliver packets"
+    );
+    assert_eq!(heap, wheel, "faulted schedules must dispatch identically");
 }
 
 #[test]

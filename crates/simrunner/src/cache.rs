@@ -10,12 +10,23 @@
 //!
 //! Writes go through a temp file + rename so a crash mid-write never
 //! leaves a truncated entry under the final name.
+//!
+//! Corruption is never trusted and never silently destroyed: an entry
+//! that exists but fails to parse (truncated by a crash, hand-edited,
+//! bit-rotted) is renamed to `<key>.quarantine` — preserved for
+//! post-mortem, off the hot path, counted via
+//! [`Cache::quarantined_count`] (`runner.cache_quarantined` in the
+//! metric catalogue). A *mismatched* identity under the same key is a
+//! plain miss, not corruption: it is a hash collision or a stale slot,
+//! and the next store legitimately claims it.
 
 use crate::fnv1a64;
 use serde::{Deserialize, Json, Serialize};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The identity under which a cell result is stored.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +61,7 @@ impl CellIdentity<'_> {
 #[derive(Debug, Clone)]
 pub struct Cache {
     dir: PathBuf,
+    quarantined: Arc<AtomicU64>,
 }
 
 impl Cache {
@@ -57,7 +69,23 @@ impl Cache {
     pub fn open(root: &Path, experiment: &str) -> io::Result<Cache> {
         let dir = root.join(experiment);
         fs::create_dir_all(&dir)?;
-        Ok(Cache { dir })
+        Ok(Cache {
+            dir,
+            quarantined: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Corrupt entries quarantined by this handle (and its clones) so far.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Move a corrupt entry aside (best effort) and count it. The rename
+    /// keeps the bytes for post-mortem while freeing the slot for the
+    /// next store.
+    fn quarantine(&self, path: &Path) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::rename(path, path.with_extension("quarantine"));
     }
 
     /// The directory entries are stored in.
@@ -81,17 +109,49 @@ impl Cache {
     /// least-recently-written ones.
     pub fn load<T: Deserialize>(&self, id: &CellIdentity<'_>) -> Option<T> {
         let path = self.path_for_key(id.key());
-        let text = fs::read_to_string(&path).ok()?;
-        let json = Json::parse(&text)?;
-        let obj = json.as_obj()?;
-        let same = Json::field(obj, "experiment")?.as_str()? == id.experiment
-            && Json::field(obj, "version")?.as_str()? == id.version
-            && Json::field(obj, "params")?.as_str()? == id.params
-            && u64::from_json(Json::field(obj, "seed")?)? == id.seed;
-        if !same {
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            // Absent is the normal miss; any other read error (perms,
+            // I/O) degrades to a miss without touching the file.
+            Err(_) => return None,
+        };
+        // Entry present but structurally broken → quarantine, miss.
+        let Some(json) = Json::parse(&text) else {
+            self.quarantine(&path);
+            return None;
+        };
+        let identity = (|| {
+            let obj = json.as_obj()?;
+            Some((
+                Json::field(obj, "experiment")?.as_str()?,
+                Json::field(obj, "version")?.as_str()?,
+                Json::field(obj, "params")?.as_str()?,
+                u64::from_json(Json::field(obj, "seed")?)?,
+            ))
+        })();
+        let Some((experiment, version, params, seed)) = identity else {
+            self.quarantine(&path);
+            return None;
+        };
+        if experiment != id.experiment
+            || version != id.version
+            || params != id.params
+            || seed != id.seed
+        {
+            // Collision or stale slot: a legitimate miss, next store
+            // overwrites it.
             return None;
         }
-        let value = T::from_json(Json::field(obj, "value")?)?;
+        let value = json
+            .as_obj()
+            .and_then(|obj| Json::field(obj, "value"))
+            .and_then(T::from_json);
+        let Some(value) = value else {
+            // Identity matches but the payload doesn't decode: the entry
+            // is corrupt for exactly this reader.
+            self.quarantine(&path);
+            return None;
+        };
         // Best-effort recency touch; a failure only skews eviction order.
         if let Ok(file) = fs::File::options().write(true).open(&path) {
             let _ = file.set_modified(std::time::SystemTime::now());
@@ -170,7 +230,12 @@ pub fn sweep_lru(root: &Path, max_bytes: u64) -> io::Result<SweepStats> {
                 let _ = fs::remove_file(&path);
                 continue;
             }
-            if path.extension().is_none_or(|e| e != "json") {
+            // Quarantined entries are dead weight kept only for
+            // post-mortem; they age out through the same LRU budget.
+            if path
+                .extension()
+                .is_none_or(|e| e != "json" && e != "quarantine")
+            {
                 continue;
             }
             let meta = file.metadata()?;
@@ -312,6 +377,65 @@ mod tests {
         assert_eq!(cache.load::<f64>(&id), Some(1.0));
         let touched = fs::metadata(&path).unwrap().modified().unwrap();
         assert!(touched > old, "hit must refresh recency");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_trusted() {
+        let root = scratch("quarantine");
+        let cache = Cache::open(&root, "exp").unwrap();
+        let id = CellIdentity {
+            experiment: "exp",
+            version: "v1",
+            params: "p",
+            seed: 5,
+        };
+        cache.store(&id, &3.5f64).unwrap();
+        let path = cache.entry_path(&id);
+        // Truncate mid-entry, as a crash during a non-atomic writer would.
+        fs::write(&path, "{\"experiment\":\"exp\",\"ver").unwrap();
+        assert_eq!(cache.load::<f64>(&id), None, "corruption must miss");
+        assert_eq!(cache.quarantined_count(), 1);
+        assert!(!path.exists(), "corrupt entry must leave the hot slot");
+        assert!(
+            path.with_extension("quarantine").exists(),
+            "corrupt bytes must be preserved for post-mortem"
+        );
+        // The slot is free again: a store and reload work normally.
+        cache.store(&id, &4.5f64).unwrap();
+        assert_eq!(cache.load::<f64>(&id), Some(4.5));
+        assert_eq!(cache.quarantined_count(), 1);
+        // A value that no longer decodes as the expected type is also
+        // corruption (e.g. an encoding change without a version bump).
+        fs::write(
+            &path,
+            "{\"experiment\":\"exp\",\"version\":\"v1\",\"params\":\"p\",\
+             \"seed\":5,\"value\":\"not-a-float\"}",
+        )
+        .unwrap();
+        assert_eq!(cache.load::<f64>(&id), None);
+        assert_eq!(cache.quarantined_count(), 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_ages_out_quarantined_files() {
+        let root = scratch("sweep-quarantine");
+        let cache = Cache::open(&root, "exp").unwrap();
+        let id = CellIdentity {
+            experiment: "exp",
+            version: "v1",
+            params: "p",
+            seed: 1,
+        };
+        cache.store(&id, &1.0f64).unwrap();
+        fs::write(cache.entry_path(&id), "garbage").unwrap();
+        assert_eq!(cache.load::<f64>(&id), None);
+        let q = cache.entry_path(&id).with_extension("quarantine");
+        assert!(q.exists());
+        let stats = sweep_lru(&root, 0).unwrap();
+        assert_eq!(stats.entries_removed, 1);
+        assert!(!q.exists(), "quarantine files must respect the budget");
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -2,15 +2,17 @@
 //! cached executor that runs them.
 
 use crate::cache::{Cache, CellIdentity};
-use crate::manifest::{CellRecord, RunManifest};
+use crate::manifest::{CellRecord, CellStatus, RunManifest};
 use crate::pool::BoundedQueue;
 use crate::progress::Progress;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One grid cell: a single deterministic simulation run.
 #[derive(Debug, Clone)]
@@ -42,6 +44,19 @@ pub struct RunnerOpts {
     /// Size cap for the whole cache root; after the run, least-recently
     /// used entries are evicted until the cache fits. `None` = unbounded.
     pub cache_max_bytes: Option<u64>,
+    /// Per-cell wall-clock budget for [`Campaign::run_resilient`]: a cell
+    /// still computing past this is abandoned as
+    /// [`TimedOut`](CellStatus::TimedOut). `None` = unbounded.
+    pub cell_timeout: Option<Duration>,
+    /// Per-cell progress watchdog for [`Campaign::run_resilient`]: a cell
+    /// whose simulation dispatches no events for this long (the livelock
+    /// signature — wall clock advances, sim time doesn't) is abandoned as
+    /// [`TimedOut`](CellStatus::TimedOut). `None` disables the watchdog.
+    pub stall_timeout: Option<Duration>,
+    /// How many times [`Campaign::run_resilient`] re-runs a panicking
+    /// cell (with linear backoff) before recording it as
+    /// [`Panicked`](CellStatus::Panicked).
+    pub cell_retries: u32,
 }
 
 impl RunnerOpts {
@@ -77,13 +92,37 @@ impl RunnerOpts {
         self
     }
 
-    /// Apply `SUSS_WORKERS`, `SUSS_NO_CACHE`, `SUSS_FORCE_COLD`,
-    /// `SUSS_PROGRESS`, and `SUSS_CACHE_MAX_BYTES` environment overrides
-    /// on top of these options.
+    /// Set the per-cell wall-clock budget (resilient runs only).
+    pub fn with_cell_timeout(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
+
+    /// Set the per-cell progress-stall watchdog (resilient runs only).
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Set the panic retry budget (resilient runs only).
+    pub fn with_cell_retries(mut self, retries: u32) -> Self {
+        self.cell_retries = retries;
+        self
+    }
+
+    /// Apply `SUSS_WORKERS`, `SUSS_CACHE_DIR`, `SUSS_NO_CACHE`,
+    /// `SUSS_FORCE_COLD`, `SUSS_PROGRESS`, `SUSS_CACHE_MAX_BYTES`,
+    /// `SUSS_CELL_TIMEOUT_MS`, `SUSS_STALL_TIMEOUT_MS`, and
+    /// `SUSS_CELL_RETRIES` environment overrides on top of these options.
     pub fn env_overrides(mut self) -> Self {
         if let Ok(w) = std::env::var("SUSS_WORKERS") {
             if let Ok(w) = w.parse() {
                 self.workers = w;
+            }
+        }
+        if let Ok(d) = std::env::var("SUSS_CACHE_DIR") {
+            if !d.is_empty() {
+                self.cache_dir = Some(PathBuf::from(d));
             }
         }
         if std::env::var("SUSS_NO_CACHE").is_ok_and(|v| v == "1") {
@@ -98,6 +137,21 @@ impl RunnerOpts {
         if let Ok(b) = std::env::var("SUSS_CACHE_MAX_BYTES") {
             if let Some(b) = parse_bytes(&b) {
                 self.cache_max_bytes = Some(b);
+            }
+        }
+        if let Ok(ms) = std::env::var("SUSS_CELL_TIMEOUT_MS") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                self.cell_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+        }
+        if let Ok(ms) = std::env::var("SUSS_STALL_TIMEOUT_MS") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                self.stall_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+        }
+        if let Ok(r) = std::env::var("SUSS_CELL_RETRIES") {
+            if let Ok(r) = r.parse() {
+                self.cell_retries = r;
             }
         }
         self
@@ -134,6 +188,24 @@ pub struct RunOutcome<T> {
     pub results: Vec<T>,
     /// The run's manifest (timings, cache hits, per-cell records).
     pub manifest: RunManifest,
+}
+
+/// What [`Campaign::run_resilient`] returns: the campaign completes even
+/// when individual cells panic or hang, so each slot is `None` where the
+/// cell failed (see the matching [`CellRecord`] for status and error).
+#[derive(Debug)]
+pub struct ResilientOutcome<T> {
+    /// Per-cell results in campaign order; `None` marks a failed cell.
+    pub results: Vec<Option<T>>,
+    /// The run's manifest, including per-cell statuses and failure totals.
+    pub manifest: RunManifest,
+}
+
+impl<T> ResilientOutcome<T> {
+    /// Whether every cell produced a result.
+    pub fn all_ok(&self) -> bool {
+        self.manifest.all_ok()
+    }
 }
 
 impl Campaign {
@@ -182,6 +254,94 @@ impl Campaign {
         }
     }
 
+    /// Open the result cache, degrading to uncached execution (with a
+    /// stderr warning) when the directory cannot be created — a read-only
+    /// results volume shouldn't kill a multi-hour campaign.
+    fn open_cache(&self, opts: &RunnerOpts) -> Option<Cache> {
+        let root = opts.cache_dir.as_deref()?;
+        match Cache::open(root, &self.experiment) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!(
+                    "warning: cache disabled, cannot open {}: {e}",
+                    root.display()
+                );
+                None
+            }
+        }
+    }
+
+    fn blank_records(&self) -> Vec<CellRecord> {
+        self.cells
+            .iter()
+            .map(|c| CellRecord {
+                index: c.index,
+                label: c.label.clone(),
+                seed: c.seed,
+                key: format!("{:016x}", self.identity(c).key()),
+                cached: false,
+                wall_ms: 0.0,
+                events: 0,
+                status: CellStatus::Ok,
+                attempts: 0,
+                error: String::new(),
+            })
+            .collect()
+    }
+
+    /// Post-run LRU sweep over the whole cache root.
+    fn sweep_cache(&self, opts: &RunnerOpts) {
+        if let (Some(root), Some(max)) = (opts.cache_dir.as_deref(), opts.cache_max_bytes) {
+            if let Ok(stats) = crate::cache::sweep_lru(root, max) {
+                if opts.progress && stats.entries_removed > 0 {
+                    eprintln!(
+                        "cache sweep: evicted {} entries ({} bytes), {} bytes kept",
+                        stats.entries_removed,
+                        stats.bytes_removed,
+                        stats.bytes_after()
+                    );
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_manifest(
+        &self,
+        workers: usize,
+        cache_hits: usize,
+        started: Instant,
+        records: Vec<CellRecord>,
+        cells_failed: usize,
+        cell_retries: u64,
+        cell_timeouts: u64,
+        cache_quarantined: u64,
+    ) -> RunManifest {
+        let n = self.cells.len();
+        let wall_secs = started.elapsed().as_secs_f64();
+        let events_total: u64 = records.iter().map(|r| r.events).sum();
+        let worker_busy_secs: f64 = records.iter().map(|r| r.wall_ms).sum::<f64>() / 1e3;
+        RunManifest {
+            experiment: self.experiment.clone(),
+            version: self.version.clone(),
+            workers,
+            total_cells: n,
+            cache_hits,
+            cache_misses: n - cache_hits,
+            wall_secs,
+            cells_per_sec: n as f64 / wall_secs.max(1e-9),
+            events_total,
+            events_per_sec: events_total as f64 / wall_secs.max(1e-9),
+            worker_busy_secs,
+            utilization: worker_busy_secs / (wall_secs.max(1e-9) * workers as f64),
+            cells_failed,
+            cell_retries,
+            cell_timeouts,
+            cache_quarantined,
+            cells: records,
+        }
+    }
+
     /// Execute every cell and return results in campaign order.
     ///
     /// Cells are sharded across a bounded-queue worker pool. Each cell is
@@ -200,24 +360,10 @@ impl Campaign {
     {
         let started = Instant::now();
         let workers = opts.resolved_workers();
-        let cache = opts.cache_dir.as_deref().map(|root| {
-            Cache::open(root, &self.experiment).expect("cannot create cache directory")
-        });
+        let cache = self.open_cache(opts);
         let n = self.cells.len();
         let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
-        let mut records: Vec<CellRecord> = self
-            .cells
-            .iter()
-            .map(|c| CellRecord {
-                index: c.index,
-                label: c.label.clone(),
-                seed: c.seed,
-                key: format!("{:016x}", self.identity(c).key()),
-                cached: false,
-                wall_ms: 0.0,
-                events: 0,
-            })
-            .collect();
+        let mut records = self.blank_records();
         let mut progress = Progress::new(&self.experiment, n, opts.progress);
 
         // Phase 1: serve what we can from the cache (main thread: cheap).
@@ -268,7 +414,7 @@ impl Campaign {
                             let events = simtrace::runtime::take_cell_events();
                             let msg = match outcome {
                                 Ok(v) => Ok((v, t0.elapsed().as_secs_f64() * 1e3, events)),
-                                Err(payload) => Err(panic_message(&payload)),
+                                Err(payload) => Err(panic_message(&*payload)),
                             };
                             if tx.send((cell.index, msg)).is_err() {
                                 break;
@@ -293,6 +439,7 @@ impl Campaign {
                             }
                             records[idx].wall_ms = wall_ms;
                             records[idx].events = events;
+                            records[idx].attempts = 1;
                             results[idx] = Some(v);
                             progress.tick(false);
                         }
@@ -315,37 +462,11 @@ impl Campaign {
 
         // Size-capped LRU sweep over the whole cache root, after this
         // run's stores have landed.
-        if let (Some(root), Some(max)) = (opts.cache_dir.as_deref(), opts.cache_max_bytes) {
-            if let Ok(stats) = crate::cache::sweep_lru(root, max) {
-                if opts.progress && stats.entries_removed > 0 {
-                    eprintln!(
-                        "cache sweep: evicted {} entries ({} bytes), {} bytes kept",
-                        stats.entries_removed,
-                        stats.bytes_removed,
-                        stats.bytes_after()
-                    );
-                }
-            }
-        }
+        self.sweep_cache(opts);
 
-        let wall_secs = started.elapsed().as_secs_f64();
-        let events_total: u64 = records.iter().map(|r| r.events).sum();
-        let worker_busy_secs: f64 = records.iter().map(|r| r.wall_ms).sum::<f64>() / 1e3;
-        let manifest = RunManifest {
-            experiment: self.experiment.clone(),
-            version: self.version.clone(),
-            workers,
-            total_cells: n,
-            cache_hits,
-            cache_misses: n - cache_hits,
-            wall_secs,
-            cells_per_sec: n as f64 / wall_secs.max(1e-9),
-            events_total,
-            events_per_sec: events_total as f64 / wall_secs.max(1e-9),
-            worker_busy_secs,
-            utilization: worker_busy_secs / (wall_secs.max(1e-9) * workers as f64),
-            cells: records,
-        };
+        let quarantined = cache.as_ref().map(|c| c.quarantined_count()).unwrap_or(0);
+        let manifest =
+            self.assemble_manifest(workers, cache_hits, started, records, 0, 0, 0, quarantined);
         if opts.progress {
             eprint!("{}", manifest.summary());
         }
@@ -356,6 +477,330 @@ impl Campaign {
                 .collect(),
             manifest,
         }
+    }
+
+    /// Execute every cell like [`Campaign::run`], but survive failing
+    /// cells: each cell's panic is isolated and retried up to
+    /// [`RunnerOpts::cell_retries`] times (linear backoff), cells
+    /// exceeding the wall-clock budget or the progress-stall watchdog are
+    /// abandoned, and the campaign always completes — failed cells come
+    /// back as `None` with their status and terminal error recorded in
+    /// the manifest. Successful cells still land in the cache, so
+    /// re-running the campaign against a warm cache re-executes exactly
+    /// the failed cells.
+    ///
+    /// Successful cells are byte-identical to what [`Campaign::run`]
+    /// produces: same per-cell seeding, same in-order commit.
+    ///
+    /// The stricter bounds (`'static`, `F: Send`) exist because watchdog
+    /// abandonment requires detached worker threads — a hung cell's
+    /// thread is left behind (it dies with the process) while a
+    /// replacement worker keeps the pool at full strength.
+    pub fn run_resilient<T, F>(&self, opts: &RunnerOpts, f: F) -> ResilientOutcome<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static,
+    {
+        /// Watchdog/retry scheduling granularity.
+        const TICK: Duration = Duration::from_millis(20);
+        /// Backoff unit: attempt `k` waits `k × RETRY_BACKOFF` before
+        /// re-dispatch.
+        const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+
+        let started = Instant::now();
+        let workers = opts.resolved_workers();
+        let cache = self.open_cache(opts);
+        let n = self.cells.len();
+        let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut records = self.blank_records();
+        let mut progress = Progress::new(&self.experiment, n, opts.progress);
+
+        // Phase 1: cache hits on the main thread.
+        let mut pending: Vec<usize> = Vec::new();
+        for cell in &self.cells {
+            let hit = if opts.force_cold {
+                None
+            } else {
+                cache
+                    .as_ref()
+                    .and_then(|c| c.load::<T>(&self.identity(cell)))
+            };
+            match hit {
+                Some(v) => {
+                    results[cell.index] = Some(v);
+                    records[cell.index].cached = true;
+                    progress.tick(true);
+                }
+                None => pending.push(cell.index),
+            }
+        }
+        let cache_hits = n - pending.len();
+        let mut retries_total = 0u64;
+        let mut timeouts_total = 0u64;
+        let mut failed_total = 0usize;
+
+        // Phase 2: compute misses on detached workers under a watchdog.
+        if !pending.is_empty() {
+            struct Dispatch {
+                token: u64,
+                index: usize,
+                sink: Arc<AtomicU64>,
+            }
+            enum Msg<T> {
+                Started {
+                    token: u64,
+                },
+                Done {
+                    token: u64,
+                    outcome: Result<(T, f64, u64), String>,
+                },
+            }
+            struct InFlight {
+                index: usize,
+                sink: Arc<AtomicU64>,
+                started: Option<Instant>,
+                progress_seen: u64,
+                progress_at: Instant,
+            }
+
+            let cells = Arc::new(self.cells.clone());
+            let f = Arc::new(f);
+            // Effectively unbounded: tokens are tiny, and the watchdog
+            // must never block on a full queue.
+            let work: Arc<BoundedQueue<Dispatch>> = Arc::new(BoundedQueue::new(usize::MAX));
+            let (tx, rx) = mpsc::channel::<Msg<T>>();
+            let spawn_worker = {
+                let work = Arc::clone(&work);
+                let cells = Arc::clone(&cells);
+                let f = Arc::clone(&f);
+                let tx = tx.clone();
+                move || {
+                    let work = Arc::clone(&work);
+                    let cells = Arc::clone(&cells);
+                    let f = Arc::clone(&f);
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        while let Some(d) = work.pop() {
+                            // The per-cell progress sink lets the main
+                            // thread distinguish "slow but advancing"
+                            // from "livelocked" without touching the
+                            // simulation.
+                            simtrace::runtime::set_progress_sink(Some(Arc::clone(&d.sink)));
+                            let _ = simtrace::runtime::take_cell_events();
+                            if tx.send(Msg::Started { token: d.token }).is_err() {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let out = catch_unwind(AssertUnwindSafe(|| f(&cells[d.index])));
+                            let events = simtrace::runtime::take_cell_events();
+                            simtrace::runtime::set_progress_sink(None);
+                            let outcome = match out {
+                                Ok(v) => Ok((v, t0.elapsed().as_secs_f64() * 1e3, events)),
+                                Err(p) => Err(panic_message(&*p)),
+                            };
+                            if tx
+                                .send(Msg::Done {
+                                    token: d.token,
+                                    outcome,
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                    });
+                }
+            };
+            for _ in 0..workers.min(pending.len()) {
+                spawn_worker();
+            }
+
+            let mut inflight: HashMap<u64, InFlight> = HashMap::new();
+            let mut attempts: Vec<u32> = vec![0; n];
+            let mut next_token = 0u64;
+            let mut delayed: Vec<(Instant, usize)> = Vec::new();
+            let mut outstanding = pending.len();
+            // Not a closure: it would hold `records`/`next_token` borrowed
+            // across the whole loop, which also mutates them.
+            fn dispatch(
+                index: usize,
+                work: &BoundedQueue<Dispatch>,
+                next_token: &mut u64,
+                attempts: &mut [u32],
+                records: &mut [CellRecord],
+                inflight: &mut HashMap<u64, InFlight>,
+            ) {
+                let token = *next_token;
+                *next_token += 1;
+                attempts[index] += 1;
+                records[index].attempts = attempts[index];
+                let sink = Arc::new(AtomicU64::new(0));
+                inflight.insert(
+                    token,
+                    InFlight {
+                        index,
+                        sink: Arc::clone(&sink),
+                        started: None,
+                        progress_seen: 0,
+                        progress_at: Instant::now(),
+                    },
+                );
+                work.push(Dispatch { token, index, sink });
+            }
+            for &idx in &pending {
+                dispatch(
+                    idx,
+                    &work,
+                    &mut next_token,
+                    &mut attempts,
+                    &mut records,
+                    &mut inflight,
+                );
+            }
+
+            while outstanding > 0 {
+                // Release retries whose backoff has elapsed.
+                let now = Instant::now();
+                let mut i = 0;
+                while i < delayed.len() {
+                    if delayed[i].0 <= now {
+                        let (_, idx) = delayed.swap_remove(i);
+                        dispatch(
+                            idx,
+                            &work,
+                            &mut next_token,
+                            &mut attempts,
+                            &mut records,
+                            &mut inflight,
+                        );
+                    } else {
+                        i += 1;
+                    }
+                }
+
+                match rx.recv_timeout(TICK) {
+                    Ok(Msg::Started { token }) => {
+                        if let Some(fl) = inflight.get_mut(&token) {
+                            let now = Instant::now();
+                            fl.started = Some(now);
+                            fl.progress_at = now;
+                            fl.progress_seen = fl.sink.load(Ordering::Relaxed);
+                        }
+                    }
+                    Ok(Msg::Done { token, outcome }) => {
+                        // An unknown token is a late result from an
+                        // attempt the watchdog already abandoned: the
+                        // cell's fate is sealed, drop it (and never
+                        // cache it).
+                        let Some(fl) = inflight.remove(&token) else {
+                            continue;
+                        };
+                        let idx = fl.index;
+                        match outcome {
+                            Ok((v, wall_ms, events)) => {
+                                if let Some(c) = &cache {
+                                    let _ = c.store(&self.identity(&self.cells[idx]), &v);
+                                }
+                                records[idx].wall_ms = wall_ms;
+                                records[idx].events = events;
+                                records[idx].status = if attempts[idx] > 1 {
+                                    CellStatus::Retried
+                                } else {
+                                    CellStatus::Ok
+                                };
+                                results[idx] = Some(v);
+                                outstanding -= 1;
+                                progress.tick(false);
+                            }
+                            Err(msg) => {
+                                if attempts[idx] <= opts.cell_retries {
+                                    retries_total += 1;
+                                    let backoff = RETRY_BACKOFF * attempts[idx];
+                                    delayed.push((Instant::now() + backoff, idx));
+                                } else {
+                                    records[idx].status = CellStatus::Panicked;
+                                    records[idx].error = msg;
+                                    failed_total += 1;
+                                    outstanding -= 1;
+                                    progress.tick(false);
+                                }
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+
+                // Watchdog: abandon cells over the wall budget or stalled.
+                let now = Instant::now();
+                let mut expired: Vec<(u64, String)> = Vec::new();
+                for (&token, fl) in inflight.iter_mut() {
+                    let Some(cell_started) = fl.started else {
+                        continue;
+                    };
+                    if let Some(limit) = opts.cell_timeout {
+                        if now.duration_since(cell_started) > limit {
+                            expired
+                                .push((token, format!("wall-clock budget exceeded ({limit:?})")));
+                            continue;
+                        }
+                    }
+                    if let Some(stall) = opts.stall_timeout {
+                        let cur = fl.sink.load(Ordering::Relaxed);
+                        if cur != fl.progress_seen {
+                            fl.progress_seen = cur;
+                            fl.progress_at = now;
+                        } else if now.duration_since(fl.progress_at) > stall {
+                            expired.push((token, format!("no simulator progress for {stall:?}")));
+                        }
+                    }
+                }
+                for (token, msg) in expired {
+                    let Some(fl) = inflight.remove(&token) else {
+                        continue;
+                    };
+                    records[fl.index].status = CellStatus::TimedOut;
+                    records[fl.index].error = msg;
+                    timeouts_total += 1;
+                    failed_total += 1;
+                    outstanding -= 1;
+                    progress.tick(false);
+                    // The abandoned worker thread is stuck in the cell;
+                    // restore pool capacity with a fresh thread.
+                    spawn_worker();
+                }
+            }
+            work.close();
+            drop(tx);
+
+            // Defensive: if the channel disconnected early (no live
+            // workers), account for whatever never resolved.
+            for &idx in &pending {
+                if results[idx].is_none() && records[idx].status.succeeded() {
+                    records[idx].status = CellStatus::Panicked;
+                    records[idx].error = "worker pool disconnected".to_string();
+                    failed_total += 1;
+                }
+            }
+        }
+        progress.finish();
+        self.sweep_cache(opts);
+
+        let quarantined = cache.as_ref().map(|c| c.quarantined_count()).unwrap_or(0);
+        let manifest = self.assemble_manifest(
+            workers,
+            cache_hits,
+            started,
+            records,
+            failed_total,
+            retries_total,
+            timeouts_total,
+            quarantined,
+        );
+        if opts.progress {
+            eprint!("{}", manifest.summary());
+        }
+        ResilientOutcome { results, manifest }
     }
 }
 
@@ -372,6 +817,10 @@ pub fn parse_bytes(s: &str) -> Option<u64> {
     digits.trim().parse::<u64>().ok()?.checked_mul(mult)
 }
 
+/// Extract the text of a panic payload. Callers holding the
+/// `Box<dyn Any + Send>` from `catch_unwind` must pass `&*payload`:
+/// passing `&payload` unsizes the *box itself* into `&dyn Any` (boxes are
+/// `'static + Send` too), and every downcast then fails.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -423,7 +872,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cell 'cell-3' panicked")]
+    #[should_panic(expected = "cell 'cell-3' panicked: boom")]
     fn cell_panics_surface_with_label() {
         let c = demo_campaign(6);
         let _ = c.run(&RunnerOpts::default().with_workers(3), |cell| {
@@ -449,6 +898,179 @@ mod tests {
         assert!(out.manifest.events_per_sec > 0.0);
         assert!(out.manifest.worker_busy_secs >= 0.0);
         assert!(out.manifest.utilization >= 0.0 && out.manifest.utilization <= 1.0);
+    }
+
+    #[test]
+    fn resilient_run_survives_a_panicking_cell() {
+        let c = demo_campaign(8);
+        let opts = RunnerOpts::default().with_workers(3);
+        let clean = c.run_resilient(&opts, |cell| cell.seed * 10);
+        assert!(clean.all_ok());
+
+        let hurt = c.run_resilient(&opts, |cell| {
+            if cell.seed == 3 {
+                panic!("injected");
+            }
+            cell.seed * 10
+        });
+        assert!(!hurt.all_ok());
+        assert_eq!(hurt.manifest.cells_failed, 1);
+        assert_eq!(hurt.manifest.cell_retries, 0);
+        assert_eq!(hurt.results[3], None);
+        let rec = &hurt.manifest.cells[3];
+        assert_eq!(rec.status, CellStatus::Panicked);
+        assert_eq!(rec.attempts, 1);
+        assert!(rec.error.contains("injected"), "error: {}", rec.error);
+        // Every other cell is byte-identical to the clean run.
+        for i in (0..8).filter(|&i| i != 3) {
+            assert_eq!(hurt.results[i], clean.results[i], "cell {i}");
+            assert_eq!(hurt.manifest.cells[i].status, CellStatus::Ok);
+        }
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_cell() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let c = demo_campaign(6);
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let out = c.run_resilient(
+            &RunnerOpts::default().with_workers(2).with_cell_retries(2),
+            move |cell| {
+                if cell.seed == 2 && t.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                cell.seed
+            },
+        );
+        assert!(out.all_ok());
+        assert_eq!(out.results[2], Some(2));
+        assert_eq!(out.manifest.cell_retries, 1);
+        assert_eq!(out.manifest.cells[2].status, CellStatus::Retried);
+        assert_eq!(out.manifest.cells[2].attempts, 2);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::Ok);
+        assert_eq!(out.manifest.cells[1].attempts, 1);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let c = demo_campaign(4);
+        let out = c.run_resilient(
+            &RunnerOpts::default().with_workers(2).with_cell_retries(2),
+            |cell| {
+                if cell.seed == 1 {
+                    panic!("always");
+                }
+                cell.seed
+            },
+        );
+        assert_eq!(out.manifest.cells_failed, 1);
+        assert_eq!(out.manifest.cell_retries, 2);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::Panicked);
+        assert_eq!(out.manifest.cells[1].attempts, 3, "1 run + 2 retries");
+    }
+
+    #[test]
+    fn watchdog_abandons_a_hung_cell() {
+        let c = demo_campaign(5);
+        let started = Instant::now();
+        let out = c.run_resilient(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_cell_timeout(Duration::from_millis(150)),
+            |cell| {
+                if cell.seed == 1 {
+                    // A "hang" that outlives the watchdog by far but
+                    // still lets the leaked thread die quickly.
+                    std::thread::sleep(Duration::from_secs(4));
+                }
+                cell.seed
+            },
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "campaign must not wait out the hang"
+        );
+        assert_eq!(out.manifest.cells_failed, 1);
+        assert_eq!(out.manifest.cell_timeouts, 1);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::TimedOut);
+        assert!(out.manifest.cells[1].error.contains("wall-clock"));
+        assert_eq!(out.results[1], None);
+        for i in [0usize, 2, 3, 4] {
+            assert_eq!(out.results[i], Some(i as u64), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn stall_watchdog_spares_slow_but_advancing_cells() {
+        let c = demo_campaign(4);
+        let out = c.run_resilient(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_stall_timeout(Duration::from_millis(200)),
+            |cell| {
+                if cell.seed == 0 {
+                    // Slower than the stall window end to end, but
+                    // progressing the whole time: must survive.
+                    for _ in 0..8 {
+                        std::thread::sleep(Duration::from_millis(60));
+                        simtrace::runtime::tick_progress();
+                    }
+                } else if cell.seed == 1 {
+                    // Livelocked: wall clock advances, simulator doesn't.
+                    std::thread::sleep(Duration::from_secs(4));
+                }
+                cell.seed
+            },
+        );
+        assert_eq!(out.results[0], Some(0), "advancing cell must survive");
+        assert_eq!(out.manifest.cells[0].status, CellStatus::Ok);
+        assert_eq!(out.results[1], None);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::TimedOut);
+        assert!(
+            out.manifest.cells[1]
+                .error
+                .contains("no simulator progress"),
+            "error: {}",
+            out.manifest.cells[1].error
+        );
+    }
+
+    #[test]
+    fn failed_cells_miss_the_cache_so_resume_reruns_only_them() {
+        let dir =
+            std::env::temp_dir().join(format!("simrunner-resume-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = demo_campaign(6);
+        let opts = RunnerOpts::default().with_workers(2).with_cache(&dir);
+        let broken = c.run_resilient(&opts, |cell| {
+            if cell.seed == 4 {
+                panic!("boom");
+            }
+            cell.seed as f64
+        });
+        assert_eq!(broken.manifest.cells_failed, 1);
+        assert_eq!(broken.manifest.cache_hits, 0);
+        // Resume: the bug is "fixed"; only the failed cell recomputes.
+        let resumed = c.run_resilient(&opts, |cell| cell.seed as f64);
+        assert!(resumed.all_ok());
+        assert_eq!(resumed.manifest.cache_hits, 5);
+        assert_eq!(resumed.manifest.cache_misses, 1);
+        assert!(!resumed.manifest.cells[4].cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_cache_degrades_to_uncached_run() {
+        // A file where the cache root should be: create_dir_all fails.
+        let file =
+            std::env::temp_dir().join(format!("simrunner-badroot-unit-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let c = demo_campaign(3);
+        let out = c.run(&RunnerOpts::serial().with_cache(&file), |cell| cell.seed);
+        assert_eq!(out.results, vec![0, 1, 2]);
+        assert_eq!(out.manifest.cache_hits, 0);
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

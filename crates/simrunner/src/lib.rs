@@ -14,6 +14,14 @@
 //!   aggregated output is **byte-identical regardless of worker count or
 //!   scheduling order** — the core invariant, enforced by a regression
 //!   test;
+//! * [`Campaign::run_resilient`] adds crash-proofing for chaos-style
+//!   campaigns: per-cell panic isolation with bounded retries, a
+//!   wall-clock budget plus a simulator-progress watchdog that abandons
+//!   livelocked cells, and graceful degradation — the campaign always
+//!   completes, failed cells come back as `None`, and their
+//!   [`CellStatus`] and terminal error land in the manifest. Failures
+//!   are never cached, so a re-run against the warm cache re-executes
+//!   exactly the failed cells;
 //! * results are memoized in a content-addressed cache ([`cache`]) keyed
 //!   by a stable hash of (experiment id, version tag, cell params, seed),
 //!   so re-running a campaign after touching one scenario recomputes only
@@ -48,8 +56,8 @@ pub mod pool;
 pub mod progress;
 
 pub use cache::{sweep_lru, Cache, CellIdentity, SweepStats};
-pub use campaign::{parse_bytes, Campaign, Cell, RunOutcome, RunnerOpts};
-pub use manifest::{CellRecord, RunManifest};
+pub use campaign::{parse_bytes, Campaign, Cell, ResilientOutcome, RunOutcome, RunnerOpts};
+pub use manifest::{CellRecord, CellStatus, RunManifest};
 
 /// FNV-1a 64-bit hash over a byte string — the stable content hash behind
 /// cache keys. Stable across platforms, processes, and releases (never

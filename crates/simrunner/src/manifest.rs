@@ -9,6 +9,33 @@ use serde::Serialize;
 use std::io;
 use std::path::Path;
 
+/// How a cell's execution ended.
+///
+/// The cell lifecycle is: dispatched → (panic → bounded retries) →
+/// `Ok`/`Retried` on success, `Panicked` when the retry budget is spent,
+/// `TimedOut` when the wall-clock or progress watchdog abandoned it.
+/// Only successful cells are stored to cache, so re-running a campaign
+/// against a warm cache recomputes exactly the failed cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CellStatus {
+    /// Completed on the first attempt (or served from cache).
+    Ok,
+    /// Completed, but only after at least one retried panic.
+    Retried,
+    /// Panicked on every attempt; no result.
+    Panicked,
+    /// Abandoned by the per-cell watchdog (wall-clock budget exceeded, or
+    /// no simulator progress for the stall window); no result.
+    TimedOut,
+}
+
+impl CellStatus {
+    /// Whether this status carries a result.
+    pub fn succeeded(self) -> bool {
+        matches!(self, CellStatus::Ok | CellStatus::Retried)
+    }
+}
+
 /// Per-cell execution record.
 #[derive(Debug, Clone, Serialize)]
 pub struct CellRecord {
@@ -27,6 +54,14 @@ pub struct CellRecord {
     /// Simulator events dispatched while computing the cell (0 for hits,
     /// and for cells that never report via `simtrace::runtime`).
     pub events: u64,
+    /// How the cell's execution ended.
+    pub status: CellStatus,
+    /// Execution attempts (0 for cache hits, 1 for a clean first run,
+    /// more when panics were retried).
+    pub attempts: u32,
+    /// The terminal failure message (panic payload or watchdog verdict);
+    /// empty for successful cells.
+    pub error: String,
 }
 
 /// The record of one [`Campaign::run`](crate::Campaign::run).
@@ -56,6 +91,15 @@ pub struct RunManifest {
     pub worker_busy_secs: f64,
     /// Worker utilization in `[0, 1]`: busy time / (wall time × workers).
     pub utilization: f64,
+    /// Cells that ended without a result (`runner.cells_failed`).
+    pub cells_failed: usize,
+    /// Cell re-executions after a panic (`runner.cell_retries`).
+    pub cell_retries: u64,
+    /// Cells abandoned by the watchdog (`runner.cell_timeouts`).
+    pub cell_timeouts: u64,
+    /// Corrupt cache entries quarantined while loading
+    /// (`runner.cache_quarantined`).
+    pub cache_quarantined: u64,
     /// Per-cell records, in campaign order.
     pub cells: Vec<CellRecord>,
 }
@@ -74,6 +118,11 @@ impl RunManifest {
             std::fs::create_dir_all(parent)?;
         }
         std::fs::write(path, self.to_json_string())
+    }
+
+    /// Whether every cell produced a result.
+    pub fn all_ok(&self) -> bool {
+        self.cells_failed == 0
     }
 
     /// Fraction of cells served from cache, in `[0, 1]`.
@@ -102,6 +151,16 @@ impl RunManifest {
             self.worker_busy_secs,
             self.utilization * 100.0,
         );
+        if self.cells_failed > 0 || self.cell_retries > 0 || self.cache_quarantined > 0 {
+            s.push_str(&format!(
+                "  resilience: {} failed ({} timed out) | {} retries | \
+                 {} cache entries quarantined\n",
+                self.cells_failed, self.cell_timeouts, self.cell_retries, self.cache_quarantined,
+            ));
+            for c in self.cells.iter().filter(|c| !c.status.succeeded()) {
+                s.push_str(&format!("  {:?} {}: {}\n", c.status, c.label, c.error));
+            }
+        }
         let mut computed: Vec<&CellRecord> = self.cells.iter().filter(|c| !c.cached).collect();
         computed.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
         for c in computed.iter().take(3) {
@@ -147,6 +206,10 @@ mod tests {
             events_per_sec: 750_000.0,
             worker_busy_secs: 1.5,
             utilization: 0.1875,
+            cells_failed: 0,
+            cell_retries: 0,
+            cell_timeouts: 0,
+            cache_quarantined: 0,
             cells: vec![
                 CellRecord {
                     index: 0,
@@ -156,6 +219,9 @@ mod tests {
                     cached: true,
                     wall_ms: 0.0,
                     events: 0,
+                    status: CellStatus::Ok,
+                    attempts: 0,
+                    error: String::new(),
                 },
                 CellRecord {
                     index: 1,
@@ -165,6 +231,9 @@ mod tests {
                     cached: false,
                     wall_ms: 1500.0,
                     events: 1_500_000,
+                    status: CellStatus::Ok,
+                    attempts: 1,
+                    error: String::new(),
                 },
             ],
         }
@@ -191,6 +260,28 @@ mod tests {
         assert!(s.contains("1.5M events"));
         assert!(s.contains("c1"), "computed cell should be listed: {s}");
         assert!(!s.contains(" c0"), "cached cell must not be listed: {s}");
+        assert!(
+            !s.contains("resilience:"),
+            "clean run must not print a failure block: {s}"
+        );
+    }
+
+    #[test]
+    fn failures_render_in_json_and_summary() {
+        let mut m = sample();
+        m.cells_failed = 1;
+        m.cell_timeouts = 1;
+        m.cell_retries = 2;
+        m.cells[1].status = CellStatus::TimedOut;
+        m.cells[1].error = "no simulator progress for 5s".into();
+        assert!(!m.all_ok());
+        let json = m.to_json_string();
+        assert!(json.contains("\"cells_failed\":1"));
+        assert!(json.contains("\"status\":\"TimedOut\""));
+        assert!(json.contains("no simulator progress"));
+        let s = m.summary();
+        assert!(s.contains("resilience: 1 failed (1 timed out) | 2 retries"));
+        assert!(s.contains("TimedOut c1: no simulator progress"), "{s}");
     }
 
     #[test]

@@ -6,11 +6,20 @@
 //! everyone so consumers can drain the remainder and exit.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, LockResult, Mutex, MutexGuard};
 
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+}
+
+/// Recover the guard from a poisoned lock. A panic inside a queue-holding
+/// critical section only ever interrupts a `VecDeque` push/pop, which
+/// cannot leave the deque in a broken state — so poisoning here is noise,
+/// and honoring it would cascade one cell's panic into hanging or killing
+/// every other worker on the pool.
+fn relock<T>(r: LockResult<MutexGuard<'_, T>>) -> MutexGuard<'_, T> {
+    r.unwrap_or_else(|e| e.into_inner())
 }
 
 /// A bounded blocking queue. Shared by reference across scoped threads.
@@ -38,9 +47,9 @@ impl<T> BoundedQueue<T> {
     /// Block until there is room, then enqueue. Returns `false` if the
     /// queue was closed (the item is dropped).
     pub fn push(&self, item: T) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = relock(self.state.lock());
         while st.items.len() >= self.capacity && !st.closed {
-            st = self.not_full.wait(st).unwrap();
+            st = relock(self.not_full.wait(st));
         }
         if st.closed {
             return false;
@@ -53,7 +62,7 @@ impl<T> BoundedQueue<T> {
     /// Block until an item is available or the queue is closed and
     /// drained; `None` means no more work will ever arrive.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = relock(self.state.lock());
         loop {
             if let Some(item) = st.items.pop_front() {
                 self.not_full.notify_one();
@@ -62,13 +71,13 @@ impl<T> BoundedQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).unwrap();
+            st = relock(self.not_empty.wait(st));
         }
     }
 
     /// Close the queue: consumers drain what remains, then see `None`.
     pub fn close(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = relock(self.state.lock());
         st.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -121,6 +130,24 @@ mod tests {
             assert_eq!(seen, total);
             assert_eq!(sum, total * (total - 1) / 2);
         });
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_cascade() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1));
+        // Poison the internal mutex: panic while holding the guard.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = q.state.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(q.state.lock().is_err(), "mutex should now be poisoned");
+        // The queue keeps working regardless.
+        assert!(q.push(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.close();
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -70,4 +70,18 @@ pub mod names {
     pub const CC_HYSTART_EXITS: &str = "cc.hystart_exits";
     /// SUSS pacing rounds started (one per predicted-growth period).
     pub const SUSS_PACING_ROUNDS: &str = "suss.pacing_rounds";
+    /// Fault-injection actions taken by a link fault plan (GE-burst drops,
+    /// flap drops, reorder hold-backs, duplications).
+    pub const NET_FAULTS_INJECTED: &str = "net.faults_injected";
+    /// Link flap recoveries dispatched (one per scheduled outage window).
+    pub const NET_LINK_FLAPS: &str = "net.link_flaps";
+    /// Campaign cells re-run after a panic and eventually recovered.
+    pub const RUNNER_CELL_RETRIES: &str = "runner.cell_retries";
+    /// Campaign cells abandoned by the wall-clock/progress watchdog.
+    pub const RUNNER_CELL_TIMEOUTS: &str = "runner.cell_timeouts";
+    /// Campaign cells that ended a run without a result (panicked out of
+    /// retries or timed out).
+    pub const RUNNER_CELLS_FAILED: &str = "runner.cells_failed";
+    /// Cache entries that failed to load and were quarantined on disk.
+    pub const RUNNER_CACHE_QUARANTINED: &str = "runner.cache_quarantined";
 }

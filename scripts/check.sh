@@ -31,6 +31,33 @@ echo "== engine determinism gate =="
 cargo test --release -q -p netsim --test wheel_equivalence
 cargo test --release -q -p experiments --test determinism
 
+echo "== chaos smoke (fault injection + runner resilience) =="
+# End-to-end proof of the crash-proof runner: inject one always-panicking
+# cell and one hung cell into the quick chaos campaign. The run must
+# complete, exit non-zero, and record both failures in the manifest; a
+# clean re-run against the same cache must recompute exactly the two
+# failed cells and exit zero.
+CHAOS_CACHE="$SMOKE_DIR/chaos-cache"
+if SUSS_CACHE_DIR="$CHAOS_CACHE" \
+    SUSS_CHAOS_PANIC_CELL=flap:cubic:1 \
+    SUSS_CHAOS_HANG_CELL=reorder:cubic+suss:2 \
+    SUSS_CELL_TIMEOUT_MS=5000 \
+    SUSS_CELL_RETRIES=1 \
+    cargo run --release -q -p suss-bench --bin ext_chaos -- --quick \
+    >/dev/null 2>"$SMOKE_DIR/chaos.err"; then
+    echo "ext_chaos must exit non-zero when cells fail" >&2
+    exit 1
+fi
+grep -q '"status":"Panicked"' results/ext_chaos.manifest.json \
+    || { echo "manifest missing Panicked cell" >&2; exit 1; }
+grep -q '"status":"TimedOut"' results/ext_chaos.manifest.json \
+    || { echo "manifest missing TimedOut cell" >&2; exit 1; }
+SUSS_CACHE_DIR="$CHAOS_CACHE" \
+    cargo run --release -q -p suss-bench --bin ext_chaos -- --quick \
+    >/dev/null 2>"$SMOKE_DIR/chaos.err"
+grep -q '"cache_hits":14' results/ext_chaos.manifest.json \
+    || { echo "resume should recompute exactly the 2 failed cells" >&2; exit 1; }
+
 echo "== bench smoke (engine A/B snapshot, quick) =="
 # Short-iteration hotpath run: proves the A/B harness runs end to end and
 # that both engines still produce byte-identical results (the bin exits
