@@ -26,6 +26,7 @@ pub mod fig01;
 pub mod fig02;
 pub mod fig09;
 pub mod fig13;
+pub mod fleet;
 pub mod loss;
 pub mod stability;
 
@@ -34,4 +35,5 @@ pub use campaigns::{
 };
 pub use chaos::{chaos_table, run_flow_faulted, run_flow_faulted_engine, FaultFamily};
 pub use dumbbell::{run_dumbbell, run_dumbbell_engine, DumbbellFlow, DumbbellOutcome};
+pub use fleet::{fleet_table, run_fleet_cell, FleetConfig, FleetRun, FleetStats};
 pub use runner::{mean_fct, run_flow, run_flow_engine, FlowOutcome, IW, MSS};

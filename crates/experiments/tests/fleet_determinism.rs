@@ -1,0 +1,110 @@
+//! Fleet determinism contracts: results are a pure function of
+//! (config, seed) — independent of worker count, scheduler engine, and
+//! cache state — and trace sampling never leaks into them.
+
+use cc_algos::CcKind;
+use experiments::fleet::{fleet_table, run_fleet_cell, FleetConfig};
+use netsim::EngineConfig;
+use simrunner::RunnerOpts;
+use workload::{FleetWorkload, LastHop, PathScenario, ServerSite};
+
+fn small_cfg(cc: CcKind) -> FleetConfig {
+    let scn = PathScenario::new(ServerSite::OracleLondon, LastHop::Wired);
+    FleetConfig::new(scn, cc, FleetWorkload::web(0.5, scn.bottleneck, 60))
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    // The same tiny sweep at 1 and 4 workers, cold both times: per-cell
+    // results and manifest annotations must match exactly.
+    let serial = fleet_table(30, 1, &RunnerOpts::serial());
+    let parallel = fleet_table(30, 1, &RunnerOpts::serial().with_workers(4));
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(serial.totals(), parallel.totals());
+    assert_eq!(
+        serial.manifest.annotations.len(),
+        parallel.manifest.annotations.len()
+    );
+    for (a, b) in serial
+        .manifest
+        .annotations
+        .iter()
+        .zip(&parallel.manifest.annotations)
+    {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.n, b.n);
+        assert_eq!((a.p50, a.p90, a.p99, a.p999), (b.p50, b.p90, b.p99, b.p999));
+    }
+    assert!(serial.totals().1 > 0, "cells must complete flows");
+}
+
+#[test]
+fn engine_choice_does_not_change_results() {
+    // Timer-wheel default (batching on) vs binary-heap baseline: FCT
+    // distributions and every non-scheduler counter must be identical.
+    let mut wheel = small_cfg(CcKind::CubicSuss);
+    wheel.engine = EngineConfig::default();
+    let mut heap = small_cfg(CcKind::CubicSuss);
+    heap.engine = EngineConfig::baseline();
+
+    let a = run_fleet_cell(&wheel, 9);
+    let b = run_fleet_cell(&heap, 9);
+    assert_eq!(
+        (a.spawned, a.completed, a.expired, a.peak_concurrent),
+        (b.spawned, b.completed, b.expired, b.peak_concurrent)
+    );
+    assert_eq!(a.hist_small, b.hist_small);
+    assert_eq!(a.hist_mid, b.hist_mid);
+    assert_eq!(a.hist_large, b.hist_large);
+    for (name, delta) in &a.counters.diff(&b.counters) {
+        if *delta == 0 {
+            continue;
+        }
+        assert!(
+            name.starts_with("net.sched_") || name.starts_with("net.pool_"),
+            "{name} must not differ across engines (delta {delta})"
+        );
+    }
+}
+
+#[test]
+fn histogram_merge_is_commutative_across_cells() {
+    // Merging per-cell histograms in either order gives the same
+    // aggregate — the property campaign-level aggregation relies on.
+    let a = run_fleet_cell(&small_cfg(CcKind::Cubic), 3);
+    let b = run_fleet_cell(&small_cfg(CcKind::Bbr), 4);
+    let ab = a.hist_all().merged(&b.hist_all());
+    let ba = b.hist_all().merged(&a.hist_all());
+    assert_eq!(ab, ba);
+    assert_eq!(ab.count(), a.completed + b.completed);
+}
+
+#[test]
+fn trace_sampling_does_not_change_results() {
+    // ConnTrace sampling (on, off, or capped) is observability only: the
+    // measured FCT distribution must be byte-identical in all modes.
+    let base = run_fleet_cell(&small_cfg(CcKind::Cubic), 5);
+    let mut traced = small_cfg(CcKind::Cubic);
+    traced.trace_sampling = true;
+    let on = run_fleet_cell(&traced, 5);
+    let mut capped = small_cfg(CcKind::Cubic);
+    capped.trace_sampling = true;
+    capped.trace_flow_cap = 0;
+    let off = run_fleet_cell(&capped, 5);
+
+    for other in [&on, &off] {
+        assert_eq!(base.hist_small, other.hist_small);
+        assert_eq!(base.hist_mid, other.hist_mid);
+        assert_eq!(base.hist_large, other.hist_large);
+        assert_eq!(base.completed, other.completed);
+    }
+    // The cap suppressed every request; without a cap nothing was.
+    assert_eq!(
+        off.counters.get(simtrace::names::FLEET_TRACES_SUPPRESSED),
+        Some(off.spawned)
+    );
+    assert_eq!(
+        on.counters.get(simtrace::names::FLEET_TRACES_SUPPRESSED),
+        Some(0)
+    );
+}

@@ -57,8 +57,14 @@ enum EventKind {
     },
     /// A half-link finished serializing its current packet.
     TxDone { link: LinkId },
-    /// An agent timer fires.
-    Timer { node: NodeId, token: u64 },
+    /// An agent timer fires. `epoch` snapshots the arming agent's slot
+    /// epoch: a timer armed by an agent that has since been retired is
+    /// dropped on dispatch instead of firing into the slot's new occupant.
+    Timer {
+        node: NodeId,
+        token: u64,
+        epoch: u32,
+    },
     /// A flapped link comes back up and resumes draining its queue.
     LinkRestore { link: LinkId },
 }
@@ -116,6 +122,13 @@ pub struct EngineConfig {
     pub scheduler: SchedulerKind,
     /// Recycle payload boxes through a free-list pool.
     pub payload_pooling: bool,
+    /// Coalesce consecutive same-instant arrivals on one link into a
+    /// single dispatch pass (one agent take/put-back for the whole tick
+    /// group). Events still dispatch in exactly the global `(time, seq)`
+    /// order, so results are byte-identical; the group merely shares one
+    /// [`Sim::step`] call, which [`Sim::run_while`] predicates observe as
+    /// one unit.
+    pub batched_delivery: bool,
 }
 
 impl Default for EngineConfig {
@@ -123,16 +136,19 @@ impl Default for EngineConfig {
         EngineConfig {
             scheduler: SchedulerKind::TimerWheel,
             payload_pooling: true,
+            batched_delivery: true,
         }
     }
 }
 
 impl EngineConfig {
-    /// The original engine: binary-heap scheduler, no pooling.
+    /// The original engine: binary-heap scheduler, no pooling, no
+    /// delivery batching.
     pub fn baseline() -> Self {
         EngineConfig {
             scheduler: SchedulerKind::BinaryHeap,
             payload_pooling: false,
+            batched_delivery: false,
         }
     }
 }
@@ -188,10 +204,19 @@ struct NetCore {
     now: SimTime,
     seq: u64,
     events: EventQueue,
+    /// One event popped ahead of its dispatch by the batching lookahead:
+    /// always the globally next event, replayed before touching the queue.
+    stash: Option<(SimTime, EventKind)>,
     links: Vec<HalfLink>,
+    /// Per-slot reuse epoch, bumped by [`Sim::retire_agent`]; lives here
+    /// (not in [`Sim`]) so [`Ctx::set_timer`] can stamp timers with it.
+    agent_epochs: Vec<u32>,
+    batched_delivery: bool,
     next_packet_id: u64,
     capture: Option<Capture>,
     pool: PayloadPool,
+    ctr_orphan_events: Counter,
+    ctr_batched: Counter,
     ctr_queue_drops: Counter,
     ctr_aqm_drops: Counter,
     ctr_events_scheduled: Counter,
@@ -220,6 +245,31 @@ impl NetCore {
 }
 
 impl NetCore {
+    /// Pop the globally next event, honoring the batching stash.
+    ///
+    /// The stash was globally next when it was set, but host code (e.g. a
+    /// workload driver spawning a flow between steps) can push an earlier
+    /// event afterwards, so the stash must race the queue head here. The
+    /// stash wins ties: it was popped — and tie-broken — first.
+    fn pop_event(&mut self) -> Option<(SimTime, EventKind)> {
+        if let Some((at, _)) = &self.stash {
+            return match self.events.next_at() {
+                Some(q) if q < *at => self.events.pop(),
+                _ => self.stash.take(),
+            };
+        }
+        self.events.pop()
+    }
+
+    /// Earliest pending event time, honoring the batching stash.
+    fn next_event_at(&mut self) -> Option<SimTime> {
+        match (&self.stash, self.events.next_at()) {
+            (Some((at, _)), Some(q)) => Some((*at).min(q)),
+            (Some((at, _)), None) => Some(*at),
+            (None, q) => q,
+        }
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(
             at >= self.now,
@@ -415,8 +465,11 @@ impl Ctx<'_> {
     /// Timers cannot be cancelled — ignore stale tokens in `on_timer`.
     pub fn set_timer(&mut self, at: SimTime, token: u64) {
         let node = self.agent;
-        self.core
-            .push(at.max(self.core.now), EventKind::Timer { node, token });
+        let epoch = self.core.agent_epochs[node.index()];
+        self.core.push(
+            at.max(self.core.now),
+            EventKind::Timer { node, token, epoch },
+        );
     }
 
     /// Current backlog (bytes) of a half-link's egress queue.
@@ -489,15 +542,22 @@ impl Sim {
         let ctr_faults_injected = metrics.counter(simtrace::names::NET_FAULTS_INJECTED);
         let ctr_link_flaps = metrics.counter(simtrace::names::NET_LINK_FLAPS);
         let gauge_queue_hwm = metrics.gauge(simtrace::names::NET_QUEUE_DEPTH_HWM);
+        let ctr_orphan_events = metrics.counter(simtrace::names::NET_ORPHAN_EVENTS);
+        let ctr_batched = metrics.counter(simtrace::names::NET_SCHED_BATCHED);
         Sim {
             core: NetCore {
                 now: SimTime::ZERO,
                 seq: 0,
                 events: EventQueue::new(engine.scheduler),
+                stash: None,
                 links: Vec::new(),
+                agent_epochs: Vec::new(),
+                batched_delivery: engine.batched_delivery,
                 next_packet_id: 1,
                 capture: None,
                 pool: PayloadPool::new(engine.payload_pooling),
+                ctr_orphan_events,
+                ctr_batched,
                 ctr_queue_drops,
                 ctr_aqm_drops,
                 ctr_events_scheduled,
@@ -525,10 +585,64 @@ impl Sim {
     }
 
     /// Register an agent, returning its node id.
+    ///
+    /// Agents added before the first [`Sim::step`] get their
+    /// [`Agent::on_start`] at time 0 in node-id order; an agent added to
+    /// a *running* simulation gets it immediately (at the current time),
+    /// so dynamically spawned endpoints can arm their start timers.
     pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> NodeId {
         let id = NodeId(u32::try_from(self.agents.len()).expect("too many agents"));
         self.agents.push(Some(agent));
+        self.core.agent_epochs.push(0);
+        if self.started {
+            self.run_on_start(id);
+        }
         id
+    }
+
+    /// Remove the agent occupying `id`, returning it for inspection.
+    ///
+    /// The slot's epoch is bumped, so pending timers armed by the retired
+    /// agent die silently on dispatch (counted as `net.orphan_events`)
+    /// instead of firing into whatever occupies the slot next. Packets
+    /// already in flight toward the empty slot are likewise dropped and
+    /// counted. This is the teardown half of dynamic flow lifecycle:
+    /// dropping the returned box frees all per-flow state.
+    ///
+    /// # Panics
+    /// Panics if the slot is empty (already retired) or under dispatch.
+    pub fn retire_agent(&mut self, id: NodeId) -> Box<dyn Agent> {
+        let agent = self.agents[id.index()]
+            .take()
+            .expect("retire_agent on an empty or dispatching slot");
+        self.core.agent_epochs[id.index()] += 1;
+        agent
+    }
+
+    /// Install an agent into a retired slot (the spawn half of dynamic
+    /// flow lifecycle — node ids, links, and routes wired to the slot are
+    /// reused). Runs [`Agent::on_start`] immediately if the simulation
+    /// has started.
+    ///
+    /// # Panics
+    /// Panics if the slot is still occupied.
+    pub fn install_agent_at(&mut self, id: NodeId, agent: Box<dyn Agent>) {
+        let slot = &mut self.agents[id.index()];
+        assert!(slot.is_none(), "install_agent_at over a live agent");
+        *slot = Some(agent);
+        if self.started {
+            self.run_on_start(id);
+        }
+    }
+
+    fn run_on_start(&mut self, id: NodeId) {
+        let mut agent = self.agents[id.index()].take().expect("agent just added");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            agent: id,
+        };
+        agent.on_start(&mut ctx);
+        self.agents[id.index()] = Some(agent);
     }
 
     /// Create a unidirectional half-link from `from`'s egress to `to`.
@@ -677,14 +791,10 @@ impl Sim {
         }
     }
 
-    /// Dispatch the next event. Returns `false` if the queue is empty.
-    pub fn step(&mut self) -> bool {
-        self.ensure_started();
-        let Some((at, kind)) = self.core.events.pop() else {
-            return false;
-        };
-        debug_assert!(at >= self.core.now, "time went backwards");
-        self.core.now = at;
+    /// Per-event dispatch bookkeeping, shared by [`Sim::step`] and the
+    /// same-tick batch loop so batched members are accounted exactly like
+    /// individually stepped events.
+    fn account_dispatch(&mut self) {
         self.events_dispatched += 1;
         if self.events_dispatched & 0xFFF == 0 {
             // Cheap liveness heartbeat for the campaign watchdog: a frozen
@@ -698,30 +808,94 @@ impl Sim {
             self.ctr_cascades.add(cascades - self.cascades_reported);
             self.cascades_reported = cascades;
         }
+    }
+
+    /// Deliver an arrival, then — with batching enabled — keep delivering
+    /// as long as the *globally next* event is another arrival for the
+    /// same node over the same link at the same instant. The whole tick
+    /// group shares one agent take/put-back; because members are popped
+    /// in `(time, seq)` order and the first non-member is stashed for the
+    /// next [`Sim::step`], dispatch order (and therefore every result)
+    /// is byte-identical to unbatched execution.
+    fn dispatch_arrive(&mut self, at: SimTime, node: NodeId, link: LinkId, pkt: Packet) {
+        self.core.capture_event(link, CaptureKind::Delivered, &pkt);
+        let Some(mut agent) = self.agents[node.index()].take() else {
+            // The flow this packet belonged to has been torn down.
+            self.core.ctr_orphan_events.inc();
+            return;
+        };
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                agent: node,
+            };
+            agent.on_packet(pkt, &mut ctx);
+        }
+        // Coalesce only while the stash slot is free: when an earlier
+        // batch already stashed an event (and a host push then overtook
+        // it, so this dispatch came from the queue instead), stashing a
+        // second non-member would overwrite — and silently drop — the
+        // first. Skipping coalescing never changes dispatch order, so
+        // results stay byte-identical either way.
+        while self.core.batched_delivery && self.core.stash.is_none() {
+            match self.core.pop_event() {
+                Some((
+                    t,
+                    EventKind::Arrive {
+                        node: n,
+                        link: l,
+                        pkt: p,
+                    },
+                )) if t == at && n == node && l == link => {
+                    self.account_dispatch();
+                    self.core.ctr_batched.inc();
+                    self.core.capture_event(l, CaptureKind::Delivered, &p);
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        agent: node,
+                    };
+                    agent.on_packet(p, &mut ctx);
+                }
+                Some(other) => {
+                    self.core.stash = Some(other);
+                    break;
+                }
+                None => break,
+            }
+        }
+        self.agents[node.index()] = Some(agent);
+    }
+
+    /// Dispatch the next event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some((at, kind)) = self.core.pop_event() else {
+            return false;
+        };
+        debug_assert!(
+            at >= self.core.now,
+            "time went backwards: event at {at}, now {}",
+            self.core.now
+        );
+        self.core.now = at;
+        self.account_dispatch();
         match kind {
             EventKind::TxDone { link } => self.core.link_tx_done(link),
-            EventKind::Arrive { node, link, pkt } => {
-                self.core.capture_event(link, CaptureKind::Delivered, &pkt);
-                let mut agent = self.agents[node.index()]
-                    .take()
-                    .expect("packet delivered to agent under dispatch");
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    agent: node,
-                };
-                agent.on_packet(pkt, &mut ctx);
-                self.agents[node.index()] = Some(agent);
-            }
-            EventKind::Timer { node, token } => {
-                let mut agent = self.agents[node.index()]
-                    .take()
-                    .expect("timer fired for agent under dispatch");
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    agent: node,
-                };
-                agent.on_timer(token, &mut ctx);
-                self.agents[node.index()] = Some(agent);
+            EventKind::Arrive { node, link, pkt } => self.dispatch_arrive(at, node, link, pkt),
+            EventKind::Timer { node, token, epoch } => {
+                if self.core.agent_epochs[node.index()] != epoch {
+                    // Armed by a since-retired occupant of this slot.
+                    self.core.ctr_orphan_events.inc();
+                } else if let Some(mut agent) = self.agents[node.index()].take() {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        agent: node,
+                    };
+                    agent.on_timer(token, &mut ctx);
+                    self.agents[node.index()] = Some(agent);
+                } else {
+                    self.core.ctr_orphan_events.inc();
+                }
             }
             EventKind::LinkRestore { link } => self.core.link_restore(link),
         }
@@ -735,7 +909,7 @@ impl Sim {
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
         loop {
-            match self.core.events.next_at() {
+            match self.core.next_event_at() {
                 Some(at) if at <= deadline => {
                     self.step();
                 }
@@ -752,7 +926,7 @@ impl Sim {
     pub fn run_while(&mut self, deadline: SimTime, mut pred: impl FnMut(&Sim) -> bool) {
         self.ensure_started();
         while pred(self) {
-            match self.core.events.next_at() {
+            match self.core.next_event_at() {
                 Some(at) if at <= deadline => {
                     self.step();
                 }
@@ -1033,5 +1207,149 @@ mod tests {
         let got = &sim.agent::<Echo>(b).got;
         assert_eq!(got[0].0, SimTime::from_millis(1));
         assert_eq!(got[1].0, SimTime::from_millis(11));
+    }
+
+    /// Records whether `on_start` ran and when.
+    struct Starter {
+        started_at: Option<SimTime>,
+    }
+
+    impl Agent for Starter {
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.started_at = Some(ctx.now());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn late_added_agents_get_on_start() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_agent(Box::new(Starter { started_at: None }));
+        sim.with_agent_ctx::<Starter, _>(a, |_, ctx| {
+            ctx.set_timer(SimTime::from_millis(5), 0);
+        });
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.agent::<Starter>(a).started_at, Some(SimTime::ZERO));
+        // Mid-run additions start at the current instant, not t = 0.
+        let b = sim.add_agent(Box::new(Starter { started_at: None }));
+        assert_eq!(
+            sim.agent::<Starter>(b).started_at,
+            Some(SimTime::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn retired_agent_timers_become_orphans() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_agent(Box::new(Echo::new()));
+        sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
+            ctx.set_timer(SimTime::from_millis(5), 1);
+            ctx.set_timer(SimTime::from_millis(15), 2);
+        });
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.agent::<Echo>(a).timer_log.len(), 1);
+        // Retire the flow; its pending 15 ms timer must die silently, and
+        // the replacement occupying the same slot must never see it.
+        let old = sim.retire_agent(a);
+        assert_eq!(
+            old.as_any().downcast_ref::<Echo>().unwrap().timer_log.len(),
+            1
+        );
+        sim.install_agent_at(a, Box::new(Echo::new()));
+        sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
+            ctx.set_timer(SimTime::from_millis(20), 3);
+        });
+        sim.run_to_completion();
+        let log = &sim.agent::<Echo>(a).timer_log;
+        assert_eq!(log, &vec![(SimTime::from_millis(20), 3)]);
+        let orphans = sim
+            .metrics()
+            .snapshot()
+            .get(simtrace::names::NET_ORPHAN_EVENTS)
+            .unwrap_or(0);
+        assert_eq!(orphans, 1, "the stale timer must be counted");
+    }
+
+    #[test]
+    fn packets_in_flight_at_teardown_are_orphaned() {
+        let (mut sim, a, b, ab, _) = two_nodes(Bandwidth::from_mbps(10), Duration::from_millis(5));
+        sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
+            ctx.send(ab, Packet::opaque(FlowId(1), a, b, 1250));
+        });
+        sim.run_until(SimTime::from_millis(2));
+        // Tear b down while the packet is still propagating toward it.
+        let _ = sim.retire_agent(b);
+        sim.run_to_completion();
+        let orphans = sim
+            .metrics()
+            .snapshot()
+            .get(simtrace::names::NET_ORPHAN_EVENTS)
+            .unwrap_or(0);
+        assert_eq!(orphans, 1, "delivery to an empty slot must be dropped");
+    }
+
+    #[test]
+    fn occupied_stash_survives_interleaved_host_pushes() {
+        // Regression: a batch loop stashes the first non-member it pops.
+        // If host code then pushes *earlier* events (a workload driver
+        // spawning a flow between run_until calls), those dispatch before
+        // the stashed event — and a batched dispatch among them must not
+        // overwrite the occupied stash, or the stashed event is silently
+        // lost.
+        use crate::faults::FaultPlan;
+        let mut sim = Sim::new(3); // default engine: batching on
+        let c = sim.add_agent(Box::new(Echo::new()));
+        let d = sim.add_agent(Box::new(Echo::new()));
+        // Duplication twins arrive at the same instant over one link, so
+        // d's dispatch enters the batch loop and stashes what follows.
+        let cd = sim.add_half_link(
+            c,
+            d,
+            LinkSpec::clean(Bandwidth::from_mbps(100), Duration::from_millis(1))
+                .with_faults(FaultPlan::new().with_duplicate(1.0)),
+        );
+        let a = sim.add_agent(Box::new(Echo::new()));
+        let b = sim.add_agent(Box::new(Echo::new()));
+        let ab = sim.add_half_link(
+            a,
+            b,
+            LinkSpec::clean(Bandwidth::from_mbps(100), Duration::ZERO),
+        );
+
+        // c's far timer is the globally next event after the twins, so the
+        // twin batch pops and stashes it.
+        sim.with_agent_ctx::<Echo, _>(c, |_, ctx| {
+            ctx.set_timer(SimTime::from_millis(10), 42);
+            ctx.send(cd, Packet::opaque(FlowId(1), c, d, 1250));
+        });
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.agent::<Echo>(d).got.len(), 2, "twins must arrive");
+
+        // Host pushes work that overtakes the stashed 10 ms timer.
+        sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
+            for _ in 0..4 {
+                ctx.send(ab, Packet::opaque(FlowId(2), a, b, 1250));
+            }
+        });
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(sim.agent::<Echo>(b).got.len(), 4);
+        // The stashed timer must still fire, exactly once, on time.
+        assert_eq!(
+            sim.agent::<Echo>(c).timer_log,
+            vec![(SimTime::from_millis(10), 42)]
+        );
+        let batched = sim
+            .metrics()
+            .snapshot()
+            .get(simtrace::names::NET_SCHED_BATCHED)
+            .unwrap_or(0);
+        assert!(batched >= 1, "the twin delivery must have batched");
     }
 }

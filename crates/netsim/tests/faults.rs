@@ -260,14 +260,11 @@ fn faulted_link_is_engine_equivalent() {
         sim.run_to_completion();
         (sim.agent::<Probe>(b).got.clone(), sim.metrics().snapshot())
     };
-    let heap = run(EngineConfig {
-        scheduler: SchedulerKind::BinaryHeap,
-        payload_pooling: false,
-    });
+    let heap = run(EngineConfig::baseline());
     let wheel = run(EngineConfig::default());
     assert_eq!(heap.0, wheel.0, "fault delivery traces must match");
     for (name, delta) in wheel.1.diff(&heap.1) {
-        if name == simtrace::names::NET_SCHED_CASCADES || name.starts_with("net.pool_") {
+        if name.starts_with("net.sched_") || name.starts_with("net.pool_") {
             continue;
         }
         assert_eq!(delta, 0, "counter {name} differs between engines");

@@ -78,10 +78,9 @@ fn echo_mesh_trace(engine: EngineConfig) -> (Vec<(SimTime, u64)>, Vec<(SimTime, 
 
 #[test]
 fn wheel_reproduces_heap_dispatch_order() {
-    let heap = echo_mesh_trace(EngineConfig {
-        scheduler: SchedulerKind::BinaryHeap,
-        payload_pooling: false,
-    });
+    // Heap + no pooling + no batching vs the full default engine: the
+    // observable trace must not care about any engine knob.
+    let heap = echo_mesh_trace(EngineConfig::baseline());
     let wheel = echo_mesh_trace(EngineConfig::default());
     assert_eq!(heap, wheel, "schedulers must dispatch identically");
 }
@@ -125,10 +124,7 @@ fn faulted_mesh_trace(engine: EngineConfig) -> (Vec<(SimTime, u64)>, Vec<(SimTim
 
 #[test]
 fn wheel_reproduces_heap_dispatch_order_under_faults() {
-    let heap = faulted_mesh_trace(EngineConfig {
-        scheduler: SchedulerKind::BinaryHeap,
-        payload_pooling: false,
-    });
+    let heap = faulted_mesh_trace(EngineConfig::baseline());
     let wheel = faulted_mesh_trace(EngineConfig::default());
     assert!(
         !heap.0.is_empty(),
@@ -157,16 +153,73 @@ fn counter_totals_identical_across_engines() {
     let heap = snap(EngineConfig {
         scheduler: SchedulerKind::BinaryHeap,
         payload_pooling: true,
+        batched_delivery: false,
     });
     let wheel = snap(EngineConfig::default());
-    // The cascade counter is scheduler-internal (always 0 on the heap);
-    // everything else must match value-for-value.
+    // `net.sched_*` counters are engine-internal (cascades are always 0 on
+    // the heap, batched coalesces 0 without batching); everything else
+    // must match value-for-value.
     for (name, delta) in wheel.diff(&heap) {
-        if name == simtrace::names::NET_SCHED_CASCADES {
+        if name.starts_with("net.sched_") {
             continue;
         }
         assert_eq!(delta, 0, "counter {name} differs between schedulers");
     }
+}
+
+/// Same-tick batching contract: coalescing same-instant same-link
+/// deliveries into one queue pass must leave every observable —
+/// delivery traces, timer logs, counter totals — byte-identical to the
+/// unbatched baseline, while actually batching something.
+#[test]
+fn batched_delivery_is_byte_identical_to_baseline() {
+    let batched_cfg = EngineConfig {
+        batched_delivery: true,
+        ..EngineConfig::baseline()
+    };
+    assert_eq!(
+        echo_mesh_trace(batched_cfg),
+        echo_mesh_trace(EngineConfig::baseline()),
+        "batching must not change the echo-mesh trace"
+    );
+    assert_eq!(
+        faulted_mesh_trace(batched_cfg),
+        faulted_mesh_trace(EngineConfig::baseline()),
+        "batching must not change the faulted trace"
+    );
+    // Serialization times round up to ≥1 ns, so back-to-back packets never
+    // share an arrival tick — but duplication faults deliver a twin at the
+    // *same* instant over the same link, exercising the batch loop for
+    // real: every twin coalesces into its original's dispatch.
+    let burst = |engine: EngineConfig| {
+        let mut sim = Sim::with_engine(17, engine);
+        let a = sim.add_agent(Box::new(Echo::new()));
+        let b = sim.add_agent(Box::new(Echo::new()));
+        let spec = LinkSpec::clean(Bandwidth::from_mbps(100), Duration::from_millis(5))
+            .with_faults(FaultPlan::new().with_duplicate(1.0));
+        let ab = sim.add_half_link(a, b, spec);
+        sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
+            for _ in 0..64 {
+                ctx.send(ab, Packet::opaque(FlowId(1), a, b, 1200));
+            }
+        });
+        sim.run_to_completion();
+        let got = sim.agent::<Echo>(b).got.clone();
+        let batched = sim
+            .metrics()
+            .snapshot()
+            .get(simtrace::names::NET_SCHED_BATCHED)
+            .unwrap_or(0);
+        (got, batched)
+    };
+    let (got_batched, n_batched) = burst(batched_cfg);
+    let (got_plain, n_plain) = burst(EngineConfig::baseline());
+    assert_eq!(got_batched, got_plain, "burst trace must match");
+    assert!(
+        n_batched > 50,
+        "same-instant burst must actually coalesce ({n_batched})"
+    );
+    assert_eq!(n_plain, 0, "baseline must never batch");
 }
 
 #[test]

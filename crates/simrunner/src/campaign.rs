@@ -338,6 +338,7 @@ impl Campaign {
             cell_retries,
             cell_timeouts,
             cache_quarantined,
+            annotations: Vec::new(),
             cells: records,
         }
     }

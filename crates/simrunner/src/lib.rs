@@ -57,7 +57,7 @@ pub mod progress;
 
 pub use cache::{sweep_lru, Cache, CellIdentity, SweepStats};
 pub use campaign::{parse_bytes, Campaign, Cell, ResilientOutcome, RunOutcome, RunnerOpts};
-pub use manifest::{CellRecord, CellStatus, RunManifest};
+pub use manifest::{CellRecord, CellStatus, FctAnnotation, RunManifest};
 
 /// FNV-1a 64-bit hash over a byte string — the stable content hash behind
 /// cache keys. Stable across platforms, processes, and releases (never

@@ -64,6 +64,26 @@ pub struct CellRecord {
     pub error: String,
 }
 
+/// A named FCT-percentile summary attached to a manifest — one per
+/// (scenario, cc, load, flow-size bucket) group in fleet campaigns, so
+/// the percentile curves are machine-readable without reparsing the
+/// rendered table. Percentiles are in seconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct FctAnnotation {
+    /// Group label, e.g. `fleet/4G/cubic+suss/load0.6/<=2MB`.
+    pub label: String,
+    /// Flows aggregated into this group.
+    pub n: u64,
+    /// Median flow-completion time, seconds.
+    pub p50: f64,
+    /// 90th-percentile FCT, seconds.
+    pub p90: f64,
+    /// 99th-percentile FCT, seconds.
+    pub p99: f64,
+    /// 99.9th-percentile FCT, seconds.
+    pub p999: f64,
+}
+
 /// The record of one [`Campaign::run`](crate::Campaign::run).
 #[derive(Debug, Clone, Serialize)]
 pub struct RunManifest {
@@ -100,6 +120,9 @@ pub struct RunManifest {
     /// Corrupt cache entries quarantined while loading
     /// (`runner.cache_quarantined`).
     pub cache_quarantined: u64,
+    /// Experiment-attached result summaries (empty unless the experiment
+    /// pushes them, e.g. fleet FCT percentiles per flow-size bucket).
+    pub annotations: Vec<FctAnnotation>,
     /// Per-cell records, in campaign order.
     pub cells: Vec<CellRecord>,
 }
@@ -210,6 +233,14 @@ mod tests {
             cell_retries: 0,
             cell_timeouts: 0,
             cache_quarantined: 0,
+            annotations: vec![FctAnnotation {
+                label: "fleet/demo/<=2MB".into(),
+                n: 1800,
+                p50: 0.21,
+                p90: 0.74,
+                p99: 2.5,
+                p999: 6.1,
+            }],
             cells: vec![
                 CellRecord {
                     index: 0,

@@ -2,6 +2,8 @@
 //!
 //! * [`summary`] — mean/σ/CI batch aggregation (the paper's 50-iteration
 //!   averages with standard-deviation bands) and the FCT-improvement metric;
+//! * [`hist`] — fixed-bin log-scale FCT histograms with commutative
+//!   merge, the streaming percentile sketch behind the fleet campaigns;
 //! * [`fairness`] — Jain's index (RFC 5166, paper §6.4);
 //! * [`series`] — step-series resampling and windowed goodput;
 //! * [`table`] — aligned text tables and CSV emission for the
@@ -11,12 +13,14 @@
 #![forbid(unsafe_code)]
 
 pub mod fairness;
+pub mod hist;
 pub mod plot;
 pub mod series;
 pub mod summary;
 pub mod table;
 
 pub use fairness::{jain_index, jain_index_windowed};
+pub use hist::LogHistogram;
 pub use plot::ascii_chart;
 pub use series::StepSeries;
 pub use summary::{improvement, percentile, Summary};

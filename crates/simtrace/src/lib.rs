@@ -47,6 +47,12 @@ pub mod names {
     /// Far timers cascaded from the scheduler's overflow heap into the
     /// timer wheel (0 under the binary-heap scheduler).
     pub const NET_SCHED_CASCADES: &str = "net.sched_cascades";
+    /// Same-tick same-link arrivals coalesced into an earlier dispatch's
+    /// batch (0 under `EngineConfig::baseline()`).
+    pub const NET_SCHED_BATCHED: &str = "net.sched_batched";
+    /// Events addressed to a retired agent slot (stale timers from a
+    /// torn-down flow, packets in flight at teardown). Dropped on arrival.
+    pub const NET_ORPHAN_EVENTS: &str = "net.orphan_events";
     /// Payload allocations served from the recycled-buffer pool.
     pub const NET_POOL_HITS: &str = "net.pool_hits";
     /// Payload allocations that fell through to the global allocator.
@@ -75,6 +81,21 @@ pub mod names {
     pub const NET_FAULTS_INJECTED: &str = "net.faults_injected";
     /// Link flap recoveries dispatched (one per scheduled outage window).
     pub const NET_LINK_FLAPS: &str = "net.link_flaps";
+    /// Fleet flows spawned (arrival events realized as live senders).
+    pub const FLEET_FLOWS_SPAWNED: &str = "fleet.flows_spawned";
+    /// Fleet flows fully delivered and torn down.
+    pub const FLEET_FLOWS_COMPLETED: &str = "fleet.flows_completed";
+    /// Fleet flows still incomplete at the drain horizon (torn down
+    /// without an FCT sample).
+    pub const FLEET_FLOWS_EXPIRED: &str = "fleet.flows_expired";
+    /// Endpoint slot pairs (sender+receiver nodes, edge links, routes)
+    /// created — the peak-concurrency footprint.
+    pub const FLEET_SLOTS_CREATED: &str = "fleet.slots_created";
+    /// Flows installed into a recycled slot instead of a fresh one.
+    pub const FLEET_SLOT_REUSES: &str = "fleet.slot_reuses";
+    /// Flows whose ConnTrace sampling was suppressed by the
+    /// concurrent-flow cap.
+    pub const FLEET_TRACES_SUPPRESSED: &str = "fleet.traces_suppressed";
     /// Campaign cells re-run after a panic and eventually recovered.
     pub const RUNNER_CELL_RETRIES: &str = "runner.cell_retries";
     /// Campaign cells abandoned by the wall-clock/progress watchdog.

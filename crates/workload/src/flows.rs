@@ -77,6 +77,42 @@ impl SizeDistribution {
         }
     }
 
+    /// A lognormal web-object mix: same "mostly mice" shape as
+    /// [`web`](Self::web) but with a thinner tail — the two together
+    /// bracket the flow-size distributions reported in web-workload
+    /// measurement studies.
+    pub fn lognormal_web() -> Self {
+        SizeDistribution::LogNormal {
+            median: 30 * KB,
+            sigma: 1.5,
+        }
+    }
+
+    /// The analytic mean flow size in bytes. Offered-load calibration
+    /// (`load × bottleneck = rate × mean size`) needs this in closed
+    /// form; sampling-based estimates would make the arrival rate depend
+    /// on how many draws were averaged.
+    pub fn mean_bytes(&self) -> f64 {
+        match *self {
+            SizeDistribution::Fixed(s) => s as f64,
+            SizeDistribution::BoundedPareto { alpha, min, max } => {
+                let (l, h) = (min as f64, max as f64);
+                if (alpha - 1.0).abs() < 1e-9 {
+                    // α = 1 limit: L·ln(H/L) / (1 − L/H).
+                    l * (h / l).ln() / (1.0 - l / h)
+                } else {
+                    let norm = 1.0 - (l / h).powf(alpha);
+                    (alpha * l.powf(alpha) / (alpha - 1.0))
+                        * (l.powf(1.0 - alpha) - h.powf(1.0 - alpha))
+                        / norm
+                }
+            }
+            SizeDistribution::LogNormal { median, sigma } => {
+                median as f64 * (sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+
     /// Draw one flow size.
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         match *self {
@@ -123,6 +159,25 @@ mod tests {
         assert!(small > samples.len() / 2, "most flows should be mice");
         assert!(large > 0, "elephants must exist");
         assert!(samples.iter().all(|&s| (10 * KB..=20 * MB).contains(&s)));
+    }
+
+    #[test]
+    fn analytic_means_match_empirical() {
+        let mut rng = SimRng::new(11);
+        for d in [
+            SizeDistribution::Fixed(5 * MB),
+            SizeDistribution::web(),
+            SizeDistribution::lognormal_web(),
+        ] {
+            let n = 200_000u64;
+            let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+            let empirical = sum / n as f64;
+            let analytic = d.mean_bytes();
+            let rel = (empirical - analytic).abs() / analytic;
+            // Heavy tails converge slowly; 10% at 200k draws is plenty to
+            // catch a wrong formula (which would be off by 2× or more).
+            assert!(rel < 0.10, "{d:?}: empirical {empirical} vs {analytic}");
+        }
     }
 
     #[test]

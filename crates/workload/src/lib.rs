@@ -7,15 +7,19 @@
 //!   (RTT, bandwidth, jitter, buffer) tuple;
 //! * [`testbed`] — the local dumbbell testbed configurations used for the
 //!   fairness (Fig. 15) and stability (Fig. 16/Table 1) experiments;
-//! * [`flows`] — flow-size sweep grids and heavy-tailed web workloads.
+//! * [`flows`] — flow-size sweep grids and heavy-tailed web workloads;
+//! * [`fleet`] — open-loop Poisson flow arrivals over heavy-tailed sizes
+//!   for the fleet FCT-percentile campaigns.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fleet;
 pub mod flows;
 pub mod scenarios;
 pub mod testbed;
 
+pub use fleet::{FleetArrivals, FleetWorkload, FlowArrival};
 pub use flows::{fct_sweep_sizes, loss_sweep_sizes, SizeDistribution, KB, MB};
 pub use scenarios::{ClientRegion, LastHop, PathScenario, ServerSite};
 pub use testbed::DumbbellConfig;

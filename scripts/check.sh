@@ -58,6 +58,18 @@ SUSS_CACHE_DIR="$CHAOS_CACHE" \
 grep -q '"cache_hits":14' results/ext_chaos.manifest.json \
     || { echo "resume should recompute exactly the 2 failed cells" >&2; exit 1; }
 
+echo "== fleet smoke (open-loop FCT campaign, quick) =="
+# The quick fleet sweep (150 flows × 18 cells) must complete every flow
+# and publish FCT-percentile annotations in its manifest. The bin itself
+# exits non-zero if any cell fails or if a flow never finishes draining.
+cargo run --release -q -p suss-bench --bin ext_fleet -- --quick --no-progress \
+    >"$SMOKE_DIR/fleet.out"
+grep -Eq 'fleet: spawned=[0-9]+ completed=[1-9][0-9]* expired=0' \
+    "$SMOKE_DIR/fleet.out" \
+    || { echo "ext_fleet quick run left flows incomplete" >&2; exit 1; }
+grep -q '"p99"' results/ext_fleet.manifest.json \
+    || { echo "fleet manifest missing FCT annotations" >&2; exit 1; }
+
 echo "== bench smoke (engine A/B snapshot, quick) =="
 # Short-iteration hotpath run: proves the A/B harness runs end to end and
 # that both engines still produce byte-identical results (the bin exits
