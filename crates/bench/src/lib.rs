@@ -210,7 +210,10 @@ impl BenchCli {
     /// Campaign execution options for this invocation: requested worker
     /// count, the shared cache under `results/cache/`, progress on
     /// stderr (human output goes to stdout, so redirects stay clean),
-    /// with `SUSS_*` environment overrides applied last.
+    /// flight-recorder dumps under `results/flightrec/` for cells that
+    /// terminally panic or time out, with `SUSS_*` environment overrides
+    /// applied last (`SUSS_FLIGHTREC_DIR=` disables the recorder,
+    /// `SUSS_PROF=1` enables per-cell span profiling).
     pub fn runner(&self) -> RunnerOpts {
         let mut r = RunnerOpts::default().with_workers(self.workers);
         if !self.no_cache {
@@ -218,6 +221,7 @@ impl BenchCli {
         }
         r.force_cold = self.cold;
         r.progress = !self.no_progress;
+        r.flightrec_dir = Some(PathBuf::from("results/flightrec"));
         r.env_overrides()
     }
 

@@ -3,7 +3,7 @@
 
 use crate::hystart::HyStart;
 use std::time::Duration;
-use tcp_sim::cc::{AckView, CongestionControl, LossKind, LossView};
+use tcp_sim::cc::{AckView, CcEvent, CongestionControl, LossKind, LossView};
 
 /// Nanoseconds on the transport clock.
 pub type Nanos = u64;
@@ -114,6 +114,7 @@ pub struct Cubic {
     core: CubicCore,
     hystart: HyStart,
     hystart_enabled: bool,
+    events: Vec<CcEvent>,
 }
 
 impl Cubic {
@@ -126,6 +127,7 @@ impl Cubic {
             core: CubicCore::new(mss),
             hystart: HyStart::new(mss),
             hystart_enabled: true,
+            events: Vec::new(),
         }
     }
 
@@ -165,6 +167,14 @@ impl CongestionControl for Cubic {
                     .on_ack(ack.now, ack.ack_seq, ack.snd_nxt, ack.rtt_sample, self.cwnd)
             {
                 self.ssthresh = self.cwnd;
+                self.events.push(CcEvent::SsthreshChanged {
+                    ssthresh: self.ssthresh,
+                    reason: "hystart_delay",
+                });
+                self.events.push(CcEvent::HystartPhase {
+                    phase: "exit",
+                    reason: "rtt_rise",
+                });
                 return;
             }
             self.cwnd += ack.newly_acked;
@@ -184,6 +194,14 @@ impl CongestionControl for Cubic {
             LossKind::FastRetransmit => {
                 self.cwnd = self.core.on_loss(self.cwnd);
                 self.ssthresh = self.cwnd;
+                self.events.push(CcEvent::CwndChanged {
+                    cwnd: self.cwnd,
+                    reason: "loss",
+                });
+                self.events.push(CcEvent::SsthreshChanged {
+                    ssthresh: self.ssthresh,
+                    reason: "loss",
+                });
             }
             LossKind::Timeout => {
                 let reduced = self.core.on_loss(self.cwnd);
@@ -191,12 +209,24 @@ impl CongestionControl for Cubic {
                 self.cwnd = self.mss;
                 self.core.reset_epoch();
                 self.hystart.restart();
+                self.events.push(CcEvent::CwndChanged {
+                    cwnd: self.cwnd,
+                    reason: "timeout",
+                });
+                self.events.push(CcEvent::SsthreshChanged {
+                    ssthresh: self.ssthresh,
+                    reason: "timeout",
+                });
             }
         }
     }
 
     fn ssthresh(&self) -> Option<u64> {
         (self.ssthresh != u64::MAX).then_some(self.ssthresh)
+    }
+
+    fn take_events(&mut self) -> Vec<CcEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

@@ -89,12 +89,26 @@ impl CubicSuss {
     }
 
     fn cancel_pacing(&mut self) {
+        if self.active.is_some() {
+            self.events.push(CcEvent::PacingRateChanged {
+                rate_bps: 0,
+                reason: "suss_cancel",
+            });
+        }
         self.pending = None;
         self.active = None;
     }
 
     fn exit_slow_start(&mut self) {
         self.ssthresh = self.cwnd;
+        self.events.push(CcEvent::SsthreshChanged {
+            ssthresh: self.ssthresh,
+            reason: "suss_exit",
+        });
+        self.events.push(CcEvent::HystartPhase {
+            phase: "exit",
+            reason: "hystart_delay",
+        });
         self.suss.on_exit_slow_start();
         self.cancel_pacing();
     }
@@ -170,12 +184,28 @@ impl CongestionControl for CubicSuss {
             LossKind::FastRetransmit => {
                 self.cwnd = self.core.on_loss(self.cwnd);
                 self.ssthresh = self.cwnd;
+                self.events.push(CcEvent::CwndChanged {
+                    cwnd: self.cwnd,
+                    reason: "loss",
+                });
+                self.events.push(CcEvent::SsthreshChanged {
+                    ssthresh: self.ssthresh,
+                    reason: "loss",
+                });
             }
             LossKind::Timeout => {
                 let reduced = self.core.on_loss(self.cwnd);
                 self.ssthresh = reduced;
                 self.cwnd = self.mss;
                 self.core.reset_epoch();
+                self.events.push(CcEvent::CwndChanged {
+                    cwnd: self.cwnd,
+                    reason: "timeout",
+                });
+                self.events.push(CcEvent::SsthreshChanged {
+                    ssthresh: self.ssthresh,
+                    reason: "timeout",
+                });
                 // SUSS stays dormant after the first slow-start phase; the
                 // RTO-restarted slow start is plain doubling to ssthresh.
             }
@@ -208,6 +238,14 @@ impl CongestionControl for CubicSuss {
                     self.events.push(CcEvent::SussPacingStarted {
                         g: plan.growth_factor,
                     });
+                    self.events.push(CcEvent::SussRound {
+                        round: self.suss.round() as u32,
+                        k: plan.growth_factor,
+                    });
+                    self.events.push(CcEvent::PacingRateChanged {
+                        rate_bps: (plan.rate_bytes_per_sec * 8.0) as u64,
+                        reason: "suss_pacing",
+                    });
                     let dur_ns = plan.duration.as_nanos() as u64;
                     self.active = Some(ActivePacing {
                         rate: plan.rate_bytes_per_sec,
@@ -231,6 +269,10 @@ impl CongestionControl for CubicSuss {
                 if self.cwnd >= a.target {
                     self.completed_pacings += 1;
                 }
+                self.events.push(CcEvent::PacingRateChanged {
+                    rate_bps: 0,
+                    reason: "suss_done",
+                });
                 self.active = None;
             } else {
                 self.active = Some(a);

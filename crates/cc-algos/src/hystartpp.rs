@@ -10,7 +10,7 @@
 
 use crate::cubic::CubicCore;
 use std::time::Duration;
-use tcp_sim::cc::{AckView, CongestionControl, LossKind, LossView};
+use tcp_sim::cc::{AckView, CcEvent, CongestionControl, LossKind, LossView};
 
 /// Nanoseconds on the transport clock.
 pub type Nanos = u64;
@@ -148,6 +148,7 @@ pub struct CubicHspp {
     ssthresh: u64,
     core: CubicCore,
     hspp: HystartPP,
+    events: Vec<CcEvent>,
 }
 
 impl CubicHspp {
@@ -159,6 +160,7 @@ impl CubicHspp {
             ssthresh: u64::MAX,
             core: CubicCore::new(mss),
             hspp: HystartPP::new(),
+            events: Vec::new(),
         }
     }
 
@@ -186,9 +188,29 @@ impl CongestionControl for CubicHspp {
             return;
         }
         if self.in_slow_start() {
+            let was_css = self.hspp.in_css();
             if self.hspp.on_ack(ack.ack_seq, ack.snd_nxt, ack.rtt_sample) {
                 self.ssthresh = self.cwnd;
+                self.events.push(CcEvent::SsthreshChanged {
+                    ssthresh: self.ssthresh,
+                    reason: "hystart_delay",
+                });
+                self.events.push(CcEvent::HystartPhase {
+                    phase: "exit",
+                    reason: "css_confirmed",
+                });
                 return;
+            }
+            if !was_css && self.hspp.in_css() {
+                self.events.push(CcEvent::HystartPhase {
+                    phase: "css",
+                    reason: "rtt_rise",
+                });
+            } else if was_css && !self.hspp.in_css() {
+                self.events.push(CcEvent::HystartPhase {
+                    phase: "slow_start",
+                    reason: "false_positive",
+                });
             }
             self.cwnd += ack.newly_acked / self.hspp.growth_divisor();
             if self.cwnd >= self.ssthresh {
@@ -207,18 +229,38 @@ impl CongestionControl for CubicHspp {
             LossKind::FastRetransmit => {
                 self.cwnd = self.core.on_loss(self.cwnd);
                 self.ssthresh = self.cwnd;
+                self.events.push(CcEvent::CwndChanged {
+                    cwnd: self.cwnd,
+                    reason: "loss",
+                });
+                self.events.push(CcEvent::SsthreshChanged {
+                    ssthresh: self.ssthresh,
+                    reason: "loss",
+                });
             }
             LossKind::Timeout => {
                 let reduced = self.core.on_loss(self.cwnd);
                 self.ssthresh = reduced;
                 self.cwnd = self.mss;
                 self.core.reset_epoch();
+                self.events.push(CcEvent::CwndChanged {
+                    cwnd: self.cwnd,
+                    reason: "timeout",
+                });
+                self.events.push(CcEvent::SsthreshChanged {
+                    ssthresh: self.ssthresh,
+                    reason: "timeout",
+                });
             }
         }
     }
 
     fn ssthresh(&self) -> Option<u64> {
         (self.ssthresh != u64::MAX).then_some(self.ssthresh)
+    }
+
+    fn take_events(&mut self) -> Vec<CcEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

@@ -23,6 +23,7 @@
 
 use crate::campaigns::CAMPAIGN_VERSION;
 use crate::runner::{collect_sim_telemetry, IW, MSS};
+use crate::scope::{attach_link_scope, emit_scope_annotations};
 use cc_algos::CcKind;
 use netsim::{Bandwidth, EngineConfig, FlowId, LinkId, LinkSpec, Router, Sim, SimTime};
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,12 @@ use workload::{FleetWorkload, LastHop, PathScenario, ServerSite, KB, MB};
 
 /// Offered-load sweep points (fraction of the bottleneck).
 pub const FLEET_LOADS: [f64; 3] = [0.3, 0.6, 0.9];
+
+/// Default bottleneck scope-sampling cadence for fleet sweeps: every
+/// 64th packet keeps per-cell overhead negligible while still collecting
+/// thousands of samples per series. Sampling is free (observation only),
+/// so sweeps run with it on by default.
+pub const FLEET_SCOPE_SAMPLING: u64 = 64;
 
 /// Controllers compared in the fleet sweep.
 pub const FLEET_CCS: [CcKind; 3] = [CcKind::Cubic, CcKind::CubicSuss, CcKind::Bbr];
@@ -74,6 +81,11 @@ pub struct FleetConfig {
     /// Simulator engine (never changes results, by netsim's equivalence
     /// contract — it only exists for A/B benchmarking).
     pub engine: EngineConfig,
+    /// Sample the bottleneck's queue depth / utilization / sojourn every
+    /// N-th packet into manifest [`simtrace::ScopeAnnotation`]s (0 = off).
+    /// Pure observation: excluded from `canonical_params` because it can
+    /// never influence [`FleetStats`].
+    pub scope_sampling: u64,
 }
 
 impl FleetConfig {
@@ -88,6 +100,7 @@ impl FleetConfig {
             trace_sampling: false,
             trace_flow_cap: 64,
             engine: EngineConfig::default(),
+            scope_sampling: 0,
         }
     }
 
@@ -185,6 +198,7 @@ struct Slot {
 
 /// Scan live slots and tear down every finished flow, recording its FCT.
 fn harvest(sim: &mut Sim, slots: &mut [Slot], stats: &mut FleetStats, done: &simtrace::Counter) {
+    let _span = simtrace::prof::span("fleet/harvest");
     for slot in slots.iter_mut().filter(|s| s.busy) {
         if !sim.agent::<SenderEndpoint>(slot.ends.sender).is_done() {
             continue;
@@ -204,6 +218,7 @@ fn harvest(sim: &mut Sim, slots: &mut [Slot], stats: &mut FleetStats, done: &sim
 /// identical at any worker count and under any engine (modulo the
 /// engine's own `net.sched_*`/`net.pool_*` diagnostics in `counters`).
 pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> FleetStats {
+    let _cell_span = simtrace::prof::span("fleet/cell");
     let mut sim = Sim::with_engine(seed, cfg.engine);
     let metrics = sim.metrics().clone();
     let ctr_spawned = metrics.counter(names::FLEET_FLOWS_SPAWNED);
@@ -219,6 +234,8 @@ pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> FleetStats {
     let r2 = sim.add_agent(Box::new(Router::new()));
     let data = sim.add_half_link(r1, r2, cfg.scenario.data_link());
     let ack = sim.add_half_link(r2, r1, cfg.scenario.ack_link());
+    let scope =
+        (cfg.scope_sampling > 0).then(|| attach_link_scope(&mut sim, data, cfg.scope_sampling));
     sim.agent_mut::<Router>(r1).set_default_route(data);
     sim.agent_mut::<Router>(r2).set_default_route(ack);
 
@@ -298,6 +315,15 @@ pub fn run_fleet_cell(cfg: &FleetConfig, seed: u64) -> FleetStats {
         ctr_expired.inc();
     }
 
+    if let Some(hists) = &scope {
+        let prefix = format!(
+            "scope/{}/{}/load{}",
+            cfg.scenario.id(),
+            cfg.cc.label(),
+            cfg.workload.load
+        );
+        emit_scope_annotations(&prefix, hists);
+    }
     stats.counters = collect_sim_telemetry(&sim);
     stats
 }
@@ -322,8 +348,9 @@ pub fn fleet_campaign(n_flows: u64, seed_base: u64) -> (Campaign, Vec<FleetConfi
         for (li, &load) in FLEET_LOADS.iter().enumerate() {
             let seed = seed_base + (si as u64) * 8 + li as u64;
             for &cc in &FLEET_CCS {
-                let cfg =
+                let mut cfg =
                     FleetConfig::new(scn, cc, FleetWorkload::web(load, scn.bottleneck, n_flows));
+                cfg.scope_sampling = FLEET_SCOPE_SAMPLING;
                 campaign.cell(
                     format!("fleet/{}/{}/load{load}", scn.last_hop.label(), cc.label()),
                     cfg.canonical_params(),
@@ -451,5 +478,49 @@ mod tests {
         cfg.trace_flow_cap = 1_000;
         let stats = run_fleet_cell(&cfg, 3);
         assert_eq!(stats.counters.get(names::FLEET_TRACES_SUPPRESSED), Some(0));
+    }
+
+    #[test]
+    fn scope_sampling_is_free_and_lands_annotations() {
+        let plain = small_cfg(CcKind::Cubic, 15);
+        let mut scoped = plain;
+        scoped.scope_sampling = 8;
+        assert_eq!(plain.canonical_params(), scoped.canonical_params());
+
+        simtrace::runtime::take_scope_annotations();
+        let a = run_fleet_cell(&plain, 5);
+        assert!(simtrace::runtime::take_scope_annotations().is_empty());
+
+        let b = run_fleet_cell(&scoped, 5);
+        let anns = simtrace::runtime::take_scope_annotations();
+        assert_eq!(a, b, "scope sampling must never change results");
+        assert!(
+            anns.iter().any(
+                |x| x.label == "scope/oracle-london/wired/cubic/load0.3/queue_depth" && x.n > 0
+            ),
+            "expected a queue-depth annotation, got {anns:?}"
+        );
+        for ann in &anns {
+            assert!(ann.p99 >= ann.p50, "percentiles out of order: {ann:?}");
+        }
+    }
+
+    #[test]
+    fn fleet_cells_profile_under_the_cell_span() {
+        let _ = simtrace::prof::take();
+        simtrace::prof::set_enabled(true);
+        run_fleet_cell(&small_cfg(CcKind::Cubic, 10), 9);
+        simtrace::prof::set_enabled(false);
+        let snap = simtrace::prof::take();
+        assert!(
+            snap.spans.iter().any(|s| s.path == "fleet/cell"),
+            "missing fleet/cell span: {snap:?}"
+        );
+        assert!(snap.spans.iter().any(|s| s.path.starts_with("fleet/cell;")));
+        assert!(
+            snap.coverage_percent() > 95.0,
+            "cell span must cover the run: {:.1}%",
+            snap.coverage_percent()
+        );
     }
 }

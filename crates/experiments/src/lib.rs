@@ -15,6 +15,7 @@
 
 pub mod dumbbell;
 pub mod runner;
+pub mod scope;
 
 pub mod ablations;
 pub mod campaigns;
@@ -34,6 +35,9 @@ pub use campaigns::{
     Batch, FlowGrid, FlowGridResilientRun, FlowGridRun, FlowStats, CAMPAIGN_VERSION,
 };
 pub use chaos::{chaos_table, run_flow_faulted, run_flow_faulted_engine, FaultFamily};
-pub use dumbbell::{run_dumbbell, run_dumbbell_engine, DumbbellFlow, DumbbellOutcome};
+pub use dumbbell::{
+    run_dumbbell, run_dumbbell_engine, run_dumbbell_scoped, DumbbellFlow, DumbbellOutcome,
+};
 pub use fleet::{fleet_table, run_fleet_cell, FleetConfig, FleetRun, FleetStats};
 pub use runner::{mean_fct, run_flow, run_flow_engine, FlowOutcome, IW, MSS};
+pub use scope::{attach_link_scope, emit_scope_annotations, ScopeHistograms, SCOPE_SERIES};

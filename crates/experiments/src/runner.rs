@@ -152,6 +152,7 @@ pub fn run_flow_engine(
     horizon: SimTime,
     engine: netsim::EngineConfig,
 ) -> FlowOutcome {
+    let _cell_span = simtrace::prof::span("flow/cell");
     let mut sim = Sim::with_engine(seed, engine);
     let mut cfg = SenderConfig::bulk(flow_bytes);
     cfg.trace_sampling = tracing;

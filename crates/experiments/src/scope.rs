@@ -1,0 +1,111 @@
+//! Shared link-scope sampling: histograms + manifest annotations.
+//!
+//! `netsim` pushes raw scope samples (queue depth, link utilization,
+//! sojourn — see [`netsim::ScopeKind`]) through a callback so the engine
+//! never depends on the stats crate. This module owns the other side of
+//! that contract for every experiment: it parks the samples in three
+//! [`LogHistogram`]s and, after the run, summarizes each non-empty series
+//! into a [`simtrace::ScopeAnnotation`] that the campaign runner folds
+//! into the manifest next to the FCT annotations.
+//!
+//! Sampling is observational only — the sink neither schedules events nor
+//! touches RNG state — so results are byte-identical with scopes on or
+//! off (enforced by `experiments/tests/determinism.rs`).
+
+use netsim::{LinkId, ScopeKind, ScopeSink, Sim};
+use simstats::LogHistogram;
+use simtrace::ScopeAnnotation;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The sampled series in histogram-index order, with the label suffix
+/// each contributes to its [`ScopeAnnotation`].
+pub const SCOPE_SERIES: [(&str, ScopeKind); 3] = [
+    ("queue_depth", ScopeKind::QueueDepth),
+    ("utilization", ScopeKind::Utilization),
+    ("sojourn", ScopeKind::Sojourn),
+];
+
+/// Accumulated scope samples for one instrumented link: one histogram per
+/// entry of [`SCOPE_SERIES`]. Shared between the sim's sink closure and
+/// the experiment that summarizes it after the run.
+pub type ScopeHistograms = Rc<RefCell<[LogHistogram; 3]>>;
+
+fn series_index(kind: ScopeKind) -> usize {
+    match kind {
+        ScopeKind::QueueDepth => 0,
+        ScopeKind::Utilization => 1,
+        ScopeKind::Sojourn => 2,
+    }
+}
+
+/// Sample `link` every `every`-th enqueue/transmission into a fresh set of
+/// histograms and return the handle; pair with [`emit_scope_annotations`]
+/// once the simulation ends.
+pub fn attach_link_scope(sim: &mut Sim, link: LinkId, every: u64) -> ScopeHistograms {
+    let hists: ScopeHistograms = Rc::new(RefCell::new(Default::default()));
+    let into = Rc::clone(&hists);
+    let sink: ScopeSink = Rc::new(RefCell::new(move |kind, value: f64| {
+        into.borrow_mut()[series_index(kind)].observe(value);
+    }));
+    sim.enable_link_scope(link, every, sink);
+    hists
+}
+
+/// Queue one [`ScopeAnnotation`] per non-empty series, labelled
+/// `<prefix>/<series>`, for the campaign worker to harvest into the run
+/// manifest. Callers pass a prefix like `scope/<scenario>/<cc>`.
+pub fn emit_scope_annotations(prefix: &str, hists: &ScopeHistograms) {
+    for (i, (name, _)) in SCOPE_SERIES.iter().enumerate() {
+        let h = &hists.borrow()[i];
+        if h.is_empty() {
+            continue;
+        }
+        let (p50, p90, p99, p999) = h.quartet();
+        simtrace::runtime::add_scope_annotation(ScopeAnnotation {
+            label: format!("{prefix}/{name}"),
+            n: h.count(),
+            p50,
+            p90,
+            p99,
+            p999,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_indices_are_stable() {
+        for (i, (_, kind)) in SCOPE_SERIES.iter().enumerate() {
+            assert_eq!(series_index(*kind), i);
+        }
+    }
+
+    #[test]
+    fn empty_series_emit_nothing() {
+        let hists: ScopeHistograms = Rc::new(RefCell::new(Default::default()));
+        simtrace::runtime::take_scope_annotations();
+        emit_scope_annotations("scope/test", &hists);
+        assert!(simtrace::runtime::take_scope_annotations().is_empty());
+    }
+
+    #[test]
+    fn populated_series_become_labelled_annotations() {
+        let hists: ScopeHistograms = Rc::new(RefCell::new(Default::default()));
+        hists.borrow_mut()[0].observe(0.002);
+        hists.borrow_mut()[0].observe(0.004);
+        hists.borrow_mut()[2].observe(0.001);
+        simtrace::runtime::take_scope_annotations();
+        emit_scope_annotations("scope/test", &hists);
+        let anns = simtrace::runtime::take_scope_annotations();
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].label, "scope/test/queue_depth");
+        assert_eq!(anns[0].n, 2);
+        assert!(anns[0].p50 > 0.0 && anns[0].p99 >= anns[0].p50);
+        assert_eq!(anns[1].label, "scope/test/sojourn");
+        assert_eq!(anns[1].n, 1);
+    }
+}

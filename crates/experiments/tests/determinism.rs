@@ -43,11 +43,24 @@ const GOLD_TOTALS: &[(&str, u64)] = &[
 /// 50 Mbps / 50 ms / 1-BDP dumbbell — loss, fast recovery, HyStart and
 /// SUSS pacing all exercised, so the goldens pin real protocol behavior.
 fn cell(engine: EngineConfig, seed: u64) -> experiments::FlowOutcome {
+    cell_scoped(engine, seed, 0)
+}
+
+/// [`cell`] with bottleneck scope sampling every `scope_every` packets
+/// (0 = off) — the observability arm of the determinism contract.
+fn cell_scoped(engine: EngineConfig, seed: u64, scope_every: u64) -> experiments::FlowOutcome {
     let cfg = DumbbellConfig::fairness(Duration::from_millis(50), 1.0, PAIRS);
     let flows: Vec<DumbbellFlow> = (0..PAIRS)
         .map(|i| DumbbellFlow::download(CcKind::CubicSuss, MB, SimTime::from_millis(5 * i as u64)))
         .collect();
-    let out = run_dumbbell_engine(&cfg, &flows, seed, SimTime::from_secs(60), engine);
+    let out = experiments::run_dumbbell_scoped(
+        &cfg,
+        &flows,
+        seed,
+        SimTime::from_secs(60),
+        engine,
+        scope_every,
+    );
     let drops = out.bottleneck_drops;
     let mut f0 = out.flows.into_iter().next().expect("pairs > 0");
     f0.bottleneck_drops = drops;
@@ -211,6 +224,147 @@ fn faulted_cells_are_engine_and_worker_invariant() {
 
     let heap_serial = faulted_grid(EngineConfig::baseline()).run(&RunnerOpts::serial());
     assert_same(&wheel_serial, &heap_serial, "faulted wheel-vs-heap");
+}
+
+/// Observability is free: running the golden cell with every telemetry
+/// layer on — span profiling, a live flight recorder, and bottleneck
+/// scope sampling — reproduces the bare run bit-for-bit on both engines.
+/// The instrumented arm must also actually *observe* something, so a
+/// regression that silently disables telemetry can't fake a pass.
+#[test]
+fn observability_never_changes_results() {
+    for engine in [EngineConfig::default(), EngineConfig::baseline()] {
+        let bare = cell(engine, SEEDS[0]);
+        let _ = simtrace::runtime::take_scope_annotations();
+        let _ = simtrace::prof::take();
+
+        simtrace::prof::set_enabled(true);
+        let ring = simtrace::FlightRecorder::new(simtrace::flightrec::DEFAULT_CAPACITY);
+        simtrace::flightrec::install(Some(ring.clone()));
+        let instrumented = cell_scoped(engine, SEEDS[0], 4);
+        simtrace::flightrec::install(None);
+        simtrace::prof::set_enabled(false);
+        let prof = simtrace::prof::take();
+        let scopes = simtrace::runtime::take_scope_annotations();
+
+        // Telemetry really happened...
+        assert!(prof.spans.iter().any(|s| s.path == "dumbbell/cell"));
+        assert!(
+            scopes
+                .iter()
+                .any(|a| a.label == "scope/dumbbell/queue_depth" && a.n > 0),
+            "scope sampling produced nothing: {scopes:?}"
+        );
+        assert!(!ring.to_jsonl().is_empty(), "flight recorder stayed empty");
+
+        // ...and changed nothing.
+        assert_eq!(
+            instrumented.fct_secs().to_bits(),
+            bare.fct_secs().to_bits(),
+            "telemetry perturbed the FCT"
+        );
+        assert_eq!(instrumented.segs_sent, bare.segs_sent);
+        assert_eq!(instrumented.segs_retransmitted, bare.segs_retransmitted);
+        assert_eq!(instrumented.bottleneck_drops, bare.bottleneck_drops);
+        assert_eq!(
+            instrumented.counters, bare.counters,
+            "telemetry leaked into the metric registry"
+        );
+    }
+}
+
+/// CC decision events survive a JSONL round trip: a traced golden-cell
+/// flow exports through a [`simtrace::JsonlSink`] and parses back with
+/// [`simtrace::query::parse_jsonl`] record-for-record — kinds, payloads,
+/// and reason codes intact.
+#[test]
+fn cc_events_roundtrip_through_jsonl() {
+    use simtrace::{kind, EventSink, TraceRecord};
+    use tcp_sim::trace::ConnTrace;
+
+    let cfg = DumbbellConfig::fairness(Duration::from_millis(50), 1.0, PAIRS);
+    let flows: Vec<DumbbellFlow> = (0..PAIRS)
+        .map(|i| {
+            DumbbellFlow::download(CcKind::CubicSuss, MB, SimTime::from_millis(5 * i as u64))
+                .traced()
+        })
+        .collect();
+    let out = run_dumbbell_engine(
+        &cfg,
+        &flows,
+        SEEDS[0],
+        SimTime::from_secs(60),
+        EngineConfig::default(),
+    );
+    // The congested SUSS cell exercises the whole decision catalogue
+    // (HyStart exits happen on later-starting flows, so check the union).
+    let kinds: Vec<&'static str> = out
+        .flows
+        .iter()
+        .flat_map(|f| {
+            f.trace
+                .events
+                .iter()
+                .map(|(_, e)| ConnTrace::record_kind(e))
+        })
+        .collect();
+    for want in [
+        kind::CC_CWND,
+        kind::CC_SSTHRESH,
+        kind::CC_PACING,
+        kind::SUSS_ROUND,
+        kind::HYSTART,
+    ] {
+        assert!(kinds.contains(&want), "no {want} event in {kinds:?}");
+    }
+
+    for (i, flow) in out.flows.iter().enumerate() {
+        let trace = &flow.trace;
+        let id = i as u64 + 1;
+        let mut buf = Vec::new();
+        let mut sink = simtrace::JsonlSink::new(&mut buf);
+        trace.export(id, Some("roundtrip"), &mut sink);
+        sink.flush().expect("jsonl write");
+        let text = String::from_utf8(buf).expect("utf8 jsonl");
+
+        let parsed = simtrace::query::parse_jsonl(&text).expect("parse back");
+        // Reconstruct what export emitted and demand full fidelity.
+        let mut expected = Vec::new();
+        for s in &trace.samples {
+            let mut rec = TraceRecord::event(s.t.as_nanos(), id, kind::SAMPLE);
+            rec.cwnd = Some(s.cwnd);
+            rec.inflight = Some(s.inflight);
+            rec.delivered = Some(s.delivered);
+            rec.rtt_ns = s.rtt.map(|d| d.as_nanos() as u64);
+            rec.srtt_ns = s.srtt.map(|d| d.as_nanos() as u64);
+            rec.run = Some("roundtrip".into());
+            expected.push(rec);
+        }
+        for (t, e) in &trace.events {
+            let mut rec = TraceRecord::event(t.as_nanos(), id, ConnTrace::record_kind(e));
+            ConnTrace::fill_record(&mut rec, e);
+            rec.run = Some("roundtrip".into());
+            expected.push(rec);
+        }
+        assert_eq!(parsed.len(), expected.len());
+        assert_eq!(parsed, expected, "JSONL round trip lost information");
+
+        // Every CC decision carries its reason code through the round trip.
+        for rec in parsed.iter().filter(|r| {
+            [
+                kind::CC_CWND,
+                kind::CC_SSTHRESH,
+                kind::CC_PACING,
+                kind::HYSTART,
+            ]
+            .contains(&r.kind.as_str())
+        }) {
+            assert!(
+                rec.reason.as_deref().is_some_and(|r| !r.is_empty()),
+                "missing reason on {rec:?}"
+            );
+        }
+    }
 }
 
 /// Regeneration helper: prints the constants to paste above.

@@ -18,8 +18,10 @@ use crate::time::SimTime;
 use crate::wheel::TimerWheel;
 use simtrace::{Counter, Gauge, Registry};
 use std::any::Any;
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// A simulation participant: a traffic endpoint, a router, or any other
 /// packet-handling entity.
@@ -153,6 +155,45 @@ impl EngineConfig {
     }
 }
 
+/// What one link-scope sample measures (see [`Sim::enable_link_scope`]).
+///
+/// Values are plain `f64`s pushed through the scope sink; the experiment
+/// layer owns the histograms, so the engine stays free of any stats
+/// dependency and the sampling never schedules events or touches RNG
+/// state — results are byte-identical with scope sampling on or off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// Egress backlog expressed as its drain time at the current link
+    /// rate, in seconds. (Drop-tail queues keep no per-packet enqueue
+    /// timestamps, so depth-as-drain-time is the comparable unit across
+    /// qdiscs and rate schedules.)
+    QueueDepth,
+    /// Fraction of the sampling window the link spent serializing bytes
+    /// (0–1), computed from bytes completed since the previous sample.
+    Utilization,
+    /// Queue wait a just-accepted packet will see before reaching the
+    /// wire: the post-enqueue backlog's drain time, in seconds. A proxy
+    /// for sojourn time (exact for FIFO service, which drop-tail is).
+    Sojourn,
+}
+
+/// Receives link-scope samples. `Rc<RefCell<..>>` so the experiment layer
+/// can share one accumulator across several instrumented links.
+pub type ScopeSink = Rc<RefCell<dyn FnMut(ScopeKind, f64)>>;
+
+/// Per-link sampling state for one [`Sim::enable_link_scope`] call.
+struct LinkScopeState {
+    link: LinkId,
+    /// Sample cadence: every N-th transmission / enqueue.
+    every: u64,
+    tx_seen: u64,
+    enq_seen: u64,
+    /// Utilization window start and bytes serialized since.
+    window_start: SimTime,
+    window_bytes: u64,
+    sink: ScopeSink,
+}
+
 /// The scheduler behind [`NetCore`]: either implementation dispatches the
 /// same global `(at, seq)` order.
 enum EventQueue {
@@ -214,6 +255,9 @@ struct NetCore {
     batched_delivery: bool,
     next_packet_id: u64,
     capture: Option<Capture>,
+    /// Links with time-series scope sampling enabled (usually 0–2 entries;
+    /// the hot path pays one `is_empty` check when none are registered).
+    scopes: Vec<LinkScopeState>,
     pool: PayloadPool,
     ctr_orphan_events: Counter,
     ctr_batched: Counter,
@@ -297,10 +341,76 @@ impl NetCore {
             // Dropped by the qdisc: counted by the queue's own stats.
             self.ctr_queue_drops.inc();
             self.capture_event(link, CaptureKind::QueueDropped, &dropped);
+            return;
         } else {
             let backlog = self.links[link.index()].queue.backlog_bytes();
             self.gauge_queue_hwm.observe(backlog);
         }
+        self.scope_on_offer(link);
+    }
+
+    /// Scope hook: a packet was accepted for transmission (straight to the
+    /// wire or enqueued). Samples the sojourn-time proxy at the configured
+    /// cadence; a no-op (one `is_empty` check) when no scope is enabled.
+    fn scope_on_offer(&mut self, link: LinkId) {
+        if self.scopes.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let links = &self.links;
+        let Some(s) = self.scopes.iter_mut().find(|s| s.link == link) else {
+            return;
+        };
+        s.enq_seen += 1;
+        if s.enq_seen % s.every != 0 {
+            return;
+        }
+        let hl = &links[link.index()];
+        let wait = hl
+            .spec
+            .rate
+            .rate_at(now)
+            .tx_time(hl.queue.backlog_bytes())
+            .as_secs_f64();
+        let sink = s.sink.clone();
+        (sink.borrow_mut())(ScopeKind::Sojourn, wait);
+    }
+
+    /// Scope hook: a packet finished serializing on `link`. Accumulates
+    /// the utilization window and, at the configured cadence, emits queue
+    /// depth and utilization samples.
+    fn scope_on_tx(&mut self, link: LinkId, pkt_bytes: u64) {
+        if self.scopes.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let links = &self.links;
+        let Some(s) = self.scopes.iter_mut().find(|s| s.link == link) else {
+            return;
+        };
+        s.window_bytes += pkt_bytes;
+        s.tx_seen += 1;
+        if s.tx_seen % s.every != 0 {
+            return;
+        }
+        let hl = &links[link.index()];
+        let rate = hl.spec.rate.rate_at(now);
+        let depth = rate.tx_time(hl.queue.backlog_bytes()).as_secs_f64();
+        let busy = rate.tx_time(s.window_bytes).as_secs_f64();
+        let elapsed = now.saturating_since(s.window_start).as_secs_f64();
+        // A zero-length window means back-to-back completions at one
+        // instant: the wire was busy the whole (empty) window.
+        let util = if elapsed > 0.0 {
+            (busy / elapsed).min(1.0)
+        } else {
+            1.0
+        };
+        s.window_start = now;
+        s.window_bytes = 0;
+        let sink = s.sink.clone();
+        let mut f = sink.borrow_mut();
+        f(ScopeKind::QueueDepth, depth);
+        f(ScopeKind::Utilization, util);
     }
 
     /// A half-link finished serializing: propagate the packet and start the
@@ -314,7 +424,9 @@ impl NetCore {
             .expect("TxDone with no packet in flight");
         hl.stats.tx_pkts += 1;
         hl.stats.tx_bytes += u64::from(pkt.size);
+        self.scope_on_tx(link, u64::from(pkt.size));
 
+        let hl = &mut self.links[link.index()];
         if hl.fault_down(now) {
             // The link flapped while this packet was on the wire: it is
             // cut, and the queue holds until the restore event drains it.
@@ -555,6 +667,7 @@ impl Sim {
                 batched_delivery: engine.batched_delivery,
                 next_packet_id: 1,
                 capture: None,
+                scopes: Vec::new(),
                 pool: PayloadPool::new(engine.payload_pooling),
                 ctr_orphan_events,
                 ctr_batched,
@@ -738,6 +851,26 @@ impl Sim {
         self.core.capture = Some(Capture::new(links, limit));
     }
 
+    /// Enable time-series scope sampling on a half-link: every `every`-th
+    /// packet completion emits [`ScopeKind::QueueDepth`] and
+    /// [`ScopeKind::Utilization`] samples, and every `every`-th accepted
+    /// packet emits a [`ScopeKind::Sojourn`] sample, all through `sink`.
+    ///
+    /// Purely observational: sampling schedules no events, draws no
+    /// randomness, and registers no metrics, so enabling it cannot change
+    /// simulation results. Several links may share one sink.
+    pub fn enable_link_scope(&mut self, link: LinkId, every: u64, sink: ScopeSink) {
+        self.core.scopes.push(LinkScopeState {
+            link,
+            every: every.max(1),
+            tx_seen: 0,
+            enq_seen: 0,
+            window_start: self.core.now,
+            window_bytes: 0,
+            sink,
+        });
+    }
+
     /// The active capture, if any.
     pub fn capture(&self) -> Option<&Capture> {
         self.core.capture.as_ref()
@@ -801,6 +934,20 @@ impl Sim {
             // tick under wall-clock pressure distinguishes a livelocked
             // cell from a merely slow one.
             simtrace::runtime::tick_progress();
+            // Flight-recorder breadcrumb on the same stride: a post-mortem
+            // dump always carries at least one progress marker, placing
+            // the crash on the virtual-time axis. Inert (closure not run)
+            // unless a recorder is installed on this thread.
+            let now_ns = self.core.now.as_nanos();
+            let dispatched = self.events_dispatched;
+            simtrace::flightrec::record_with(|| {
+                simtrace::TraceRecord::metric(
+                    now_ns,
+                    simtrace::kind::COUNTER,
+                    simtrace::names::NET_EVENTS,
+                    dispatched,
+                )
+            });
         }
         self.ctr_events.inc();
         let cascades = self.core.events.cascades();
@@ -878,11 +1025,21 @@ impl Sim {
             self.core.now
         );
         self.core.now = at;
+        // The enclosing span owns pop/accounting overhead as self time;
+        // the per-kind child spans tile the dispatch itself.
+        let _step = simtrace::prof::span("sim/step");
         self.account_dispatch();
         match kind {
-            EventKind::TxDone { link } => self.core.link_tx_done(link),
-            EventKind::Arrive { node, link, pkt } => self.dispatch_arrive(at, node, link, pkt),
+            EventKind::TxDone { link } => {
+                let _s = simtrace::prof::span("sim/txdone");
+                self.core.link_tx_done(link);
+            }
+            EventKind::Arrive { node, link, pkt } => {
+                let _s = simtrace::prof::span("sim/arrive");
+                self.dispatch_arrive(at, node, link, pkt);
+            }
             EventKind::Timer { node, token, epoch } => {
+                let _s = simtrace::prof::span("sim/timer");
                 if self.core.agent_epochs[node.index()] != epoch {
                     // Armed by a since-retired occupant of this slot.
                     self.core.ctr_orphan_events.inc();
@@ -897,7 +1054,10 @@ impl Sim {
                     self.core.ctr_orphan_events.inc();
                 }
             }
-            EventKind::LinkRestore { link } => self.core.link_restore(link),
+            EventKind::LinkRestore { link } => {
+                let _s = simtrace::prof::span("sim/restore");
+                self.core.link_restore(link);
+            }
         }
         true
     }
@@ -1293,6 +1453,52 @@ mod tests {
             .get(simtrace::names::NET_ORPHAN_EVENTS)
             .unwrap_or(0);
         assert_eq!(orphans, 1, "delivery to an empty slot must be dropped");
+    }
+
+    #[test]
+    fn link_scope_samples_without_perturbing_results() {
+        let run = |scoped: bool| {
+            let mut sim = Sim::new(11);
+            let a = sim.add_agent(Box::new(Echo::new()));
+            let b = sim.add_agent(Box::new(Echo::new()));
+            // Slow link + small queue: real backlog builds, some drops.
+            let spec = LinkSpec::clean(Bandwidth::from_kbps(64), Duration::from_millis(2))
+                .with_queue_bytes(4_000);
+            let ab = sim.add_half_link(a, b, spec);
+            let samples: Rc<RefCell<Vec<(ScopeKind, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+            if scoped {
+                let s = samples.clone();
+                let sink: ScopeSink =
+                    Rc::new(RefCell::new(move |k, v| s.borrow_mut().push((k, v))));
+                sim.enable_link_scope(ab, 1, sink);
+            }
+            sim.with_agent_ctx::<Echo, _>(a, |_, ctx| {
+                for _ in 0..40 {
+                    ctx.send(ab, Packet::opaque(FlowId(1), a, b, 1000));
+                }
+            });
+            sim.run_to_completion();
+            let got = sim.agent::<Echo>(b).got.clone();
+            let taken = samples.borrow().clone();
+            (got, taken)
+        };
+        let (base, no_samples) = run(false);
+        let (scoped, samples) = run(true);
+        assert_eq!(base, scoped, "scope sampling must not change delivery");
+        assert!(no_samples.is_empty());
+        let n = |k: ScopeKind| samples.iter().filter(|(x, _)| *x == k).count();
+        assert!(n(ScopeKind::QueueDepth) > 0);
+        assert!(n(ScopeKind::Utilization) > 0);
+        assert!(n(ScopeKind::Sojourn) > 0);
+        // Backlogged link: some sojourn proxies must be positive, and
+        // utilization is bounded.
+        assert!(samples
+            .iter()
+            .any(|(k, v)| *k == ScopeKind::Sojourn && *v > 0.0));
+        assert!(samples
+            .iter()
+            .filter(|(k, _)| *k == ScopeKind::Utilization)
+            .all(|(_, v)| (0.0..=1.0).contains(v)));
     }
 
     #[test]

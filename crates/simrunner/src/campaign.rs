@@ -8,7 +8,7 @@ use crate::progress::Progress;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -57,6 +57,16 @@ pub struct RunnerOpts {
     /// cell (with linear backoff) before recording it as
     /// [`Panicked`](CellStatus::Panicked).
     pub cell_retries: u32,
+    /// Enable the span profiler (`simtrace::prof`) around each computed
+    /// cell; per-cell snapshots merge into [`RunManifest::prof`].
+    /// Observability-only: results are byte-identical either way.
+    pub profile: bool,
+    /// Directory for flight-recorder crash dumps. When set,
+    /// [`Campaign::run_resilient`] arms a bounded ring of recent
+    /// [`simtrace::TraceRecord`]s per in-flight cell and dumps it to
+    /// `<dir>/<cell>.jsonl` when the cell terminally panics or is
+    /// abandoned by the watchdog. `None` disables the recorder.
+    pub flightrec_dir: Option<PathBuf>,
 }
 
 impl RunnerOpts {
@@ -110,10 +120,24 @@ impl RunnerOpts {
         self
     }
 
+    /// Enable the per-cell span profiler.
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
+    /// Enable flight-recorder crash dumps under `dir` (resilient runs
+    /// only).
+    pub fn with_flightrec_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flightrec_dir = Some(dir.into());
+        self
+    }
+
     /// Apply `SUSS_WORKERS`, `SUSS_CACHE_DIR`, `SUSS_NO_CACHE`,
     /// `SUSS_FORCE_COLD`, `SUSS_PROGRESS`, `SUSS_CACHE_MAX_BYTES`,
-    /// `SUSS_CELL_TIMEOUT_MS`, `SUSS_STALL_TIMEOUT_MS`, and
-    /// `SUSS_CELL_RETRIES` environment overrides on top of these options.
+    /// `SUSS_CELL_TIMEOUT_MS`, `SUSS_STALL_TIMEOUT_MS`,
+    /// `SUSS_CELL_RETRIES`, `SUSS_PROF`, and `SUSS_FLIGHTREC_DIR`
+    /// environment overrides on top of these options.
     pub fn env_overrides(mut self) -> Self {
         if let Ok(w) = std::env::var("SUSS_WORKERS") {
             if let Ok(w) = w.parse() {
@@ -153,6 +177,12 @@ impl RunnerOpts {
             if let Ok(r) = r.parse() {
                 self.cell_retries = r;
             }
+        }
+        if let Ok(p) = std::env::var("SUSS_PROF") {
+            self.profile = p != "0";
+        }
+        if let Ok(d) = std::env::var("SUSS_FLIGHTREC_DIR") {
+            self.flightrec_dir = (!d.is_empty()).then(|| PathBuf::from(d));
         }
         self
     }
@@ -285,6 +315,7 @@ impl Campaign {
                 status: CellStatus::Ok,
                 attempts: 0,
                 error: String::new(),
+                flightrec: String::new(),
             })
             .collect()
     }
@@ -316,11 +347,19 @@ impl Campaign {
         cell_retries: u64,
         cell_timeouts: u64,
         cache_quarantined: u64,
+        prof: simtrace::ProfSnapshot,
+        scope_annotations: Vec<simtrace::ScopeAnnotation>,
     ) -> RunManifest {
         let n = self.cells.len();
         let wall_secs = started.elapsed().as_secs_f64();
         let events_total: u64 = records.iter().map(|r| r.events).sum();
         let worker_busy_secs: f64 = records.iter().map(|r| r.wall_ms).sum::<f64>() / 1e3;
+        let mut walls: Vec<f64> = records
+            .iter()
+            .filter(|r| !r.cached && r.status.succeeded() && r.attempts > 0)
+            .map(|r| r.wall_ms)
+            .collect();
+        walls.sort_by(|a, b| a.total_cmp(b));
         RunManifest {
             experiment: self.experiment.clone(),
             version: self.version.clone(),
@@ -334,11 +373,15 @@ impl Campaign {
             events_per_sec: events_total as f64 / wall_secs.max(1e-9),
             worker_busy_secs,
             utilization: worker_busy_secs / (wall_secs.max(1e-9) * workers as f64),
+            wall_ms_p50: nearest_rank(&walls, 50.0),
+            wall_ms_p99: nearest_rank(&walls, 99.0),
             cells_failed,
             cell_retries,
             cell_timeouts,
             cache_quarantined,
             annotations: Vec::new(),
+            scope_annotations,
+            prof,
             cells: records,
         }
     }
@@ -387,6 +430,8 @@ impl Campaign {
             }
         }
         let cache_hits = n - pending.len();
+        let mut run_prof = simtrace::ProfSnapshot::default();
+        let mut scope_annotations: Vec<simtrace::ScopeAnnotation> = Vec::new();
 
         // Phase 2: compute the misses on the worker pool.
         if !pending.is_empty() {
@@ -396,9 +441,10 @@ impl Campaign {
                 workers * 2
             };
             let queue: BoundedQueue<&Cell> = BoundedQueue::new(depth);
-            type Done<T> = (usize, Result<(T, f64, u64), String>);
+            type Done<T> = (usize, Result<(T, CellTelemetry), String>);
             let (tx, rx) = mpsc::channel::<Done<T>>();
             let mut first_panic: Option<(usize, String)> = None;
+            let profile = opts.profile;
             thread::scope(|s| {
                 for _ in 0..workers.min(pending.len()) {
                     let tx = tx.clone();
@@ -406,15 +452,12 @@ impl Campaign {
                     let f = &f;
                     s.spawn(move || {
                         while let Some(cell) = queue.pop() {
-                            // Bracket the cell with the thread-local event
-                            // tally so each record attributes exactly the
-                            // simulator events its own closure dispatched.
-                            let _ = simtrace::runtime::take_cell_events();
-                            let t0 = Instant::now();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| f(cell)));
-                            let events = simtrace::runtime::take_cell_events();
+                            // Bracket the cell with the thread-local
+                            // telemetry so each record attributes exactly
+                            // what its own closure produced.
+                            let (outcome, tel) = run_bracketed(profile, || f(cell));
                             let msg = match outcome {
-                                Ok(v) => Ok((v, t0.elapsed().as_secs_f64() * 1e3, events)),
+                                Ok(v) => Ok((v, tel)),
                                 Err(payload) => Err(panic_message(&*payload)),
                             };
                             if tx.send((cell.index, msg)).is_err() {
@@ -433,14 +476,16 @@ impl Campaign {
                 for _ in 0..pending.len() {
                     let (idx, msg) = rx.recv().expect("worker pool hung up early");
                     match msg {
-                        Ok((v, wall_ms, events)) => {
+                        Ok((v, tel)) => {
                             if let Some(c) = &cache {
                                 // A failed store only costs a future miss.
                                 let _ = c.store(&self.identity(&self.cells[idx]), &v);
                             }
-                            records[idx].wall_ms = wall_ms;
-                            records[idx].events = events;
+                            records[idx].wall_ms = tel.wall_ms;
+                            records[idx].events = tel.events;
                             records[idx].attempts = 1;
+                            run_prof.merge(&tel.prof);
+                            scope_annotations.extend(tel.scopes);
                             results[idx] = Some(v);
                             progress.tick(false);
                         }
@@ -466,8 +511,18 @@ impl Campaign {
         self.sweep_cache(opts);
 
         let quarantined = cache.as_ref().map(|c| c.quarantined_count()).unwrap_or(0);
-        let manifest =
-            self.assemble_manifest(workers, cache_hits, started, records, 0, 0, 0, quarantined);
+        let manifest = self.assemble_manifest(
+            workers,
+            cache_hits,
+            started,
+            records,
+            0,
+            0,
+            0,
+            quarantined,
+            run_prof,
+            scope_annotations,
+        );
         if opts.progress {
             eprint!("{}", manifest.summary());
         }
@@ -539,6 +594,8 @@ impl Campaign {
         let mut retries_total = 0u64;
         let mut timeouts_total = 0u64;
         let mut failed_total = 0usize;
+        let mut run_prof = simtrace::ProfSnapshot::default();
+        let mut scope_annotations: Vec<simtrace::ScopeAnnotation> = Vec::new();
 
         // Phase 2: compute misses on detached workers under a watchdog.
         if !pending.is_empty() {
@@ -546,6 +603,7 @@ impl Campaign {
                 token: u64,
                 index: usize,
                 sink: Arc<AtomicU64>,
+                recorder: Option<simtrace::FlightRecorder>,
             }
             enum Msg<T> {
                 Started {
@@ -553,12 +611,13 @@ impl Campaign {
                 },
                 Done {
                     token: u64,
-                    outcome: Result<(T, f64, u64), String>,
+                    outcome: Result<(T, CellTelemetry), String>,
                 },
             }
             struct InFlight {
                 index: usize,
                 sink: Arc<AtomicU64>,
+                recorder: Option<simtrace::FlightRecorder>,
                 started: Option<Instant>,
                 progress_seen: u64,
                 progress_at: Instant,
@@ -575,6 +634,7 @@ impl Campaign {
                 let cells = Arc::clone(&cells);
                 let f = Arc::clone(&f);
                 let tx = tx.clone();
+                let profile = opts.profile;
                 move || {
                     let work = Arc::clone(&work);
                     let cells = Arc::clone(&cells);
@@ -585,18 +645,19 @@ impl Campaign {
                             // The per-cell progress sink lets the main
                             // thread distinguish "slow but advancing"
                             // from "livelocked" without touching the
-                            // simulation.
+                            // simulation; the flight recorder is the
+                            // dispatching thread's handle, so the ring
+                            // stays readable even if this thread hangs.
                             simtrace::runtime::set_progress_sink(Some(Arc::clone(&d.sink)));
-                            let _ = simtrace::runtime::take_cell_events();
+                            simtrace::flightrec::install(d.recorder.clone());
                             if tx.send(Msg::Started { token: d.token }).is_err() {
                                 break;
                             }
-                            let t0 = Instant::now();
-                            let out = catch_unwind(AssertUnwindSafe(|| f(&cells[d.index])));
-                            let events = simtrace::runtime::take_cell_events();
+                            let (out, tel) = run_bracketed(profile, || f(&cells[d.index]));
+                            simtrace::flightrec::install(None);
                             simtrace::runtime::set_progress_sink(None);
                             let outcome = match out {
-                                Ok(v) => Ok((v, t0.elapsed().as_secs_f64() * 1e3, events)),
+                                Ok(v) => Ok((v, tel)),
                                 Err(p) => Err(panic_message(&*p)),
                             };
                             if tx
@@ -623,6 +684,7 @@ impl Campaign {
             let mut outstanding = pending.len();
             // Not a closure: it would hold `records`/`next_token` borrowed
             // across the whole loop, which also mutates them.
+            #[allow(clippy::too_many_arguments)]
             fn dispatch(
                 index: usize,
                 work: &BoundedQueue<Dispatch>,
@@ -630,24 +692,45 @@ impl Campaign {
                 attempts: &mut [u32],
                 records: &mut [CellRecord],
                 inflight: &mut HashMap<u64, InFlight>,
+                flightrec: bool,
             ) {
                 let token = *next_token;
                 *next_token += 1;
                 attempts[index] += 1;
                 records[index].attempts = attempts[index];
                 let sink = Arc::new(AtomicU64::new(0));
+                let recorder = flightrec.then(|| {
+                    let r = simtrace::FlightRecorder::new(simtrace::flightrec::DEFAULT_CAPACITY);
+                    // Seed the ring so a cell that dies before producing
+                    // any trace record (e.g. an injected panic at
+                    // dispatch) still leaves a parseable, non-empty dump.
+                    r.push(simtrace::TraceRecord::metric(
+                        0,
+                        simtrace::kind::COUNTER,
+                        "runner.dispatch",
+                        u64::from(attempts[index]),
+                    ));
+                    r
+                });
                 inflight.insert(
                     token,
                     InFlight {
                         index,
                         sink: Arc::clone(&sink),
+                        recorder: recorder.clone(),
                         started: None,
                         progress_seen: 0,
                         progress_at: Instant::now(),
                     },
                 );
-                work.push(Dispatch { token, index, sink });
+                work.push(Dispatch {
+                    token,
+                    index,
+                    sink,
+                    recorder,
+                });
             }
+            let flightrec = opts.flightrec_dir.is_some();
             for &idx in &pending {
                 dispatch(
                     idx,
@@ -656,6 +739,7 @@ impl Campaign {
                     &mut attempts,
                     &mut records,
                     &mut inflight,
+                    flightrec,
                 );
             }
 
@@ -673,6 +757,7 @@ impl Campaign {
                             &mut attempts,
                             &mut records,
                             &mut inflight,
+                            flightrec,
                         );
                     } else {
                         i += 1;
@@ -698,12 +783,14 @@ impl Campaign {
                         };
                         let idx = fl.index;
                         match outcome {
-                            Ok((v, wall_ms, events)) => {
+                            Ok((v, tel)) => {
                                 if let Some(c) = &cache {
                                     let _ = c.store(&self.identity(&self.cells[idx]), &v);
                                 }
-                                records[idx].wall_ms = wall_ms;
-                                records[idx].events = events;
+                                records[idx].wall_ms = tel.wall_ms;
+                                records[idx].events = tel.events;
+                                run_prof.merge(&tel.prof);
+                                scope_annotations.extend(tel.scopes);
                                 records[idx].status = if attempts[idx] > 1 {
                                     CellStatus::Retried
                                 } else {
@@ -721,6 +808,16 @@ impl Campaign {
                                 } else {
                                     records[idx].status = CellStatus::Panicked;
                                     records[idx].error = msg;
+                                    // Terminal failure: dump the black box.
+                                    if let (Some(dir), Some(rec)) =
+                                        (opts.flightrec_dir.as_deref(), fl.recorder.as_ref())
+                                    {
+                                        if let Some(path) =
+                                            dump_flightrec(dir, &self.cells[idx].label, rec)
+                                        {
+                                            records[idx].flightrec = path;
+                                        }
+                                    }
                                     failed_total += 1;
                                     outstanding -= 1;
                                     progress.tick(false);
@@ -762,6 +859,15 @@ impl Campaign {
                     };
                     records[fl.index].status = CellStatus::TimedOut;
                     records[fl.index].error = msg;
+                    // The hung worker can never drain its own ring; the
+                    // dispatching thread's clone reads it from outside.
+                    if let (Some(dir), Some(rec)) =
+                        (opts.flightrec_dir.as_deref(), fl.recorder.as_ref())
+                    {
+                        if let Some(path) = dump_flightrec(dir, &self.cells[fl.index].label, rec) {
+                            records[fl.index].flightrec = path;
+                        }
+                    }
                     timeouts_total += 1;
                     failed_total += 1;
                     outstanding -= 1;
@@ -797,12 +903,97 @@ impl Campaign {
             retries_total,
             timeouts_total,
             quarantined,
+            run_prof,
+            scope_annotations,
         );
         if opts.progress {
             eprint!("{}", manifest.summary());
         }
         ResilientOutcome { results, manifest }
     }
+}
+
+/// Telemetry harvested from the worker's thread-locals after one cell
+/// closure returns: compute time, simulator events, span profile, and
+/// queued scope annotations.
+struct CellTelemetry {
+    wall_ms: f64,
+    events: u64,
+    prof: simtrace::ProfSnapshot,
+    scopes: Vec<simtrace::ScopeAnnotation>,
+}
+
+/// Run one cell closure with the thread-local telemetry bracketed around
+/// it: the event tally, span profiler, and scope-annotation queue are
+/// reset before the closure and harvested after, so each record
+/// attributes exactly what its own closure produced.
+fn run_bracketed<T>(
+    profile: bool,
+    f: impl FnOnce() -> T,
+) -> (std::thread::Result<T>, CellTelemetry) {
+    let _ = simtrace::runtime::take_cell_events();
+    let _ = simtrace::runtime::take_scope_annotations();
+    let _ = simtrace::prof::take();
+    if profile {
+        simtrace::prof::set_enabled(true);
+    }
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if profile {
+        simtrace::prof::set_enabled(false);
+    }
+    (
+        outcome,
+        CellTelemetry {
+            wall_ms,
+            events: simtrace::runtime::take_cell_events(),
+            prof: simtrace::prof::take(),
+            scopes: simtrace::runtime::take_scope_annotations(),
+        },
+    )
+}
+
+/// Sanitize a cell label into a filename: anything outside
+/// `[A-Za-z0-9._-]` becomes `-`.
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Write `recorder`'s ring to `<dir>/<label>.jsonl` (oldest record
+/// first), returning the path on success. Dump failures only warn — the
+/// cell already failed, and losing the black box must not also lose the
+/// campaign.
+fn dump_flightrec(dir: &Path, label: &str, recorder: &simtrace::FlightRecorder) -> Option<String> {
+    let path = dir.join(format!("{}.jsonl", sanitize_label(label)));
+    let write =
+        std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, recorder.to_jsonl()));
+    match write {
+        Ok(()) => Some(path.display().to_string()),
+        Err(e) => {
+            eprintln!("warning: flight-recorder dump failed for '{label}': {e}");
+            None
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0.0 when
+/// empty).
+fn nearest_rank(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Parse a byte-size string: plain bytes, or with a `K`/`M`/`G` suffix
@@ -1083,6 +1274,151 @@ mod tests {
         assert_eq!(parse_bytes(" 8 K "), Some(8192));
         assert_eq!(parse_bytes("nope"), None);
         assert_eq!(parse_bytes(""), None);
+    }
+
+    #[test]
+    fn profiled_run_lands_spans_and_wall_percentiles_in_manifest() {
+        let c = demo_campaign(8);
+        let out = c.run(
+            &RunnerOpts::default().with_workers(2).with_profile(),
+            |cell| {
+                let _g = simtrace::prof::span("cell/work");
+                // Make the span worth at least a few microseconds.
+                let mut acc = 0u64;
+                for i in 0..20_000 {
+                    acc = acc.wrapping_add(std::hint::black_box(i ^ cell.seed));
+                }
+                acc % 2
+            },
+        );
+        let m = &out.manifest;
+        assert!(!m.prof.is_empty(), "profiled run must record spans");
+        assert!(
+            m.prof.spans.iter().any(|s| s.path == "cell/work"),
+            "spans: {:?}",
+            m.prof.spans
+        );
+        let work = m.prof.spans.iter().find(|s| s.path == "cell/work").unwrap();
+        assert_eq!(work.calls, 8, "one span entry per cell");
+        assert!(m.wall_ms_p50 > 0.0);
+        assert!(m.wall_ms_p99 >= m.wall_ms_p50);
+        // An unprofiled run of the same campaign records nothing.
+        let off = c.run(&RunnerOpts::default().with_workers(2), |cell| cell.seed);
+        assert!(off.manifest.prof.is_empty());
+    }
+
+    #[test]
+    fn scope_annotations_flow_into_the_manifest() {
+        let c = demo_campaign(4);
+        let out = c.run(&RunnerOpts::serial(), |cell| {
+            simtrace::runtime::add_scope_annotation(simtrace::ScopeAnnotation {
+                label: format!("scope/{}/queue_depth", cell.label),
+                n: 10 + cell.seed,
+                p50: 0.001,
+                p90: 0.002,
+                p99: 0.003,
+                p999: 0.004,
+            });
+            cell.seed
+        });
+        assert_eq!(out.manifest.scope_annotations.len(), 4);
+        assert!(out
+            .manifest
+            .scope_annotations
+            .iter()
+            .any(|a| a.label == "scope/cell-2/queue_depth" && a.n == 12));
+    }
+
+    #[test]
+    fn terminal_panic_dumps_the_flight_recorder() {
+        let dir =
+            std::env::temp_dir().join(format!("simrunner-flightrec-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = demo_campaign(5);
+        let out = c.run_resilient(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_cell_retries(1)
+                .with_flightrec_dir(&dir),
+            |cell| {
+                simtrace::flightrec::record_with(|| {
+                    simtrace::TraceRecord::metric(42, simtrace::kind::COUNTER, "unit.marker", 7)
+                });
+                if cell.seed == 3 {
+                    panic!("terminal");
+                }
+                cell.seed
+            },
+        );
+        assert!(!out.all_ok());
+        let rec = &out.manifest.cells[3];
+        assert_eq!(rec.status, CellStatus::Panicked);
+        assert!(
+            rec.flightrec.ends_with("cell-3.jsonl"),
+            "dump path: {}",
+            rec.flightrec
+        );
+        let dump = std::fs::read_to_string(&rec.flightrec).expect("dump exists");
+        let parsed = simtrace::query::parse_jsonl(&dump).expect("dump parses");
+        // Seeded dispatch record (attempt 2 after one retry) plus the
+        // cell's own marker.
+        assert!(parsed
+            .iter()
+            .any(|r| r.name.as_deref() == Some("runner.dispatch") && r.value == Some(2.0)));
+        assert!(parsed
+            .iter()
+            .any(|r| r.name.as_deref() == Some("unit.marker")));
+        // Successful cells leave no dump.
+        for i in (0..5).filter(|&i| i != 3) {
+            assert!(out.manifest.cells[i].flightrec.is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timed_out_cell_dumps_the_flight_recorder_from_outside() {
+        let dir = std::env::temp_dir().join(format!(
+            "simrunner-flightrec-hang-unit-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = demo_campaign(3);
+        let out = c.run_resilient(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_cell_timeout(Duration::from_millis(150))
+                .with_flightrec_dir(&dir),
+            |cell| {
+                if cell.seed == 1 {
+                    std::thread::sleep(Duration::from_secs(4));
+                }
+                cell.seed
+            },
+        );
+        let rec = &out.manifest.cells[1];
+        assert_eq!(rec.status, CellStatus::TimedOut);
+        assert!(!rec.flightrec.is_empty(), "hung cell must leave a dump");
+        let dump = std::fs::read_to_string(&rec.flightrec).expect("dump exists");
+        assert!(
+            simtrace::query::parse_jsonl(&dump).is_ok_and(|r| !r.is_empty()),
+            "dump must parse non-empty"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_label_keeps_safe_chars() {
+        assert_eq!(sanitize_label("flap:cubic+suss:2"), "flap-cubic-suss-2");
+        assert_eq!(sanitize_label("ok._-123"), "ok._-123");
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(nearest_rank(&[], 50.0), 0.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&v, 50.0), 50.0);
+        assert_eq!(nearest_rank(&v, 99.0), 99.0);
+        assert_eq!(nearest_rank(&[7.0], 99.0), 7.0);
     }
 
     #[test]

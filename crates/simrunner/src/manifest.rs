@@ -6,6 +6,7 @@
 //! re-running anything.
 
 use serde::Serialize;
+use simtrace::{ProfSnapshot, ScopeAnnotation};
 use std::io;
 use std::path::Path;
 
@@ -62,6 +63,9 @@ pub struct CellRecord {
     /// The terminal failure message (panic payload or watchdog verdict);
     /// empty for successful cells.
     pub error: String,
+    /// Path of the flight-recorder dump written when this cell terminally
+    /// panicked or timed out; empty when no dump exists.
+    pub flightrec: String,
 }
 
 /// A named FCT-percentile summary attached to a manifest — one per
@@ -111,6 +115,12 @@ pub struct RunManifest {
     pub worker_busy_secs: f64,
     /// Worker utilization in `[0, 1]`: busy time / (wall time × workers).
     pub utilization: f64,
+    /// Median per-cell compute wall time over computed (non-cached,
+    /// successful) cells, ms. The busy/utilization totals hide stragglers;
+    /// the tail lives here.
+    pub wall_ms_p50: f64,
+    /// 99th-percentile per-cell compute wall time (nearest-rank), ms.
+    pub wall_ms_p99: f64,
     /// Cells that ended without a result (`runner.cells_failed`).
     pub cells_failed: usize,
     /// Cell re-executions after a panic (`runner.cell_retries`).
@@ -123,6 +133,13 @@ pub struct RunManifest {
     /// Experiment-attached result summaries (empty unless the experiment
     /// pushes them, e.g. fleet FCT percentiles per flow-size bucket).
     pub annotations: Vec<FctAnnotation>,
+    /// Queue/link time-series summaries reported by cells through
+    /// `simtrace::runtime::add_scope_annotation` (empty unless scope
+    /// sampling was enabled).
+    pub scope_annotations: Vec<ScopeAnnotation>,
+    /// Merged span profile across all computed cells (empty unless the
+    /// run profiled; see [`RunnerOpts::profile`](crate::RunnerOpts)).
+    pub prof: ProfSnapshot,
     /// Per-cell records, in campaign order.
     pub cells: Vec<CellRecord>,
 }
@@ -184,6 +201,14 @@ impl RunManifest {
                 s.push_str(&format!("  {:?} {}: {}\n", c.status, c.label, c.error));
             }
         }
+        if !self.prof.is_empty() {
+            s.push_str(&format!(
+                "  profile: {:.1}% of {:.1} ms attributed over {} span paths\n",
+                self.prof.coverage_percent(),
+                self.prof.total_ns() as f64 / 1e6,
+                self.prof.spans.len(),
+            ));
+        }
         let mut computed: Vec<&CellRecord> = self.cells.iter().filter(|c| !c.cached).collect();
         computed.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
         for c in computed.iter().take(3) {
@@ -229,6 +254,8 @@ mod tests {
             events_per_sec: 750_000.0,
             worker_busy_secs: 1.5,
             utilization: 0.1875,
+            wall_ms_p50: 1500.0,
+            wall_ms_p99: 1500.0,
             cells_failed: 0,
             cell_retries: 0,
             cell_timeouts: 0,
@@ -241,6 +268,21 @@ mod tests {
                 p99: 2.5,
                 p999: 6.1,
             }],
+            scope_annotations: vec![ScopeAnnotation {
+                label: "scope/demo/queue_depth".into(),
+                n: 420,
+                p50: 0.001,
+                p90: 0.004,
+                p99: 0.009,
+                p999: 0.012,
+            }],
+            prof: ProfSnapshot {
+                spans: vec![simtrace::ProfSpan {
+                    path: "cell;sim/step".into(),
+                    self_ns: 1_000_000,
+                    calls: 10,
+                }],
+            },
             cells: vec![
                 CellRecord {
                     index: 0,
@@ -253,6 +295,7 @@ mod tests {
                     status: CellStatus::Ok,
                     attempts: 0,
                     error: String::new(),
+                    flightrec: String::new(),
                 },
                 CellRecord {
                     index: 1,
@@ -265,6 +308,7 @@ mod tests {
                     status: CellStatus::Ok,
                     attempts: 1,
                     error: String::new(),
+                    flightrec: String::new(),
                 },
             ],
         }
@@ -279,6 +323,10 @@ mod tests {
         assert!(json.contains("\"cache_hits\":9"));
         assert!(json.contains("\"events_total\":1500000"));
         assert!(json.contains("\"worker_busy_secs\":1.5"));
+        assert!(json.contains("\"wall_ms_p50\":"));
+        assert!(json.contains("\"wall_ms_p99\":"));
+        assert!(json.contains("scope/demo/queue_depth"));
+        assert!(json.contains("cell;sim/step"));
         assert!(json.ends_with('\n'));
         // Must parse back as JSON.
         assert!(serde::Json::parse(json.trim()).is_some());

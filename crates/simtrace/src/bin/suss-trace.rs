@@ -6,6 +6,8 @@
 //! suss-trace counters <trace.jsonl> [--run LABEL]
 //! suss-trace diff <a.jsonl> <b.jsonl>
 //! suss-trace verify <trace.jsonl>
+//! suss-trace profile <manifest.json> [--collapse] [--min-coverage PCT]
+//! suss-trace bench-diff <baseline.json> <fresh.json> [--max-slowdown PCT]
 //! suss-trace cache-stats [--dir results/cache]
 //! ```
 //!
@@ -14,7 +16,12 @@
 //! time window; `counters` totals the embedded counter records; `diff`
 //! compares counter totals between two traces; `verify` exits non-zero
 //! unless the file parses and at least one counter is non-zero (the CI
-//! smoke check); `cache-stats` reports size/age of the simrunner result
+//! smoke check); `profile` renders the span profile embedded in a run
+//! manifest (`--collapse` emits collapsed-stack lines for flamegraph
+//! tools, `--min-coverage` turns the named-span coverage into a CI
+//! gate); `bench-diff` compares the `events_per_sec` groups of two
+//! `BENCH_hotpath` snapshots and exits non-zero on a slowdown beyond
+//! the budget; `cache-stats` reports size/age of the simrunner result
 //! cache.
 
 use std::io::Write as _;
@@ -30,6 +37,8 @@ fn usage() -> ExitCode {
          \x20      suss-trace counters <trace.jsonl> [--run LABEL]\n\
          \x20      suss-trace diff <a.jsonl> <b.jsonl>\n\
          \x20      suss-trace verify <trace.jsonl>\n\
+         \x20      suss-trace profile <manifest.json> [--collapse] [--min-coverage PCT]\n\
+         \x20      suss-trace bench-diff <baseline.json> <fresh.json> [--max-slowdown PCT]\n\
          \x20      suss-trace cache-stats [--dir results/cache]"
     );
     ExitCode::from(2)
@@ -43,6 +52,9 @@ struct Opts {
     from_secs: f64,
     to_secs: f64,
     dir: PathBuf,
+    collapse: bool,
+    min_coverage: Option<f64>,
+    max_slowdown: f64,
 }
 
 fn parse_opts(args: &[String]) -> Option<Opts> {
@@ -54,6 +66,9 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
         from_secs: 0.0,
         to_secs: f64::INFINITY,
         dir: PathBuf::from("results/cache"),
+        collapse: false,
+        min_coverage: None,
+        max_slowdown: 25.0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -78,6 +93,15 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
             }
             "--dir" => {
                 o.dir = PathBuf::from(need(i)?);
+                i += 1;
+            }
+            "--collapse" => o.collapse = true,
+            "--min-coverage" => {
+                o.min_coverage = Some(need(i)?.parse().ok()?);
+                i += 1;
+            }
+            "--max-slowdown" => {
+                o.max_slowdown = need(i)?.parse().ok()?;
                 i += 1;
             }
             a if a.starts_with("--") => return None,
@@ -264,6 +288,166 @@ fn cmd_verify(o: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_profile(o: &Opts) -> ExitCode {
+    let [file] = o.files.as_slice() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("suss-trace: {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(json) = serde::Json::parse(text.trim()) else {
+        eprintln!("suss-trace: {} is not valid JSON", file.display());
+        return ExitCode::FAILURE;
+    };
+    let snap: simtrace::ProfSnapshot = match json
+        .as_obj()
+        .and_then(|obj| serde::Json::field(obj, "prof"))
+        .and_then(|prof| serde::from_str(&prof.render()))
+    {
+        Some(s) => s,
+        None => {
+            eprintln!(
+                "suss-trace: {} has no span profile (is it a run manifest, \
+                 and was the run profiled via SUSS_PROF=1?)",
+                file.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if snap.is_empty() {
+        eprintln!(
+            "suss-trace: {} has an empty span profile (run with SUSS_PROF=1)",
+            file.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let total = snap.total_ns().max(1);
+    let mut out = std::io::stdout().lock();
+    if o.collapse {
+        // Collapsed-stack lines (`path<space>weight`), directly consumable
+        // by flamegraph.pl / inferno; weight is self-time in microseconds.
+        for s in &snap.spans {
+            if writeln!(out, "{} {}", s.path, s.self_ns / 1_000).is_err() {
+                break;
+            }
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>7} {:>12}",
+            "span path", "self ms", "%", "calls"
+        );
+        for s in &snap.spans {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12.3} {:>6.1}% {:>12}",
+                s.path,
+                s.self_ns as f64 / 1e6,
+                100.0 * s.self_ns as f64 / total as f64,
+                s.calls
+            );
+        }
+        let _ = writeln!(
+            out,
+            "coverage: {:.1}% of {:.1} ms attributed to named spans ({} paths)",
+            snap.coverage_percent(),
+            snap.total_ns() as f64 / 1e6,
+            snap.spans.len()
+        );
+    }
+    if let Some(min) = o.min_coverage {
+        let cov = snap.coverage_percent();
+        if cov < min {
+            eprintln!("suss-trace: coverage {cov:.1}% below required {min:.1}%");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Collect every numeric field whose key ends in `events_per_sec`,
+/// keyed by its dotted path — the throughput groups of a
+/// `BENCH_hotpath` snapshot, without hard-coding its layout.
+fn collect_rates(json: &serde::Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    if let Some(obj) = json.as_obj() {
+        for (k, v) in obj {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            if k.ends_with("events_per_sec") {
+                if let Some(x) = v.as_f64() {
+                    out.push((path, x));
+                    continue;
+                }
+            }
+            collect_rates(v, &path, out);
+        }
+    }
+}
+
+fn cmd_bench_diff(o: &Opts) -> ExitCode {
+    let [base_path, fresh_path] = o.files.as_slice() else {
+        return usage();
+    };
+    let load_rates = |p: &Path| -> Result<Vec<(String, f64)>, ExitCode> {
+        let text = std::fs::read_to_string(p).map_err(|e| {
+            eprintln!("suss-trace: {}: {e}", p.display());
+            ExitCode::FAILURE
+        })?;
+        let json = serde::Json::parse(text.trim()).ok_or_else(|| {
+            eprintln!("suss-trace: {} is not valid JSON", p.display());
+            ExitCode::FAILURE
+        })?;
+        let mut rates = Vec::new();
+        collect_rates(&json, "", &mut rates);
+        if rates.is_empty() {
+            eprintln!("suss-trace: {} has no events_per_sec groups", p.display());
+            return Err(ExitCode::FAILURE);
+        }
+        Ok(rates)
+    };
+    let (base, fresh) = match (load_rates(base_path), load_rates(fresh_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(c), _) | (_, Err(c)) => return c,
+    };
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}",
+        "criterion group", "baseline/s", "fresh/s", "change"
+    );
+    let mut worst: Option<(String, f64)> = None;
+    for (name, b) in &base {
+        let Some((_, f)) = fresh.iter().find(|(n, _)| n == name) else {
+            eprintln!(
+                "suss-trace: group '{name}' missing from {}",
+                fresh_path.display()
+            );
+            return ExitCode::FAILURE;
+        };
+        let change = 100.0 * (f - b) / b.max(1e-9);
+        println!("{:<44} {:>14.1} {:>14.1} {:>+7.1}%", name, b, f, change);
+        if worst.as_ref().is_none_or(|(_, w)| change < *w) {
+            worst = Some((name.clone(), change));
+        }
+    }
+    if let Some((name, change)) = worst {
+        if -change > o.max_slowdown {
+            eprintln!(
+                "suss-trace: FAIL: '{name}' slowed down {:.1}% (budget {:.0}%)",
+                -change, o.max_slowdown
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("ok: no group slowed down more than {:.0}%", o.max_slowdown);
+    ExitCode::SUCCESS
+}
+
 struct CacheFile {
     len: u64,
     modified: std::time::SystemTime,
@@ -351,6 +535,8 @@ fn main() -> ExitCode {
         "counters" => cmd_counters(&opts),
         "diff" => cmd_diff(&opts),
         "verify" => cmd_verify(&opts),
+        "profile" => cmd_profile(&opts),
+        "bench-diff" => cmd_bench_diff(&opts),
         "cache-stats" => cmd_cache_stats(&opts),
         _ => usage(),
     }

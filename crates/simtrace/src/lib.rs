@@ -19,21 +19,34 @@
 //!   questions: a flow's cwnd timeseries, events in a time window, counter
 //!   totals, diffs between two runs. The `suss-trace` CLI bin is a thin
 //!   wrapper over this module.
-//! * [`runtime`] — thread-local per-cell accounting (sim events executed)
-//!   that the campaign runner samples around each cell to report
-//!   events/sec and worker utilization in run manifests.
+//! * [`runtime`] — thread-local per-cell accounting (sim events executed,
+//!   scope-summary annotations) that the campaign runner samples around
+//!   each cell to report events/sec and worker utilization in run
+//!   manifests.
+//! * [`prof`] — a span-based wall-time profiler: scoped guards in the
+//!   simulator/transport hot paths attribute every nanosecond of an
+//!   enabled window to a named stack path; per-cell snapshots merge into
+//!   the run manifest and render via `suss-trace profile`.
+//! * [`flightrec`] — a fixed-size ring of recent [`TraceRecord`]s that
+//!   the resilient campaign runner dumps to disk when a cell panics or
+//!   hangs, so failures come with packet-level context.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flightrec;
 pub mod metrics;
+pub mod prof;
 pub mod query;
 pub mod record;
 pub mod runtime;
 pub mod sink;
 
+pub use flightrec::FlightRecorder;
 pub use metrics::{Counter, CounterSnapshot, Gauge, MetricValue, Registry};
+pub use prof::{ProfSnapshot, ProfSpan};
 pub use record::{kind, TraceRecord};
+pub use runtime::ScopeAnnotation;
 pub use sink::{export_counters, CsvSink, EventSink, JsonlSink, VecSink};
 
 /// Canonical metric names. Producers register by these constants so the

@@ -39,6 +39,21 @@ pub mod kind {
     pub const COUNTER: &str = "counter";
     /// Gauge high-water mark at export time; `name`/`value` carry it.
     pub const GAUGE: &str = "gauge";
+    /// CC decision: congestion window changed. `cwnd` carries the new
+    /// window in bytes, `reason` the decision code.
+    pub const CC_CWND: &str = "cc_cwnd";
+    /// CC decision: slow-start threshold changed. `value` carries the new
+    /// threshold in bytes, `reason` the decision code.
+    pub const CC_SSTHRESH: &str = "cc_ssthresh";
+    /// CC decision: pacing rate changed. `value` carries the new rate in
+    /// bits/s (0 = pacing stopped), `reason` the decision code.
+    pub const CC_PACING: &str = "cc_pacing";
+    /// SUSS per-round estimate. `value` carries the growth estimate `k`,
+    /// `reason` the round context (e.g. `round=3,k=4`).
+    pub const SUSS_ROUND: &str = "suss_round";
+    /// HyStart / HyStart++ state transition. `reason` carries
+    /// `<phase>:<trigger>` (e.g. `css:rtt_rise`, `exit:css_confirmed`).
+    pub const HYSTART: &str = "hystart";
 }
 
 /// One timestamped telemetry record.
@@ -76,6 +91,9 @@ pub struct TraceRecord {
     pub name: Option<String>,
     /// Generic numeric payload (growth factor, metric value, …).
     pub value: Option<f64>,
+    /// Decision reason code, for CC decision records (`cc_*`, `hystart`,
+    /// `suss_round`). Free-form short text; may contain commas.
+    pub reason: Option<String>,
 }
 
 impl TraceRecord {
@@ -118,6 +136,16 @@ impl TraceRecord {
         }
     }
 
+    /// A per-flow CC decision record (`kind` is one of the `cc_*`,
+    /// [`kind::HYSTART`], or [`kind::SUSS_ROUND`] kinds); `reason`
+    /// carries the decision code.
+    pub fn decision(t_ns: u64, flow: u64, kind: &str, reason: &str) -> Self {
+        TraceRecord {
+            reason: Some(reason.to_string()),
+            ..TraceRecord::event(t_ns, flow, kind)
+        }
+    }
+
     /// A counter or gauge total (`kind` is [`kind::COUNTER`] or
     /// [`kind::GAUGE`]).
     pub fn metric(t_ns: u64, kind: &str, name: &str, value: u64) -> Self {
@@ -144,20 +172,38 @@ impl TraceRecord {
     }
 
     /// Header row matching [`TraceRecord::csv_row`].
-    pub const CSV_HEADER: &'static str =
-        "t_ns,kind,flow,run,cwnd,inflight,delivered,rtt_ns,srtt_ns,link,size,packet_id,name,value";
+    pub const CSV_HEADER: &'static str = "t_ns,kind,flow,run,cwnd,inflight,delivered,rtt_ns,\
+         srtt_ns,link,size,packet_id,name,value,reason";
+
+    /// Quote one CSV field per RFC 4180: fields containing a comma, a
+    /// double quote, or a line break are wrapped in double quotes with
+    /// internal quotes doubled; everything else passes through verbatim.
+    ///
+    /// Every CSV emitter in the workspace (`csv_row`, and through it
+    /// `CsvSink` and `suss-trace dump --csv`) funnels through here, so
+    /// free-text fields like `reason` cannot corrupt row structure.
+    pub fn csv_quote(field: &str) -> String {
+        if field.contains([',', '"', '\n', '\r']) {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
 
     /// Render as one CSV row (empty cells for absent fields).
     pub fn csv_row(&self) -> String {
         fn cell<T: ToString>(v: &Option<T>) -> String {
             v.as_ref().map(T::to_string).unwrap_or_default()
         }
+        fn text(v: &Option<String>) -> String {
+            v.as_deref().map(TraceRecord::csv_quote).unwrap_or_default()
+        }
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.t_ns,
-            self.kind,
+            Self::csv_quote(&self.kind),
             cell(&self.flow),
-            cell(&self.run),
+            text(&self.run),
             cell(&self.cwnd),
             cell(&self.inflight),
             cell(&self.delivered),
@@ -166,8 +212,9 @@ impl TraceRecord {
             cell(&self.link),
             cell(&self.size),
             cell(&self.packet_id),
-            cell(&self.name),
+            text(&self.name),
             cell(&self.value),
+            text(&self.reason),
         )
     }
 }
@@ -200,6 +247,9 @@ impl Serialize for TraceRecord {
         if let Some(x) = self.value {
             fields.push(("value".into(), Json::Num(x)));
         }
+        if let Some(s) = &self.reason {
+            fields.push(("reason".into(), Json::Str(s.clone())));
+        }
         Json::Obj(fields)
     }
 }
@@ -224,6 +274,7 @@ impl Deserialize for TraceRecord {
             packet_id: num("packet_id"),
             name: txt("name"),
             value: Json::field(o, "value").and_then(Json::as_f64),
+            reason: txt("reason"),
         })
     }
 }
@@ -265,6 +316,46 @@ mod tests {
     fn unknown_fields_tolerated() {
         let r: TraceRecord = serde::from_str(r#"{"t_ns":5,"kind":"x","mystery":true}"#).unwrap();
         assert_eq!(r.kind, "x");
+    }
+
+    #[test]
+    fn decision_record_roundtrips_with_reason() {
+        let mut r = TraceRecord::decision(42, 7, kind::CC_SSTHRESH, "loss, fast retransmit");
+        r.value = Some(14480.0);
+        let s = serde::to_string(&r);
+        let back: TraceRecord = serde::from_str(&s).expect("parse");
+        assert_eq!(back, r);
+        assert_eq!(back.reason.as_deref(), Some("loss, fast retransmit"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas_and_quotes() {
+        // Regression: a comma-bearing reason used to shift every column
+        // after it; quotes used to escape nothing.
+        let mut r = TraceRecord::decision(5, 1, kind::HYSTART, "css:rtt_rise, n=8");
+        r.run = Some("a \"quoted\" run".to_string());
+        let row = r.csv_row();
+        assert_eq!(
+            row,
+            "5,hystart,1,\"a \"\"quoted\"\" run\",,,,,,,,,,,\"css:rtt_rise, n=8\""
+        );
+        // Column count is stable: quoted commas don't split.
+        let mut cols = 0usize;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => cols += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(cols + 1, TraceRecord::CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn plain_fields_pass_through_unquoted() {
+        let r = TraceRecord::metric(9, kind::COUNTER, "tcp.rtos", 4);
+        assert_eq!(r.csv_row(), "9,counter,,,,,,,,,,,tcp.rtos,4,");
     }
 
     #[test]

@@ -123,6 +123,12 @@ pub trait CongestionControl {
 }
 
 /// Events a controller reports into the connection trace.
+///
+/// Together these form the CC *decision* catalogue: each records one
+/// discrete choice the controller made (not per-ACK state — the sample
+/// stream carries that), with a short static `reason` code saying why.
+/// Reason codes are part of the trace contract; the full table lives in
+/// DESIGN.md §9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CcEvent {
     /// A SUSS pacing period began with growth factor `g`.
@@ -132,6 +138,42 @@ pub enum CcEvent {
     },
     /// The controller left slow start on its own initiative (HyStart/SUSS).
     SlowStartExited,
+    /// The congestion window was reset by a decision (loss response,
+    /// timeout collapse). Routine per-ACK growth is *not* reported.
+    CwndChanged {
+        /// The new congestion window in bytes.
+        cwnd: u64,
+        /// Decision code, e.g. `loss`, `timeout`.
+        reason: &'static str,
+    },
+    /// The slow-start threshold moved.
+    SsthreshChanged {
+        /// The new threshold in bytes.
+        ssthresh: u64,
+        /// Decision code, e.g. `loss`, `hystart_delay`, `suss_exit`.
+        reason: &'static str,
+    },
+    /// The pacing rate changed (0 = pacing stopped).
+    PacingRateChanged {
+        /// The new rate in bits per second.
+        rate_bps: u64,
+        /// Decision code, e.g. `suss_pacing`, `suss_cancel`.
+        reason: &'static str,
+    },
+    /// SUSS finished estimating a slow-start round.
+    SussRound {
+        /// The 1-based slow-start round index.
+        round: u32,
+        /// The growth estimate `k` for that round.
+        k: u32,
+    },
+    /// A HyStart / HyStart++ phase transition.
+    HystartPhase {
+        /// The phase entered: `css`, `slow_start`, or `exit`.
+        phase: &'static str,
+        /// Trigger code, e.g. `rtt_rise`, `false_positive`, `css_confirmed`.
+        reason: &'static str,
+    },
 }
 
 /// A fixed-window controller for transport unit tests: no reaction to

@@ -428,26 +428,29 @@ impl SenderEndpoint {
     fn enter_recovery(&mut self, now: SimTime, kind: LossKind) {
         self.recovery_point = Some(self.snd_nxt);
         let lost_bytes = self.lost.total_bytes();
-        self.cc.on_congestion_event(&LossView {
-            now: now.as_nanos(),
-            kind,
-            lost_bytes,
-            inflight: self.pipe(),
-        });
+        {
+            let _prof = simtrace::prof::span("cc/on_loss");
+            self.cc.on_congestion_event(&LossView {
+                now: now.as_nanos(),
+                kind,
+                lost_bytes,
+                inflight: self.pipe(),
+            });
+        }
         match kind {
             LossKind::FastRetransmit => {
                 self.stats.fast_retransmits += 1;
                 if let Some(m) = &self.metrics {
                     m.fast_retransmits.inc();
                 }
-                self.trace.event(now, TraceEvent::FastRetransmit);
+                self.trace_event(now, TraceEvent::FastRetransmit);
             }
             LossKind::Timeout => {
                 self.stats.rtos += 1;
                 if let Some(m) = &self.metrics {
                     m.rtos.inc();
                 }
-                self.trace.event(now, TraceEvent::Rto);
+                self.trace_event(now, TraceEvent::Rto);
             }
         }
     }
@@ -456,6 +459,7 @@ impl SenderEndpoint {
         if self.done {
             return;
         }
+        let _prof = simtrace::prof::span("tcp/ack");
         let now = ctx.now();
 
         self.peer_rwnd = ack.rwnd;
@@ -576,6 +580,7 @@ impl SenderEndpoint {
 
         // --- Congestion controller ------------------------------------------
         let was_slow_start = self.cc.in_slow_start();
+        let cc_prof = simtrace::prof::span("cc/on_ack");
         self.cc.on_ack(&AckView {
             now: now.as_nanos(),
             ack_seq: ack.ack_seq,
@@ -590,6 +595,7 @@ impl SenderEndpoint {
             delivered: self.snd_una,
             app_limited: self.app_limited,
         });
+        drop(cc_prof);
         if was_slow_start && !self.cc.in_slow_start() {
             // A loss-driven exit happens inside on_congestion_event, before
             // `was_slow_start` is read — so a transition across `on_ack`
@@ -599,7 +605,7 @@ impl SenderEndpoint {
                     m.hystart_exits.inc();
                 }
             }
-            self.trace.event(
+            self.trace_event(
                 now,
                 TraceEvent::SlowStartExit {
                     cwnd: self.cc.cwnd(),
@@ -615,7 +621,7 @@ impl SenderEndpoint {
                 t.set(t.get() + 1);
             }
             self.stats.completed_at = Some(now);
-            self.trace.event(now, TraceEvent::FlowComplete);
+            self.trace_event(now, TraceEvent::FlowComplete);
             self.disarm_rto();
             self.trace_sample(now);
             // Keep the completion-time sample even under decimation.
@@ -660,18 +666,47 @@ impl SenderEndpoint {
     }
 
     fn drain_cc_events(&mut self, now: SimTime) {
+        use crate::cc::CcEvent;
         for ev in self.cc.take_events() {
-            match ev {
-                crate::cc::CcEvent::SussPacingStarted { g } => {
-                    self.trace
-                        .event(now, TraceEvent::SussPacing { growth_factor: g });
-                }
-                crate::cc::CcEvent::SlowStartExited => {
+            let te = match ev {
+                CcEvent::SussPacingStarted { g } => TraceEvent::SussPacing { growth_factor: g },
+                CcEvent::SlowStartExited => {
                     // Already captured via the in_slow_start transition; kept
                     // for controllers that exit from a timer context.
+                    continue;
                 }
-            }
+                CcEvent::CwndChanged { cwnd, reason } => TraceEvent::CcCwnd { cwnd, reason },
+                CcEvent::SsthreshChanged { ssthresh, reason } => {
+                    TraceEvent::CcSsthresh { ssthresh, reason }
+                }
+                CcEvent::PacingRateChanged { rate_bps, reason } => {
+                    TraceEvent::CcPacingRate { rate_bps, reason }
+                }
+                CcEvent::SussRound { round, k } => TraceEvent::SussRound { round, k },
+                CcEvent::HystartPhase { phase, reason } => {
+                    TraceEvent::HystartPhase { phase, reason }
+                }
+            };
+            self.trace_event(now, te);
         }
+    }
+
+    /// Record a connection event, mirroring it into the thread's flight
+    /// recorder (a no-op unless one is installed — see
+    /// [`simtrace::flightrec`]). The mirror uses the same record mapping
+    /// as [`ConnTrace::export`], so a post-mortem dump reads like a live
+    /// slice of the exported trace.
+    fn trace_event(&mut self, now: SimTime, e: TraceEvent) {
+        simtrace::flightrec::record_with(|| {
+            let mut rec = simtrace::TraceRecord::event(
+                now.as_nanos(),
+                self.flow.0,
+                ConnTrace::record_kind(&e),
+            );
+            ConnTrace::fill_record(&mut rec, &e);
+            rec
+        });
+        self.trace.event(now, e);
     }
 
     fn trace_sample(&mut self, now: SimTime) {
@@ -707,7 +742,7 @@ impl Agent for SenderEndpoint {
             TK_START => {
                 let now = ctx.now();
                 self.stats.started_at = Some(now);
-                self.trace.event(now, TraceEvent::FlowStart);
+                self.trace_event(now, TraceEvent::FlowStart);
                 self.sync_pacing_rate(now);
                 self.try_send(ctx);
                 self.sync_cc_timer(ctx);

@@ -47,6 +47,41 @@ pub enum TraceEvent {
     },
     /// All flow bytes were acknowledged.
     FlowComplete,
+    /// The controller reset its congestion window (CC decision).
+    CcCwnd {
+        /// The new congestion window in bytes.
+        cwnd: u64,
+        /// Decision code.
+        reason: &'static str,
+    },
+    /// The controller moved its slow-start threshold (CC decision).
+    CcSsthresh {
+        /// The new threshold in bytes.
+        ssthresh: u64,
+        /// Decision code.
+        reason: &'static str,
+    },
+    /// The controller changed its pacing rate (CC decision).
+    CcPacingRate {
+        /// The new rate in bits per second (0 = pacing stopped).
+        rate_bps: u64,
+        /// Decision code.
+        reason: &'static str,
+    },
+    /// SUSS finished estimating a slow-start round.
+    SussRound {
+        /// The 1-based slow-start round index.
+        round: u32,
+        /// The growth estimate `k` for that round.
+        k: u32,
+    },
+    /// A HyStart / HyStart++ phase transition.
+    HystartPhase {
+        /// The phase entered: `css`, `slow_start`, or `exit`.
+        phase: &'static str,
+        /// Trigger code.
+        reason: &'static str,
+    },
 }
 
 /// Accumulated trace of one connection.
@@ -142,6 +177,56 @@ impl ConnTrace {
         self.events.iter().filter(|(_, x)| *x == e).count()
     }
 
+    /// The [`kind`] constant a [`TraceEvent`] exports under.
+    pub fn record_kind(e: &TraceEvent) -> &'static str {
+        match e {
+            TraceEvent::FlowStart => kind::FLOW_START,
+            TraceEvent::SlowStartExit { .. } => kind::SLOW_START_EXIT,
+            TraceEvent::FastRetransmit => kind::FAST_RETRANSMIT,
+            TraceEvent::Rto => kind::RTO,
+            TraceEvent::SussPacing { .. } => kind::SUSS_PACING,
+            TraceEvent::FlowComplete => kind::FLOW_COMPLETE,
+            TraceEvent::CcCwnd { .. } => kind::CC_CWND,
+            TraceEvent::CcSsthresh { .. } => kind::CC_SSTHRESH,
+            TraceEvent::CcPacingRate { .. } => kind::CC_PACING,
+            TraceEvent::SussRound { .. } => kind::SUSS_ROUND,
+            TraceEvent::HystartPhase { .. } => kind::HYSTART,
+        }
+    }
+
+    /// Fill a record's payload fields (`cwnd`/`value`/`reason`) from a
+    /// [`TraceEvent`]. Shared by [`ConnTrace::export`] and the flight
+    /// recorder's live mirror so the two emit identical records.
+    pub fn fill_record(rec: &mut TraceRecord, e: &TraceEvent) {
+        match e {
+            TraceEvent::FlowStart | TraceEvent::FastRetransmit | TraceEvent::FlowComplete => {}
+            TraceEvent::Rto => {}
+            TraceEvent::SlowStartExit { cwnd } => rec.cwnd = Some(*cwnd),
+            TraceEvent::SussPacing { growth_factor } => {
+                rec.value = Some(f64::from(*growth_factor));
+            }
+            TraceEvent::CcCwnd { cwnd, reason } => {
+                rec.cwnd = Some(*cwnd);
+                rec.reason = Some((*reason).to_string());
+            }
+            TraceEvent::CcSsthresh { ssthresh, reason } => {
+                rec.value = Some(*ssthresh as f64);
+                rec.reason = Some((*reason).to_string());
+            }
+            TraceEvent::CcPacingRate { rate_bps, reason } => {
+                rec.value = Some(*rate_bps as f64);
+                rec.reason = Some((*reason).to_string());
+            }
+            TraceEvent::SussRound { round, k } => {
+                rec.value = Some(f64::from(*k));
+                rec.reason = Some(format!("round={round},k={k}"));
+            }
+            TraceEvent::HystartPhase { phase, reason } => {
+                rec.reason = Some(format!("{phase}:{reason}"));
+            }
+        }
+    }
+
     /// Export the whole trace (samples, then events) to a structured
     /// [`EventSink`] using the common record schema, tagged with the flow
     /// id and an optional run label.
@@ -157,19 +242,8 @@ impl ConnTrace {
             sink.record(&rec);
         }
         for (t, e) in &self.events {
-            let (k, cwnd, value) = match e {
-                TraceEvent::FlowStart => (kind::FLOW_START, None, None),
-                TraceEvent::SlowStartExit { cwnd } => (kind::SLOW_START_EXIT, Some(*cwnd), None),
-                TraceEvent::FastRetransmit => (kind::FAST_RETRANSMIT, None, None),
-                TraceEvent::Rto => (kind::RTO, None, None),
-                TraceEvent::SussPacing { growth_factor } => {
-                    (kind::SUSS_PACING, None, Some(f64::from(*growth_factor)))
-                }
-                TraceEvent::FlowComplete => (kind::FLOW_COMPLETE, None, None),
-            };
-            let mut rec = TraceRecord::event(t.as_nanos(), flow, k);
-            rec.cwnd = cwnd;
-            rec.value = value;
+            let mut rec = TraceRecord::event(t.as_nanos(), flow, Self::record_kind(e));
+            Self::fill_record(&mut rec, e);
             rec.run = run.map(str::to_string);
             sink.record(&rec);
         }
@@ -325,6 +399,49 @@ mod tests {
             .find(|r| r.kind == kind::SLOW_START_EXIT)
             .unwrap();
         assert_eq!(exit.cwnd, Some(9000));
+    }
+
+    #[test]
+    fn cc_decision_events_export_with_reasons() {
+        let mut t = ConnTrace::events_only();
+        t.event(
+            SimTime::from_millis(1),
+            TraceEvent::CcSsthresh {
+                ssthresh: 28_960,
+                reason: "loss",
+            },
+        );
+        t.event(
+            SimTime::from_millis(2),
+            TraceEvent::SussRound { round: 3, k: 4 },
+        );
+        t.event(
+            SimTime::from_millis(3),
+            TraceEvent::HystartPhase {
+                phase: "css",
+                reason: "rtt_rise",
+            },
+        );
+        t.event(
+            SimTime::from_millis(4),
+            TraceEvent::CcPacingRate {
+                rate_bps: 50_000_000,
+                reason: "suss_pacing",
+            },
+        );
+        let mut sink = simtrace::VecSink::new();
+        t.export(1, None, &mut sink);
+        assert_eq!(sink.records.len(), 4);
+        assert_eq!(sink.records[0].kind, kind::CC_SSTHRESH);
+        assert_eq!(sink.records[0].value, Some(28_960.0));
+        assert_eq!(sink.records[0].reason.as_deref(), Some("loss"));
+        assert_eq!(sink.records[1].kind, kind::SUSS_ROUND);
+        assert_eq!(sink.records[1].value, Some(4.0));
+        assert_eq!(sink.records[1].reason.as_deref(), Some("round=3,k=4"));
+        assert_eq!(sink.records[2].kind, kind::HYSTART);
+        assert_eq!(sink.records[2].reason.as_deref(), Some("css:rtt_rise"));
+        assert_eq!(sink.records[3].kind, kind::CC_PACING);
+        assert_eq!(sink.records[3].value, Some(50_000_000.0));
     }
 
     #[test]

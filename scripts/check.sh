@@ -52,30 +52,58 @@ grep -q '"status":"Panicked"' results/ext_chaos.manifest.json \
     || { echo "manifest missing Panicked cell" >&2; exit 1; }
 grep -q '"status":"TimedOut"' results/ext_chaos.manifest.json \
     || { echo "manifest missing TimedOut cell" >&2; exit 1; }
+# Every terminal failure must leave a flight-recorder dump, referenced
+# from the manifest, that parses and verifies as trace JSONL.
+frecs=$(grep -o '"flightrec":"results/flightrec/[^"]*"' \
+    results/ext_chaos.manifest.json | cut -d'"' -f4)
+n_frecs=$(printf '%s\n' "$frecs" | grep -c . || true)
+if [ "$n_frecs" -lt 2 ]; then
+    echo "manifest references $n_frecs flight-recorder dumps, want 2" >&2
+    exit 1
+fi
+for f in $frecs; do
+    [ -f "$f" ] || { echo "missing flight-recorder dump $f" >&2; exit 1; }
+    cargo run --release -q -p simtrace --bin suss-trace -- verify "$f"
+done
 SUSS_CACHE_DIR="$CHAOS_CACHE" \
     cargo run --release -q -p suss-bench --bin ext_chaos -- --quick \
     >/dev/null 2>"$SMOKE_DIR/chaos.err"
 grep -q '"cache_hits":14' results/ext_chaos.manifest.json \
     || { echo "resume should recompute exactly the 2 failed cells" >&2; exit 1; }
 
-echo "== fleet smoke (open-loop FCT campaign, quick) =="
+echo "== fleet smoke (open-loop FCT campaign, quick, profiled) =="
 # The quick fleet sweep (150 flows × 18 cells) must complete every flow
 # and publish FCT-percentile annotations in its manifest. The bin itself
 # exits non-zero if any cell fails or if a flow never finishes draining.
-cargo run --release -q -p suss-bench --bin ext_fleet -- --quick --no-progress \
+# Run cold with the span profiler on: the profile must attribute ≥ 95%
+# of wall time to named spans, and the bottleneck scope samples must land
+# as scope/* annotations.
+SUSS_PROF=1 SUSS_CACHE_DIR="$SMOKE_DIR/fleet-cache" \
+    cargo run --release -q -p suss-bench --bin ext_fleet -- --quick --no-progress \
     >"$SMOKE_DIR/fleet.out"
 grep -Eq 'fleet: spawned=[0-9]+ completed=[1-9][0-9]* expired=0' \
     "$SMOKE_DIR/fleet.out" \
     || { echo "ext_fleet quick run left flows incomplete" >&2; exit 1; }
 grep -q '"p99"' results/ext_fleet.manifest.json \
     || { echo "fleet manifest missing FCT annotations" >&2; exit 1; }
+grep -q '"label":"scope/' results/ext_fleet.manifest.json \
+    || { echo "fleet manifest missing scope annotations" >&2; exit 1; }
+cargo run --release -q -p simtrace --bin suss-trace -- \
+    profile results/ext_fleet.manifest.json --min-coverage 95 >/dev/null
 
-echo "== bench smoke (engine A/B snapshot, quick) =="
+echo "== perf-regression gate (quick bench vs committed baseline) =="
+# Diff a fresh quick A/B snapshot against the committed baseline; any
+# criterion group more than 25% slower fails the gate.
+cp results/BENCH_hotpath.quick.json "$SMOKE_DIR/bench_baseline.json"
+
 # Short-iteration hotpath run: proves the A/B harness runs end to end and
 # that both engines still produce byte-identical results (the bin exits
-# non-zero on divergence). Timing numbers from quick mode are not the
-# committed snapshot; see scripts/bench_snapshot.sh.
+# non-zero on divergence), then feeds the regression diff. Full-mode
+# timings are recorded separately; see scripts/bench_snapshot.sh.
 scripts/bench_snapshot.sh --quick >/dev/null
+cargo run --release -q -p simtrace --bin suss-trace -- \
+    bench-diff "$SMOKE_DIR/bench_baseline.json" results/BENCH_hotpath.quick.json \
+    --max-slowdown 25
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
