@@ -45,7 +45,7 @@ pub use cubic::{Cubic, CubicCore};
 pub use cubic_suss::CubicSuss;
 pub use hystart::HyStart;
 pub use hystartpp::{CubicHspp, HystartPP};
-pub use qcc::{QuicAdapter, QuicController, QuicRtt};
+pub use qcc::{make_quic_controller, QuicAdapter, QuicController, QuicRtt};
 pub use reno::Reno;
 
 use suss_core::SussConfig;

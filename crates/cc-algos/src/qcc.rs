@@ -15,7 +15,7 @@
 //!   adapter surfaces the SUSS pacing rate through [`QuicController::pacing_rate`].
 
 use std::time::Duration;
-use tcp_sim::cc::{AckView, CongestionControl, LossKind, LossView};
+use tcp_sim::cc::{AckView, CcEvent, CongestionControl, LossKind, LossView};
 
 /// Nanoseconds on the transport clock (QUIC stacks use `Instant`; a
 /// monotonic nanosecond count is the same information).
@@ -65,6 +65,31 @@ pub trait QuicController {
 
     /// A requested timer fired.
     fn on_timer(&mut self, now: Nanos);
+
+    /// Short algorithm name for traces and tables.
+    fn name(&self) -> &'static str {
+        "quic-cc"
+    }
+
+    /// Whether the controller is in its exponential-growth phase.
+    fn in_slow_start(&self) -> bool {
+        false
+    }
+
+    /// Diagnostic: the slow-start threshold, if meaningful.
+    fn ssthresh(&self) -> Option<u64> {
+        None
+    }
+
+    /// Drain controller decisions for the connection trace — the same
+    /// [`CcEvent`] catalogue the TCP transport consumes, so both
+    /// transports' decision traces line up record-for-record.
+    fn take_events(&mut self) -> Vec<CcEvent> {
+        Vec::new()
+    }
+
+    /// Attach metric handles from the owning simulation's registry.
+    fn bind_metrics(&mut self, _registry: &simtrace::Registry) {}
 }
 
 /// Adapts any [`CongestionControl`] (including `CubicSuss`) to the
@@ -90,6 +115,28 @@ impl<C: CongestionControl> QuicAdapter<C> {
     pub fn inner(&self) -> &C {
         &self.inner
     }
+
+    /// Mutable access to the wrapped controller.
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.inner
+    }
+
+    /// Total bytes the adapter has seen transmitted.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Total bytes the adapter has seen acknowledged.
+    pub fn total_acked(&self) -> u64 {
+        self.total_acked
+    }
+}
+
+/// Construct a boxed quinn-shaped controller by [`CcKind`]: the factory
+/// the QUIC transport uses, mirroring [`crate::make_controller`]. Every
+/// controller in this crate runs unmodified behind the adapter.
+pub fn make_quic_controller(kind: crate::CcKind, iw: u64, mss: u64) -> Box<dyn QuicController> {
+    Box::new(QuicAdapter::new(crate::make_controller(kind, iw, mss)))
 }
 
 impl<C: CongestionControl> QuicController for QuicAdapter<C> {
@@ -152,6 +199,26 @@ impl<C: CongestionControl> QuicController for QuicAdapter<C> {
 
     fn on_timer(&mut self, now: Nanos) {
         self.inner.on_timer(now)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.inner.in_slow_start()
+    }
+
+    fn ssthresh(&self) -> Option<u64> {
+        self.inner.ssthresh()
+    }
+
+    fn take_events(&mut self) -> Vec<CcEvent> {
+        self.inner.take_events()
+    }
+
+    fn bind_metrics(&mut self, registry: &simtrace::Registry) {
+        self.inner.bind_metrics(registry)
     }
 }
 

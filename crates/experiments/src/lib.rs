@@ -29,6 +29,7 @@ pub mod fig09;
 pub mod fig13;
 pub mod fleet;
 pub mod loss;
+pub mod quic_pacing;
 pub mod stability;
 
 pub use campaigns::{
@@ -39,5 +40,9 @@ pub use dumbbell::{
     run_dumbbell, run_dumbbell_engine, run_dumbbell_scoped, DumbbellFlow, DumbbellOutcome,
 };
 pub use fleet::{fleet_table, run_fleet_cell, FleetConfig, FleetRun, FleetStats};
+pub use quic_pacing::{
+    quic_pacing_campaign, quic_pacing_table, run_quic_pacing_cell, QuicPacingConfig, QuicPacingRun,
+    QuicPacingStats,
+};
 pub use runner::{mean_fct, run_flow, run_flow_engine, FlowOutcome, IW, MSS};
 pub use scope::{attach_link_scope, emit_scope_annotations, ScopeHistograms, SCOPE_SERIES};

@@ -1,0 +1,96 @@
+//! quic-sim campaign determinism gates: the pacing-matrix results are a
+//! pure function of (config, seed) — independent of worker count and of
+//! the scheduler engine (timer wheel vs binary heap), the same contracts
+//! the TCP campaigns are held to.
+
+use cc_algos::CcKind;
+use experiments::quic_pacing::{
+    quic_pacing_table, run_quic_pacing_cell, QuicPacingConfig, QUIC_SIZES_QUICK,
+};
+use netsim::EngineConfig;
+use quic_sim::PacingStrategy;
+use simrunner::RunnerOpts;
+use workload::{LastHop, PathScenario, ServerSite, KB, MB};
+
+fn small_cfg(cc: CcKind, strategy: PacingStrategy) -> QuicPacingConfig {
+    let scn = PathScenario::new(ServerSite::OracleLondon, LastHop::Wired);
+    let mut cfg = QuicPacingConfig::new(scn, strategy, cc);
+    cfg.iters = 2;
+    cfg.sizes = vec![200 * KB, MB];
+    cfg
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    // The full matrix at 1 and 4 workers, cold both times: per-cell
+    // results and manifest annotations must match exactly.
+    let serial = quic_pacing_table(1, &QUIC_SIZES_QUICK, 1, &RunnerOpts::serial());
+    let parallel = quic_pacing_table(
+        1,
+        &QUIC_SIZES_QUICK,
+        1,
+        &RunnerOpts::serial().with_workers(4),
+    );
+    assert_eq!(serial.results, parallel.results);
+    assert_eq!(serial.totals(), parallel.totals());
+    assert_eq!(
+        serial.manifest.annotations.len(),
+        parallel.manifest.annotations.len()
+    );
+    for (a, b) in serial
+        .manifest
+        .annotations
+        .iter()
+        .zip(&parallel.manifest.annotations)
+    {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.n, b.n);
+        assert_eq!((a.p50, a.p90, a.p99, a.p999), (b.p50, b.p90, b.p99, b.p999));
+    }
+    let (completed, incomplete) = serial.totals();
+    assert!(completed > 0, "cells must complete downloads");
+    assert_eq!(incomplete, 0, "quick matrix must fully drain");
+}
+
+#[test]
+fn engine_choice_does_not_change_results() {
+    // Timer-wheel default (batching on) vs binary-heap baseline: FCT
+    // distributions and every non-scheduler counter must be identical.
+    for strategy in PacingStrategy::matrix() {
+        let mut wheel = small_cfg(CcKind::CubicSuss, strategy);
+        wheel.engine = EngineConfig::default();
+        let mut heap = small_cfg(CcKind::CubicSuss, strategy);
+        heap.engine = EngineConfig::baseline();
+
+        let a = run_quic_pacing_cell(&wheel, 9);
+        let b = run_quic_pacing_cell(&heap, 9);
+        assert_eq!(
+            (a.completed, a.incomplete),
+            (b.completed, b.incomplete),
+            "{strategy:?}"
+        );
+        assert_eq!(a.hist_small, b.hist_small, "{strategy:?}");
+        assert_eq!(a.hist_mid, b.hist_mid, "{strategy:?}");
+        assert_eq!(a.hist_large, b.hist_large, "{strategy:?}");
+        for (name, delta) in &a.counters.diff(&b.counters) {
+            if *delta == 0 {
+                continue;
+            }
+            assert!(
+                name.starts_with("net.sched_") || name.starts_with("net.pool_"),
+                "{name} must not differ across engines under {strategy:?} (delta {delta})"
+            );
+        }
+    }
+}
+
+#[test]
+fn paired_seeds_give_cubic_and_suss_identical_randomness() {
+    // Within a (scenario, strategy) pair the campaign hands both
+    // controllers the same seed, so their per-download sub-seeds — and
+    // therefore their path randomness — are identical. A CUBIC cell
+    // rerun under the CUBIC label must reproduce itself exactly.
+    let a = run_quic_pacing_cell(&small_cfg(CcKind::Cubic, PacingStrategy::PerPacket), 21);
+    let b = run_quic_pacing_cell(&small_cfg(CcKind::Cubic, PacingStrategy::PerPacket), 21);
+    assert_eq!(a, b);
+}

@@ -109,6 +109,21 @@ pub mod names {
     /// Flows whose ConnTrace sampling was suppressed by the
     /// concurrent-flow cap.
     pub const FLEET_TRACES_SUPPRESSED: &str = "fleet.traces_suppressed";
+    /// QUIC packets transmitted (new data and retransmissions alike —
+    /// every transmission gets a fresh packet number).
+    pub const QUIC_PKTS_SENT: &str = "quic.pkts_sent";
+    /// QUIC packets carrying retransmitted stream bytes.
+    pub const QUIC_RETRANSMITS: &str = "quic.retransmits";
+    /// QUIC packets declared lost by the detector (packet threshold or
+    /// time threshold).
+    pub const QUIC_PKTS_LOST: &str = "quic.pkts_lost";
+    /// QUIC probe-timeout (PTO) expirations.
+    pub const QUIC_PTOS: &str = "quic.ptos";
+    /// QUIC ACK frames transmitted.
+    pub const QUIC_ACKS_SENT: &str = "quic.acks_sent";
+    /// Sends deferred by the QUIC pacing strategy (one per armed pacing
+    /// timer; the knob the pacing-strategy matrix turns).
+    pub const QUIC_PACE_DELAYS: &str = "quic.pace_delays";
     /// Campaign cells re-run after a panic and eventually recovered.
     pub const RUNNER_CELL_RETRIES: &str = "runner.cell_retries";
     /// Campaign cells abandoned by the wall-clock/progress watchdog.

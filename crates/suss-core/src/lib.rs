@@ -52,6 +52,7 @@
 
 pub mod config;
 pub mod growth;
+pub mod pacer;
 pub mod rounds;
 pub mod schedule;
 pub mod suss;
@@ -60,6 +61,7 @@ pub use config::SussConfig;
 pub use growth::{
     condition1, condition2, growth_factor, growth_factor_algorithm1_literal, GrowthInputs,
 };
+pub use pacer::{packet_interval, Pacer};
 pub use rounds::{AckObservation, Nanos, RoundSnapshot, RoundTracker};
 pub use schedule::{estimate_ack_train, plan_pacing, PacingPlan};
 pub use suss::{AckEvent, Suss, SussOutput};

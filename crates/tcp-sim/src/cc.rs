@@ -122,6 +122,49 @@ pub trait CongestionControl {
     fn bind_metrics(&mut self, _registry: &simtrace::Registry) {}
 }
 
+/// Boxed controllers forward transparently, so adapters generic over
+/// `C: CongestionControl` (the QUIC adapter in `cc-algos`) can wrap the
+/// factory-produced `Box<dyn CongestionControl>` without knowing the
+/// concrete type.
+impl CongestionControl for Box<dyn CongestionControl> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn cwnd(&self) -> u64 {
+        (**self).cwnd()
+    }
+    fn in_slow_start(&self) -> bool {
+        (**self).in_slow_start()
+    }
+    fn on_ack(&mut self, ack: &AckView) {
+        (**self).on_ack(ack)
+    }
+    fn on_congestion_event(&mut self, loss: &LossView) {
+        (**self).on_congestion_event(loss)
+    }
+    fn on_sent(&mut self, now: Nanos, bytes: u64, snd_nxt: u64) {
+        (**self).on_sent(now, bytes, snd_nxt)
+    }
+    fn pacing_rate(&self) -> Option<f64> {
+        (**self).pacing_rate()
+    }
+    fn next_timer(&self) -> Option<Nanos> {
+        (**self).next_timer()
+    }
+    fn on_timer(&mut self, now: Nanos) {
+        (**self).on_timer(now)
+    }
+    fn ssthresh(&self) -> Option<u64> {
+        (**self).ssthresh()
+    }
+    fn take_events(&mut self) -> Vec<CcEvent> {
+        (**self).take_events()
+    }
+    fn bind_metrics(&mut self, registry: &simtrace::Registry) {
+        (**self).bind_metrics(registry)
+    }
+}
+
 /// Events a controller reports into the connection trace.
 ///
 /// Together these form the CC *decision* catalogue: each records one

@@ -91,6 +91,31 @@ grep -q '"label":"scope/' results/ext_fleet.manifest.json \
 cargo run --release -q -p simtrace --bin suss-trace -- \
     profile results/ext_fleet.manifest.json --min-coverage 95 >/dev/null
 
+echo "== quic smoke (pacing-strategy matrix, quick, determinism re-run) =="
+# The quick QUIC pacing matrix (2 scenarios × 3 strategies × 2 CCs) must
+# complete every download and publish FCT-percentile annotations; the bin
+# exits non-zero if any cell fails. A cold 2-worker re-run must reproduce
+# the annotations byte for byte — the campaign-level determinism gate for
+# the second transport.
+SUSS_CACHE_DIR="$SMOKE_DIR/quic-cache" \
+    cargo run --release -q -p suss-bench --bin ext_quic_pacing -- --quick --no-progress \
+    >"$SMOKE_DIR/quic.out"
+grep -Eq 'quic pacing: completed=[1-9][0-9]* incomplete=0' "$SMOKE_DIR/quic.out" \
+    || { echo "ext_quic_pacing quick run left downloads incomplete" >&2; exit 1; }
+grep -q '"p99"' results/ext_quic_pacing.manifest.json \
+    || { echo "quic manifest missing FCT annotations" >&2; exit 1; }
+grep -q '"status":"Ok"' results/ext_quic_pacing.manifest.json \
+    || { echo "quic manifest missing Ok cells" >&2; exit 1; }
+grep -o '"annotations":\[[^]]*\]' results/ext_quic_pacing.manifest.json \
+    >"$SMOKE_DIR/quic-ann.1"
+SUSS_CACHE_DIR="$SMOKE_DIR/quic-cache" \
+    cargo run --release -q -p suss-bench --bin ext_quic_pacing -- \
+    --quick --no-progress --workers 2 --cold >/dev/null
+grep -o '"annotations":\[[^]]*\]' results/ext_quic_pacing.manifest.json \
+    >"$SMOKE_DIR/quic-ann.2"
+cmp -s "$SMOKE_DIR/quic-ann.1" "$SMOKE_DIR/quic-ann.2" \
+    || { echo "quic annotations differ across worker counts" >&2; exit 1; }
+
 echo "== perf-regression gate (quick bench vs committed baseline) =="
 # Diff a fresh quick A/B snapshot against the committed baseline; any
 # criterion group more than 25% slower fails the gate.
