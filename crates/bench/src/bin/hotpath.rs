@@ -101,6 +101,10 @@ fn run_rep(tag: &str, engine: netsim::EngineConfig, pairs: usize, size: u64) -> 
 fn assert_identical(heap: &FlowGridRun, wheel: &FlowGridRun) {
     assert_eq!(heap.stats.len(), wheel.stats.len());
     for (i, (h, w)) in heap.stats.iter().zip(&wheel.stats).enumerate() {
+        let (h, w) = (
+            h.as_ref().expect("heap cell failed"),
+            w.as_ref().expect("wheel cell failed"),
+        );
         let mut bad: Vec<String> = Vec::new();
         if h.fct_secs.to_bits() != w.fct_secs.to_bits() {
             bad.push(format!("fct_secs {} vs {}", h.fct_secs, w.fct_secs));

@@ -8,14 +8,18 @@
 //! `--csv` to emit machine-readable output after the human-readable
 //! table. All experiments run as simrunner campaigns, so every binary
 //! also accepts the parallel-execution flags (`--workers`, `--no-cache`,
-//! `--cold`, `--no-progress`), caches results under `results/cache/`, and
-//! writes a run manifest to `results/<name>.manifest.json`.
+//! `--cold`, `--no-progress`), the executor flags (`--executor
+//! pool|steal`, `--shards N` to coordinate N shard child processes,
+//! `--shard K/N` to run one shard, `--merge-shards N` to merge
+//! already-written shard manifests), caches results under
+//! `results/cache/`, and writes a run manifest to
+//! `results/<name>.manifest.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use netsim::{Agent, Ctx, EngineConfig, Packet, Sim, SimTime};
-use simrunner::{RunManifest, RunnerOpts};
+use simrunner::{ExecSpec, RunManifest, RunnerOpts};
 use std::any::Any;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -101,6 +105,17 @@ pub struct BenchCli {
     /// `results/<name>.trace.jsonl`" — resolve it with
     /// [`BenchCli::trace_path`].
     pub trace: Option<PathBuf>,
+    /// Local executor from `--executor pool|steal` (pool when absent).
+    pub steal: bool,
+    /// Coordinate N shard child processes (`--shards N`).
+    pub shards: Option<usize>,
+    /// Run as one shard of a split campaign (`--shard K/N`).
+    pub shard: Option<(usize, usize)>,
+    /// Merge already-written shard manifests (`--merge-shards N`).
+    pub merge_shards: Option<usize>,
+    /// The arguments a shard child should re-run with: this invocation's
+    /// argv minus the shard-orchestration flags.
+    child_args: Vec<String>,
 }
 
 impl BenchCli {
@@ -116,12 +131,26 @@ impl BenchCli {
             cold: false,
             no_progress: false,
             trace: None,
+            steal: false,
+            shards: None,
+            shard: None,
+            merge_shards: None,
+            child_args: Vec::new(),
         };
         let mut args = std::env::args().skip(1).peekable();
+        // Keep every argument a shard child should inherit; the
+        // orchestration flags themselves must not recurse into children.
+        let keep = |o: &mut BenchCli, a: &str| o.child_args.push(a.to_string());
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--quick" => o.quick = true,
-                "--csv" => o.csv = true,
+                "--quick" => {
+                    o.quick = true;
+                    keep(&mut o, "--quick");
+                }
+                "--csv" => {
+                    o.csv = true;
+                    keep(&mut o, "--csv");
+                }
                 "--workers" => {
                     o.workers = match args.next().and_then(|v| v.parse().ok()) {
                         Some(w) => w,
@@ -129,11 +158,59 @@ impl BenchCli {
                             eprintln!("--workers needs a number");
                             std::process::exit(2);
                         }
+                    };
+                    keep(&mut o, "--workers");
+                    let w = o.workers.to_string();
+                    keep(&mut o, &w);
+                }
+                "--no-cache" => {
+                    o.no_cache = true;
+                    keep(&mut o, "--no-cache");
+                }
+                "--cold" => {
+                    o.cold = true;
+                    keep(&mut o, "--cold");
+                }
+                "--no-progress" => o.no_progress = true,
+                "--executor" => match args.next().as_deref() {
+                    Some("pool") => o.steal = false,
+                    Some("steal") => o.steal = true,
+                    other => {
+                        eprintln!("--executor needs pool|steal, got {other:?}");
+                        std::process::exit(2);
+                    }
+                },
+                "--shards" => {
+                    o.shards = match args.next().and_then(|v| v.parse().ok()) {
+                        Some(0) | None => {
+                            eprintln!("--shards needs a shard count >= 1");
+                            std::process::exit(2);
+                        }
+                        n => n,
                     }
                 }
-                "--no-cache" => o.no_cache = true,
-                "--cold" => o.cold = true,
-                "--no-progress" => o.no_progress = true,
+                "--shard" => {
+                    let spec = args.next().unwrap_or_default();
+                    o.shard = match spec.split_once('/').and_then(|(k, n)| {
+                        Some((k.parse().ok()?, n.parse().ok()?))
+                            .filter(|&(k, n): &(usize, usize)| n >= 1 && k < n)
+                    }) {
+                        Some(kn) => Some(kn),
+                        None => {
+                            eprintln!("--shard needs K/N with K < N, got {spec:?}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--merge-shards" => {
+                    o.merge_shards = match args.next().and_then(|v| v.parse().ok()) {
+                        Some(0) | None => {
+                            eprintln!("--merge-shards needs a shard count >= 1");
+                            std::process::exit(2);
+                        }
+                        n => n,
+                    }
+                }
                 "--trace" => {
                     // Optional operand: `--trace out.jsonl` or bare
                     // `--trace` for the binary's default path.
@@ -146,7 +223,9 @@ impl BenchCli {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: {name} [--quick] [--csv] [--workers N] [--no-cache] \
-                         [--cold] [--no-progress] [--trace [PATH]]"
+                         [--cold] [--no-progress] [--trace [PATH]] \
+                         [--executor pool|steal] [--shards N] [--shard K/N] \
+                         [--merge-shards N]"
                     );
                     std::process::exit(0);
                 }
@@ -156,6 +235,15 @@ impl BenchCli {
                 }
             }
         }
+        // Shard children exchange results through the shared cache; a
+        // cacheless split could never be merged back together.
+        if (o.shards.is_some() || o.shard.is_some() || o.merge_shards.is_some()) && o.no_cache {
+            eprintln!("sharded execution requires the result cache (drop --no-cache)");
+            std::process::exit(2);
+        }
+        // Child shard processes write no terminal; their progress
+        // streams would interleave illegibly.
+        o.child_args.push("--no-progress".to_string());
         if o.trace.is_none() {
             if let Ok(p) = std::env::var("SUSS_TRACE") {
                 if !p.is_empty() {
@@ -211,9 +299,12 @@ impl BenchCli {
     /// count, the shared cache under `results/cache/`, progress on
     /// stderr (human output goes to stdout, so redirects stay clean),
     /// flight-recorder dumps under `results/flightrec/` for cells that
-    /// terminally panic or time out, with `SUSS_*` environment overrides
-    /// applied last (`SUSS_FLIGHTREC_DIR=` disables the recorder,
-    /// `SUSS_PROF=1` enables per-cell span profiling).
+    /// terminally panic or time out, the executor selected by the
+    /// `--executor`/`--shards`/`--shard`/`--merge-shards` flags, and
+    /// `SUSS_*` environment overrides applied last (so a coordinator's
+    /// `SUSS_SHARD=k/N` wins inside shard children;
+    /// `SUSS_FLIGHTREC_DIR=` disables the recorder, `SUSS_PROF=1`
+    /// enables per-cell span profiling).
     pub fn runner(&self) -> RunnerOpts {
         let mut r = RunnerOpts::default().with_workers(self.workers);
         if !self.no_cache {
@@ -222,6 +313,23 @@ impl BenchCli {
         r.force_cold = self.cold;
         r.progress = !self.no_progress;
         r.flightrec_dir = Some(PathBuf::from("results/flightrec"));
+        r.manifest_stem = Some(PathBuf::from("results").join(self.name));
+        if let Some((index, total)) = self.shard {
+            // A CLI-selected shard run exits after writing its shard
+            // manifest — the figure-rendering tail of the binary must
+            // not run on a partial result set.
+            r.executor = ExecSpec::Shard { index, total };
+            r.shard_exit = true;
+        } else if let Some(shards) = self.shards {
+            r.executor = ExecSpec::Coordinator {
+                shards,
+                argv: Some(self.child_args.clone()),
+            };
+        } else if let Some(shards) = self.merge_shards {
+            r.executor = ExecSpec::MergeShards { shards };
+        } else if self.steal {
+            r.executor = ExecSpec::WorkStealing;
+        }
         r.env_overrides()
     }
 

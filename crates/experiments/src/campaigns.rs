@@ -158,30 +158,25 @@ impl FlowGrid {
         self.campaign.is_empty()
     }
 
-    /// Execute every queued cell.
+    /// Execute every queued cell on the executor selected by `opts`
+    /// (pool by default; work-stealing, shard, or coordinator via
+    /// [`simrunner::ExecSpec`] / the `SUSS_EXECUTOR` and `SUSS_SHARD`
+    /// environment knobs).
+    ///
+    /// Failure handling follows `opts.on_failure`: under the default
+    /// raise policy any terminal cell failure panics with the cell's
+    /// label (a panic in a clean-path figure is a bug worth crashing
+    /// on); under [`RunnerOpts::record_failures`] the grid always
+    /// completes — a panicking cell is retried on a fresh worker, a hung
+    /// cell is abandoned by the watchdog, and failed cells come back as
+    /// `None` with their [`simrunner::CellStatus`] in the manifest.
+    /// Chaos campaigns use the record policy.
     pub fn run(self, opts: &RunnerOpts) -> FlowGridRun {
         let FlowGrid { campaign, runners } = self;
-        let out = campaign.run(opts, |cell| FlowStats::of(&runners[cell.index](cell.seed)));
-        FlowGridRun {
-            stats: out.results,
-            manifest: out.manifest,
-        }
-    }
-
-    /// Execute every queued cell with crash-proofing
-    /// ([`simrunner::Campaign::run_resilient`]): a panicking cell is
-    /// retried on a fresh worker, a hung cell is abandoned by the
-    /// watchdog, and the grid always completes — failed cells come back
-    /// as `None` and are recorded in the manifest instead of tearing the
-    /// campaign down. Chaos campaigns use this; the clean-path figures
-    /// keep [`FlowGrid::run`], where any panic is a bug worth crashing
-    /// on.
-    pub fn run_resilient(self, opts: &RunnerOpts) -> FlowGridResilientRun {
-        let FlowGrid { campaign, runners } = self;
-        let out = campaign.run_resilient(opts, move |cell| {
+        let out = campaign.run(&opts.executor(), move |cell| {
             FlowStats::of(&runners[cell.index](cell.seed))
         });
-        FlowGridResilientRun {
+        FlowGridRun {
             stats: out.results,
             manifest: out.manifest,
         }
@@ -189,23 +184,33 @@ impl FlowGrid {
 }
 
 /// A completed [`FlowGrid`] run: per-cell stats in campaign order plus
-/// the run manifest.
+/// the run manifest. Failed cells (possible only under
+/// [`RunnerOpts::record_failures`]) are `None`.
 #[derive(Debug)]
 pub struct FlowGridRun {
-    /// Per-cell flow stats, in queue order.
-    pub stats: Vec<FlowStats>,
+    /// Per-cell flow stats, in queue order; `None` for cells that
+    /// panicked past the retry budget or were abandoned by the watchdog
+    /// (record policy only — the default policy panics instead).
+    pub stats: Vec<Option<FlowStats>>,
     /// The run's manifest (workers, wall time, cache hits, per-cell
-    /// records).
+    /// records, resilience totals).
     pub manifest: RunManifest,
 }
 
 impl FlowGridRun {
-    /// Aggregate one batch through an extractor, dropping non-finite
-    /// samples (flows that never completed).
+    /// Whether every cell produced a result.
+    pub fn all_ok(&self) -> bool {
+        self.manifest.all_ok() && self.manifest.cells_skipped == 0
+    }
+
+    /// Aggregate the surviving cells of one batch through an extractor,
+    /// dropping failed cells and non-finite samples (flows that never
+    /// completed). `None` when every cell of the batch failed or
+    /// produced non-finite values.
     pub fn summary(&self, b: Batch, f: impl Fn(&FlowStats) -> f64) -> Option<Summary> {
         Summary::of_indexed(
             (b.start..b.start + b.len)
-                .map(|i| (i, f(&self.stats[i])))
+                .filter_map(|i| self.stats[i].as_ref().map(|s| (i, f(s))))
                 .filter(|&(_, v)| v.is_finite())
                 .collect(),
         )
@@ -216,76 +221,26 @@ impl FlowGridRun {
     /// # Panics
     /// Panics if no iteration of the batch completed.
     pub fn fct(&self, b: Batch) -> Summary {
+        self.try_fct(b).expect("all iterations failed")
+    }
+
+    /// FCT summary of a batch's surviving cells, `None` when the whole
+    /// batch failed — the non-panicking variant for chaos campaigns.
+    pub fn try_fct(&self, b: Batch) -> Option<Summary> {
         self.summary(b, |s| s.fct_secs)
-            .expect("all iterations failed")
     }
 
     /// Retransmission-rate summary of a batch.
     ///
     /// # Panics
-    /// Panics if the batch is empty.
+    /// Panics if the batch is empty or fully failed.
     pub fn retransmit_rate(&self, b: Batch) -> Summary {
         self.summary(b, |s| s.retransmit_rate).expect("empty batch")
     }
 
-    /// The per-cell stats of one batch, in seed order.
-    pub fn batch_stats(&self, b: Batch) -> &[FlowStats] {
+    /// The per-cell stats of one batch, in seed order (`None` = failed).
+    pub fn batch_stats(&self, b: Batch) -> &[Option<FlowStats>] {
         &self.stats[b.start..b.start + b.len]
-    }
-
-    /// Mean of one registry counter (see `simtrace::names`) across a
-    /// batch; cells whose snapshot lacks the counter contribute 0.
-    pub fn counter_mean(&self, b: Batch, name: &str) -> f64 {
-        let sum: u64 = (b.start..b.start + b.len)
-            .map(|i| self.stats[i].counters.get(name).unwrap_or(0))
-            .sum();
-        sum as f64 / b.len.max(1) as f64
-    }
-
-    /// Merge every cell's counter snapshot into campaign-wide totals
-    /// (counters add, gauges keep their max). Deterministic across worker
-    /// counts because cells are merged in campaign order.
-    pub fn counters_total(&self) -> simtrace::CounterSnapshot {
-        let mut total = simtrace::CounterSnapshot::default();
-        for s in &self.stats {
-            total.merge(&s.counters);
-        }
-        total
-    }
-}
-
-/// A completed resilient [`FlowGrid`] run: failed cells are `None`.
-#[derive(Debug)]
-pub struct FlowGridResilientRun {
-    /// Per-cell flow stats in queue order; `None` for cells that panicked
-    /// past the retry budget or were abandoned by the watchdog.
-    pub stats: Vec<Option<FlowStats>>,
-    /// The run's manifest, including per-cell [`simrunner::CellStatus`]
-    /// and the resilience totals.
-    pub manifest: RunManifest,
-}
-
-impl FlowGridResilientRun {
-    /// Whether every cell produced a result.
-    pub fn all_ok(&self) -> bool {
-        self.manifest.all_ok()
-    }
-
-    /// Aggregate the surviving cells of one batch through an extractor,
-    /// dropping failed cells and non-finite samples. `None` when every
-    /// cell of the batch failed (or produced non-finite values).
-    pub fn summary(&self, b: Batch, f: impl Fn(&FlowStats) -> f64) -> Option<Summary> {
-        Summary::of_indexed(
-            (b.start..b.start + b.len)
-                .filter_map(|i| self.stats[i].as_ref().map(|s| (i, f(s))))
-                .filter(|&(_, v)| v.is_finite())
-                .collect(),
-        )
-    }
-
-    /// FCT summary of a batch's surviving cells.
-    pub fn fct(&self, b: Batch) -> Option<Summary> {
-        self.summary(b, |s| s.fct_secs)
     }
 
     /// How many cells of a batch produced a result.
@@ -295,8 +250,9 @@ impl FlowGridResilientRun {
             .count()
     }
 
-    /// Mean of one registry counter across a batch's surviving cells
-    /// (0 when the whole batch failed).
+    /// Mean of one registry counter (see `simtrace::names`) across a
+    /// batch's surviving cells; cells whose snapshot lacks the counter
+    /// contribute 0, and a fully failed batch reports 0.
     pub fn counter_mean(&self, b: Batch, name: &str) -> f64 {
         let n = self.survivors(b);
         if n == 0 {
@@ -310,7 +266,8 @@ impl FlowGridResilientRun {
     }
 
     /// Merge the surviving cells' counter snapshots into campaign-wide
-    /// totals, in campaign order (deterministic across worker counts).
+    /// totals (counters add, gauges keep their max). Deterministic across
+    /// worker counts because cells are merged in campaign order.
     pub fn counters_total(&self) -> simtrace::CounterSnapshot {
         let mut total = simtrace::CounterSnapshot::default();
         for s in self.stats.iter().flatten() {

@@ -8,7 +8,7 @@
 //! and route-change RTT steps — and reports an FCT/loss-recovery table
 //! per family.
 //!
-//! Chaos cells run through [`FlowGrid::run_resilient`], so a cell that
+//! Chaos cells run with [`simrunner::RunnerOpts::record_failures`], so a cell that
 //! panics or livelocks is retried/abandoned and recorded in the manifest
 //! instead of killing the campaign. Two environment hooks exist purely to
 //! exercise that machinery end-to-end (`scripts/check.sh` uses them):
@@ -239,7 +239,7 @@ pub fn chaos_table(
         .iter()
         .map(|&f| (f, arm(f, CcKind::Cubic), arm(f, CcKind::CubicSuss)))
         .collect();
-    let run = grid.run_resilient(opts);
+    let run = grid.run(&opts.clone().record_failures());
 
     let mut t = TextTable::new(vec![
         "fault",
@@ -255,7 +255,7 @@ pub fn chaos_table(
         None => "-".to_string(),
     };
     for (family, cb, sb) in batches {
-        let (c, s) = (run.fct(cb), run.fct(sb));
+        let (c, s) = (run.try_fct(cb), run.try_fct(sb));
         let imp = match (&c, &s) {
             (Some(c), Some(s)) => fmt_pct(improvement(c.mean, s.mean)),
             _ => "-".to_string(),
@@ -363,10 +363,10 @@ mod tests {
             );
             g
         };
-        let clean = grid(None).run_resilient(&RunnerOpts::serial());
+        let clean = grid(None).run(&RunnerOpts::serial().record_failures());
         assert!(clean.all_ok());
 
-        let hurt = grid(Some(3)).run_resilient(&RunnerOpts::serial());
+        let hurt = grid(Some(3)).run(&RunnerOpts::serial().record_failures());
         assert_eq!(hurt.manifest.cells_failed, 1);
         let rec = &hurt.manifest.cells[2]; // seeds 1..=4, seed 3 is index 2
         assert_eq!(rec.seed, 3);

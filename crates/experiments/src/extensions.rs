@@ -404,7 +404,12 @@ pub fn parking_lot_probe(
     let off_b = arm(CcKind::Cubic);
     let on_b = arm(CcKind::CubicSuss);
     let run = grid.run(opts);
-    let (off, on) = (&run.batch_stats(off_b)[0], &run.batch_stats(on_b)[0]);
+    let off = run.batch_stats(off_b)[0]
+        .as_ref()
+        .expect("parking-lot cubic cell failed");
+    let on = run.batch_stats(on_b)[0]
+        .as_ref()
+        .expect("parking-lot suss cell failed");
 
     let mut t = TextTable::new(vec!["metric", "cubic", "suss"]);
     t.row(vec![

@@ -152,9 +152,11 @@ pub fn run_with(params: &FairnessParams, opts: &RunnerOpts) -> (Vec<FairnessCell
             }
         }
     }
-    let out = c.run(opts, |cell| {
-        let (rtt, buffer, kind) = specs[cell.index];
-        run_cell(rtt, buffer, kind, params)
+    let run_specs = specs.clone();
+    let run_params = params.clone();
+    let out = c.run(&opts.executor(), move |cell| {
+        let (rtt, buffer, kind) = run_specs[cell.index];
+        run_cell(rtt, buffer, kind, &run_params)
     });
     // Reassemble (on, off) series pairs into grid cells, in queue order.
     let mut cells = Vec::new();
@@ -164,8 +166,14 @@ pub fn run_with(params: &FairnessParams, opts: &RunnerOpts) -> (Vec<FairnessCell
         cells.push(FairnessCell {
             rtt,
             buffer_bdp: buffer,
-            jain_on: series.next().expect("one series per cell"),
-            jain_off: series.next().expect("one series per cell"),
+            jain_on: series
+                .next()
+                .expect("one series per cell")
+                .expect("fairness cell failed"),
+            jain_off: series
+                .next()
+                .expect("one series per cell")
+                .expect("fairness cell failed"),
         });
     }
     (cells, out.manifest)

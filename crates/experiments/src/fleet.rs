@@ -387,12 +387,21 @@ impl FleetRun {
 /// [`FctAnnotation`], so the curves are machine-readable.
 pub fn fleet_table(n_flows: u64, seed_base: u64, opts: &RunnerOpts) -> FleetRun {
     let (campaign, configs) = fleet_campaign(n_flows, seed_base);
-    let out = campaign.run(opts, |cell| run_fleet_cell(&configs[cell.index], cell.seed));
+    let configs = std::sync::Arc::new(configs);
+    let run_configs = std::sync::Arc::clone(&configs);
+    let out = campaign.run(&opts.executor(), move |cell| {
+        run_fleet_cell(&run_configs[cell.index], cell.seed)
+    });
     let mut manifest = out.manifest;
+    let results: Vec<FleetStats> = out
+        .results
+        .into_iter()
+        .map(|r| r.expect("fleet cell failed"))
+        .collect();
     let mut t = TextTable::new(vec![
         "scenario", "cc", "load", "bucket", "flows", "p50 s", "p90 s", "p99 s", "expired",
     ]);
-    for (i, stats) in out.results.iter().enumerate() {
+    for (i, stats) in results.iter().enumerate() {
         let cfg = &configs[i];
         for (bucket, hist) in stats.buckets() {
             if hist.count() == 0 {
@@ -423,7 +432,7 @@ pub fn fleet_table(n_flows: u64, seed_base: u64, opts: &RunnerOpts) -> FleetRun 
     FleetRun {
         table: t,
         manifest,
-        results: out.results,
+        results,
     }
 }
 

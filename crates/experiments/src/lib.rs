@@ -32,9 +32,7 @@ pub mod loss;
 pub mod quic_pacing;
 pub mod stability;
 
-pub use campaigns::{
-    Batch, FlowGrid, FlowGridResilientRun, FlowGridRun, FlowStats, CAMPAIGN_VERSION,
-};
+pub use campaigns::{Batch, FlowGrid, FlowGridRun, FlowStats, CAMPAIGN_VERSION};
 pub use chaos::{chaos_table, run_flow_faulted, run_flow_faulted_engine, FaultFamily};
 pub use dumbbell::{
     run_dumbbell, run_dumbbell_engine, run_dumbbell_scoped, DumbbellFlow, DumbbellOutcome,

@@ -276,14 +276,21 @@ pub fn quic_pacing_table(
     opts: &RunnerOpts,
 ) -> QuicPacingRun {
     let (campaign, configs) = quic_pacing_campaign(iters, sizes, seed_base);
-    let out = campaign.run(opts, |cell| {
-        run_quic_pacing_cell(&configs[cell.index], cell.seed)
+    let configs = std::sync::Arc::new(configs);
+    let run_configs = std::sync::Arc::clone(&configs);
+    let out = campaign.run(&opts.executor(), move |cell| {
+        run_quic_pacing_cell(&run_configs[cell.index], cell.seed)
     });
     let mut manifest = out.manifest;
+    let results: Vec<QuicPacingStats> = out
+        .results
+        .into_iter()
+        .map(|r| r.expect("quic pacing cell failed"))
+        .collect();
     let mut t = TextTable::new(vec![
         "scenario", "pacing", "cc", "bucket", "flows", "p50 s", "p90 s", "p99 s",
     ]);
-    for (i, stats) in out.results.iter().enumerate() {
+    for (i, stats) in results.iter().enumerate() {
         let cfg = &configs[i];
         for (bucket, hist) in stats.buckets() {
             if hist.count() == 0 {
@@ -313,7 +320,7 @@ pub fn quic_pacing_table(
     QuicPacingRun {
         table: t,
         manifest,
-        results: out.results,
+        results,
     }
 }
 

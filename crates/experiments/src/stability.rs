@@ -156,7 +156,11 @@ fn one_run(
 /// Aggregate one arm's iteration samples the way the original serial
 /// loop did: incomplete elephants are dropped (but must not all be),
 /// small-flow means are kept unconditionally.
-fn summarize_arm(samples: &[ArmSample]) -> (Summary, Summary) {
+fn summarize_arm(samples: &[Option<ArmSample>]) -> (Summary, Summary) {
+    let samples: Vec<&ArmSample> = samples
+        .iter()
+        .map(|s| s.as_ref().expect("stability cell failed"))
+        .collect();
     let larges: Vec<f64> = samples
         .iter()
         .map(|s| s.large_fct)
@@ -209,9 +213,12 @@ pub fn run_with(params: &StabilityParams, opts: &RunnerOpts) -> (Vec<StabilityCe
             }
         }
     }
-    let out = c.run(opts, |cell| {
-        let (large_cca, small_cca, buffer, rtt) = specs[cell.index];
-        let (large_fct, small_mean) = one_run(large_cca, small_cca, buffer, rtt, params, cell.seed);
+    let run_specs = specs.clone();
+    let run_params = params.clone();
+    let out = c.run(&opts.executor(), move |cell| {
+        let (large_cca, small_cca, buffer, rtt) = run_specs[cell.index];
+        let (large_fct, small_mean) =
+            one_run(large_cca, small_cca, buffer, rtt, &run_params, cell.seed);
         ArmSample {
             large_fct,
             small_mean,

@@ -84,6 +84,7 @@ fn wheel_grid() -> FlowGrid {
 fn assert_matches_golden(run: &FlowGridRun, what: &str) {
     assert_eq!(run.stats.len(), SEEDS.len());
     for (i, s) in run.stats.iter().enumerate() {
+        let s = s.as_ref().expect("golden cell failed");
         assert_eq!(
             s.fct_secs.to_bits(),
             GOLD_FCT_SECS[i].to_bits(),
@@ -189,6 +190,10 @@ fn faulted_cells_are_engine_and_worker_invariant() {
     let assert_same = |a: &FlowGridRun, b: &FlowGridRun, what: &str| {
         assert_eq!(a.stats.len(), b.stats.len());
         for (i, (x, y)) in a.stats.iter().zip(&b.stats).enumerate() {
+            let (x, y) = (
+                x.as_ref().expect("faulted cell failed"),
+                y.as_ref().expect("faulted cell failed"),
+            );
             assert_eq!(
                 x.fct_secs.to_bits(),
                 y.fct_secs.to_bits(),

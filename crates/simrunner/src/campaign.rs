@@ -1,16 +1,19 @@
-//! Campaigns: grids of independent simulation cells, and the parallel,
-//! cached executor that runs them.
+//! Campaigns: grids of independent simulation cells, plus the options
+//! surface ([`RunnerOpts`]) that selects and configures an executor.
+//!
+//! Execution itself lives in [`crate::exec`]: a [`Campaign`] is pure
+//! data, and [`Campaign::run`] hands it to any [`Executor`] — the
+//! deterministic thread pool, the work-stealing local executor, or the
+//! multi-process shard coordinator. All executors commit results by cell
+//! index, so the output is byte-identical regardless of worker count,
+//! scheduling, cache state, or sharding.
 
 use crate::cache::{Cache, CellIdentity};
-use crate::manifest::{CellRecord, CellStatus, RunManifest};
-use crate::pool::BoundedQueue;
-use crate::progress::Progress;
+use crate::exec::Executor;
+use crate::manifest::{nearest_rank, CellRecord, CellStatus, RunManifest, ShardInfo};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -28,7 +31,90 @@ pub struct Cell {
     pub seed: u64,
 }
 
-/// How to execute a campaign.
+/// What to do when cells fail (panic, exhaust retries, or time out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Panic after the campaign drains, naming the first failed cell —
+    /// the right default for figure pipelines, where a failed cell means
+    /// a bug and silently aggregating fewer samples would corrupt the
+    /// science. Successful cells are already cached by then, so a re-run
+    /// resumes from where it failed.
+    #[default]
+    Raise,
+    /// Record failures in the manifest and return `None` slots — for
+    /// chaos campaigns and anything that treats failures as data.
+    Record,
+}
+
+/// Which executor [`RunnerOpts::executor`] builds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum ExecSpec {
+    /// The deterministic token-tracked thread pool with panic isolation,
+    /// bounded retries and watchdogs (the default).
+    #[default]
+    Pool,
+    /// The work-stealing local executor: workers pull cells from
+    /// per-worker deques and steal from the back of their neighbours'.
+    /// Results still commit in canonical cell order. No watchdog support.
+    WorkStealing,
+    /// Run only the cells owned by shard `index` of `total` (round-robin
+    /// by cell index) and write a shard manifest next to the campaign's
+    /// manifest stem. Set by `SUSS_SHARD=k/N` in shard child processes.
+    Shard {
+        /// This process's shard index, in `0..total`.
+        index: usize,
+        /// Number of shards the campaign is split into.
+        total: usize,
+    },
+    /// Split the campaign into `shards` shard runs against the shared
+    /// cache, then merge the shard manifests and reload the results —
+    /// indistinguishable from a single-process run. With `argv: Some`,
+    /// shards run as child processes of the current executable with those
+    /// arguments (plus `SUSS_SHARD=k/N` in the environment); with
+    /// `argv: None` they run in-process, one after another.
+    Coordinator {
+        /// How many shards to split into.
+        shards: usize,
+        /// Child-process arguments, or `None` for in-process shards.
+        argv: Option<Vec<String>>,
+    },
+    /// Merge already-written shard manifests (e.g. from runs on other
+    /// machines against the shared cache) without executing anything.
+    MergeShards {
+        /// How many shard manifests to expect.
+        shards: usize,
+    },
+}
+
+/// How to execute a campaign: worker counts, caching, resilience,
+/// observability, and which [`Executor`] to build.
+///
+/// # Environment knobs
+///
+/// [`RunnerOpts::from_env`] (and [`env_overrides`](RunnerOpts::env_overrides),
+/// which layers the same variables over explicit options) is the single
+/// parsing path for every `SUSS_*` runner knob. Malformed values never
+/// abort a campaign: each one warns on stderr and keeps the prior value.
+///
+/// | Variable | Effect |
+/// |---|---|
+/// | `SUSS_WORKERS` | worker threads (`0` = auto) |
+/// | `SUSS_CACHE_DIR` | result-cache root (empty = keep current) |
+/// | `SUSS_NO_CACHE` | `1` disables the cache entirely |
+/// | `SUSS_FORCE_COLD` | `1` ignores existing entries (still stores) |
+/// | `SUSS_PROGRESS` | `0` disables, anything else enables |
+/// | `SUSS_CACHE_MAX_BYTES` | LRU cap, `K`/`M`/`G` suffixes allowed |
+/// | `SUSS_CELL_TIMEOUT_MS` | per-cell wall budget (`0` disables) |
+/// | `SUSS_STALL_TIMEOUT_MS` | per-cell progress watchdog (`0` disables) |
+/// | `SUSS_CELL_RETRIES` | panic retry budget per cell |
+/// | `SUSS_PROF` | `0` disables, anything else enables the span profiler |
+/// | `SUSS_FLIGHTREC_DIR` | crash-dump directory (empty disables) |
+/// | `SUSS_EXECUTOR` | `pool` or `steal` |
+/// | `SUSS_SHARD` | `k/N`: run as shard `k` of `N` and exit afterwards |
+///
+/// (`SUSS_TRACE` — the event-trace output path — is consumed by the
+/// bench CLI and `suss-sim`, not by the runner; it selects where traces
+/// go, not how cells execute.)
 #[derive(Debug, Clone, Default)]
 pub struct RunnerOpts {
     /// Worker threads; `0` means `std::thread::available_parallelism()`.
@@ -39,34 +125,47 @@ pub struct RunnerOpts {
     pub force_cold: bool,
     /// Stream progress to stderr.
     pub progress: bool,
-    /// Bounded work-queue depth; `0` means `2 × workers`.
-    pub queue_depth: usize,
     /// Size cap for the whole cache root; after the run, least-recently
     /// used entries are evicted until the cache fits. `None` = unbounded.
     pub cache_max_bytes: Option<u64>,
-    /// Per-cell wall-clock budget for [`Campaign::run_resilient`]: a cell
-    /// still computing past this is abandoned as
-    /// [`TimedOut`](CellStatus::TimedOut). `None` = unbounded.
+    /// Per-cell wall-clock budget (pool executor): a cell still computing
+    /// past this is abandoned as [`TimedOut`](CellStatus::TimedOut).
+    /// `None` = unbounded.
     pub cell_timeout: Option<Duration>,
-    /// Per-cell progress watchdog for [`Campaign::run_resilient`]: a cell
-    /// whose simulation dispatches no events for this long (the livelock
+    /// Per-cell progress watchdog (pool executor): a cell whose
+    /// simulation dispatches no events for this long (the livelock
     /// signature — wall clock advances, sim time doesn't) is abandoned as
     /// [`TimedOut`](CellStatus::TimedOut). `None` disables the watchdog.
     pub stall_timeout: Option<Duration>,
-    /// How many times [`Campaign::run_resilient`] re-runs a panicking
-    /// cell (with linear backoff) before recording it as
-    /// [`Panicked`](CellStatus::Panicked).
+    /// How many times a panicking cell is re-run (with linear backoff)
+    /// before being recorded as [`Panicked`](CellStatus::Panicked).
     pub cell_retries: u32,
     /// Enable the span profiler (`simtrace::prof`) around each computed
     /// cell; per-cell snapshots merge into [`RunManifest::prof`].
     /// Observability-only: results are byte-identical either way.
     pub profile: bool,
-    /// Directory for flight-recorder crash dumps. When set,
-    /// [`Campaign::run_resilient`] arms a bounded ring of recent
-    /// [`simtrace::TraceRecord`]s per in-flight cell and dumps it to
-    /// `<dir>/<cell>.jsonl` when the cell terminally panics or is
-    /// abandoned by the watchdog. `None` disables the recorder.
+    /// Directory for flight-recorder crash dumps. When set, the pool
+    /// executor arms a bounded ring of recent [`simtrace::TraceRecord`]s
+    /// per in-flight cell and dumps it to `<dir>/<cell>.jsonl` when the
+    /// cell terminally panics or is abandoned by the watchdog. `None`
+    /// disables the recorder.
     pub flightrec_dir: Option<PathBuf>,
+    /// What to do when cells fail terminally; see [`FailurePolicy`].
+    pub on_failure: FailurePolicy,
+    /// Which executor [`RunnerOpts::executor`] builds.
+    pub executor: ExecSpec,
+    /// Path stem for campaign manifests (shard manifests land at
+    /// `<stem>.shard<k>of<N>.manifest.json`, the shard plan at
+    /// `<stem>.shardplan.json`). `None` defaults to
+    /// `results/<experiment>`.
+    pub manifest_stem: Option<PathBuf>,
+    /// Whether a [`ExecSpec::Shard`] run exits the process after writing
+    /// its shard manifest (exit code 0, or 3 when cells failed). Set when
+    /// sharding comes from `SUSS_SHARD` — a shard child must not fall
+    /// through into the bin's figure rendering on partial results.
+    /// In-process shard executors (tests, the in-process coordinator)
+    /// leave this `false`.
+    pub shard_exit: bool,
 }
 
 impl RunnerOpts {
@@ -76,6 +175,14 @@ impl RunnerOpts {
             workers: 1,
             ..Self::default()
         }
+    }
+
+    /// Build options purely from `SUSS_*` environment variables layered
+    /// over the defaults. See the [type docs](RunnerOpts) for the
+    /// variable table; this and [`env_overrides`](Self::env_overrides)
+    /// share one parsing path.
+    pub fn from_env() -> Self {
+        Self::default().env_overrides()
     }
 
     /// Set the worker count.
@@ -102,19 +209,19 @@ impl RunnerOpts {
         self
     }
 
-    /// Set the per-cell wall-clock budget (resilient runs only).
+    /// Set the per-cell wall-clock budget (pool executor).
     pub fn with_cell_timeout(mut self, timeout: Duration) -> Self {
         self.cell_timeout = Some(timeout);
         self
     }
 
-    /// Set the per-cell progress-stall watchdog (resilient runs only).
+    /// Set the per-cell progress-stall watchdog (pool executor).
     pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
         self.stall_timeout = Some(timeout);
         self
     }
 
-    /// Set the panic retry budget (resilient runs only).
+    /// Set the panic retry budget.
     pub fn with_cell_retries(mut self, retries: u32) -> Self {
         self.cell_retries = retries;
         self
@@ -126,68 +233,130 @@ impl RunnerOpts {
         self
     }
 
-    /// Enable flight-recorder crash dumps under `dir` (resilient runs
-    /// only).
+    /// Enable flight-recorder crash dumps under `dir` (pool executor).
     pub fn with_flightrec_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.flightrec_dir = Some(dir.into());
         self
     }
 
-    /// Apply `SUSS_WORKERS`, `SUSS_CACHE_DIR`, `SUSS_NO_CACHE`,
-    /// `SUSS_FORCE_COLD`, `SUSS_PROGRESS`, `SUSS_CACHE_MAX_BYTES`,
-    /// `SUSS_CELL_TIMEOUT_MS`, `SUSS_STALL_TIMEOUT_MS`,
-    /// `SUSS_CELL_RETRIES`, `SUSS_PROF`, and `SUSS_FLIGHTREC_DIR`
-    /// environment overrides on top of these options.
-    pub fn env_overrides(mut self) -> Self {
-        if let Ok(w) = std::env::var("SUSS_WORKERS") {
-            if let Ok(w) = w.parse() {
-                self.workers = w;
+    /// Record cell failures in the manifest instead of panicking
+    /// ([`FailurePolicy::Record`]).
+    pub fn record_failures(mut self) -> Self {
+        self.on_failure = FailurePolicy::Record;
+        self
+    }
+
+    /// Select which executor [`RunnerOpts::executor`] builds.
+    pub fn with_executor(mut self, spec: ExecSpec) -> Self {
+        self.executor = spec;
+        self
+    }
+
+    /// Set the manifest path stem (see [`RunnerOpts::manifest_stem`]).
+    pub fn with_manifest_stem(mut self, stem: impl Into<PathBuf>) -> Self {
+        self.manifest_stem = Some(stem.into());
+        self
+    }
+
+    /// Apply the `SUSS_*` environment overrides on top of these options
+    /// (see the [type docs](RunnerOpts) for the variable table), warning
+    /// on stderr about malformed values.
+    pub fn env_overrides(self) -> Self {
+        let (opts, warnings) = self.apply_env(|k| std::env::var(k).ok());
+        for w in warnings {
+            eprintln!("warning: {w}");
+        }
+        opts
+    }
+
+    /// The pure core of [`env_overrides`](Self::env_overrides): apply the
+    /// `SUSS_*` knobs read through `get`, returning the updated options
+    /// and a warning per malformed value (the prior value is kept).
+    /// Injectable so the parsing path is testable without mutating
+    /// process-global environment state.
+    pub fn apply_env(mut self, get: impl Fn(&str) -> Option<String>) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
+        let mut warn = |key: &str, val: &str, want: &str| {
+            warnings.push(format!("ignoring {key}={val:?}: expected {want}"));
+        };
+        if let Some(w) = get("SUSS_WORKERS") {
+            match w.parse() {
+                Ok(w) => self.workers = w,
+                Err(_) => warn("SUSS_WORKERS", &w, "a worker count"),
             }
         }
-        if let Ok(d) = std::env::var("SUSS_CACHE_DIR") {
+        if let Some(d) = get("SUSS_CACHE_DIR") {
             if !d.is_empty() {
                 self.cache_dir = Some(PathBuf::from(d));
             }
         }
-        if std::env::var("SUSS_NO_CACHE").is_ok_and(|v| v == "1") {
+        if get("SUSS_NO_CACHE").is_some_and(|v| v == "1") {
             self.cache_dir = None;
         }
-        if std::env::var("SUSS_FORCE_COLD").is_ok_and(|v| v == "1") {
+        if get("SUSS_FORCE_COLD").is_some_and(|v| v == "1") {
             self.force_cold = true;
         }
-        if let Ok(p) = std::env::var("SUSS_PROGRESS") {
+        if let Some(p) = get("SUSS_PROGRESS") {
             self.progress = p != "0";
         }
-        if let Ok(b) = std::env::var("SUSS_CACHE_MAX_BYTES") {
-            if let Some(b) = parse_bytes(&b) {
-                self.cache_max_bytes = Some(b);
+        if let Some(b) = get("SUSS_CACHE_MAX_BYTES") {
+            match parse_bytes(&b) {
+                Some(b) => self.cache_max_bytes = Some(b),
+                None => warn(
+                    "SUSS_CACHE_MAX_BYTES",
+                    &b,
+                    "bytes with optional K/M/G suffix",
+                ),
             }
         }
-        if let Ok(ms) = std::env::var("SUSS_CELL_TIMEOUT_MS") {
-            if let Ok(ms) = ms.parse::<u64>() {
-                self.cell_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        if let Some(ms) = get("SUSS_CELL_TIMEOUT_MS") {
+            match ms.parse::<u64>() {
+                Ok(ms) => self.cell_timeout = (ms > 0).then(|| Duration::from_millis(ms)),
+                Err(_) => warn("SUSS_CELL_TIMEOUT_MS", &ms, "milliseconds (0 disables)"),
             }
         }
-        if let Ok(ms) = std::env::var("SUSS_STALL_TIMEOUT_MS") {
-            if let Ok(ms) = ms.parse::<u64>() {
-                self.stall_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        if let Some(ms) = get("SUSS_STALL_TIMEOUT_MS") {
+            match ms.parse::<u64>() {
+                Ok(ms) => self.stall_timeout = (ms > 0).then(|| Duration::from_millis(ms)),
+                Err(_) => warn("SUSS_STALL_TIMEOUT_MS", &ms, "milliseconds (0 disables)"),
             }
         }
-        if let Ok(r) = std::env::var("SUSS_CELL_RETRIES") {
-            if let Ok(r) = r.parse() {
-                self.cell_retries = r;
+        if let Some(r) = get("SUSS_CELL_RETRIES") {
+            match r.parse() {
+                Ok(r) => self.cell_retries = r,
+                Err(_) => warn("SUSS_CELL_RETRIES", &r, "a retry count"),
             }
         }
-        if let Ok(p) = std::env::var("SUSS_PROF") {
+        if let Some(p) = get("SUSS_PROF") {
             self.profile = p != "0";
         }
-        if let Ok(d) = std::env::var("SUSS_FLIGHTREC_DIR") {
+        if let Some(d) = get("SUSS_FLIGHTREC_DIR") {
             self.flightrec_dir = (!d.is_empty()).then(|| PathBuf::from(d));
         }
-        self
+        if let Some(e) = get("SUSS_EXECUTOR") {
+            match e.as_str() {
+                "pool" => self.executor = ExecSpec::Pool,
+                "steal" => self.executor = ExecSpec::WorkStealing,
+                _ => warn("SUSS_EXECUTOR", &e, "`pool` or `steal`"),
+            }
+        }
+        if let Some(s) = get("SUSS_SHARD") {
+            match parse_shard(&s) {
+                Some((index, total)) => {
+                    self.executor = ExecSpec::Shard { index, total };
+                    // Env-driven sharding means "this process is shard
+                    // k/N of a coordinated run": write the shard manifest
+                    // and exit rather than rendering figures from a
+                    // partial result set.
+                    self.shard_exit = true;
+                }
+                None => warn("SUSS_SHARD", &s, "`k/N` with k < N"),
+            }
+        }
+        (self, warnings)
     }
 
-    fn resolved_workers(&self) -> usize {
+    pub(crate) fn resolved_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
         } else {
@@ -196,6 +365,25 @@ impl RunnerOpts {
                 .unwrap_or(1)
         }
     }
+
+    /// The manifest path stem for `experiment`: the configured
+    /// [`manifest_stem`](RunnerOpts::manifest_stem), or
+    /// `results/<experiment>`.
+    pub(crate) fn stem_for(&self, experiment: &str) -> PathBuf {
+        self.manifest_stem
+            .clone()
+            .unwrap_or_else(|| Path::new("results").join(experiment))
+    }
+}
+
+/// Parse `SUSS_SHARD`-style `k/N` shard coordinates.
+fn parse_shard(s: &str) -> Option<(usize, usize)> {
+    let (k, n) = s.split_once('/')?;
+    let (k, n) = (
+        k.trim().parse::<usize>().ok()?,
+        n.trim().parse::<usize>().ok()?,
+    );
+    (k < n && n >= 1).then_some((k, n))
 }
 
 /// A named grid of cells, executed together.
@@ -210,31 +398,43 @@ pub struct Campaign {
     pub cells: Vec<Cell>,
 }
 
-/// What [`Campaign::run`] returns.
+/// What [`Campaign::run`] returns, whichever executor ran it.
+///
+/// Failed (or shard-skipped) cells come back as `None` with their status
+/// and terminal error recorded in the manifest; under the default
+/// [`FailurePolicy::Raise`] a failure panics instead, so every slot is
+/// `Some` by construction.
 #[derive(Debug)]
-pub struct RunOutcome<T> {
+pub struct CampaignReport<T> {
     /// Per-cell results in campaign (cell-index) order — independent of
-    /// worker count, scheduling, and cache state.
-    pub results: Vec<T>,
-    /// The run's manifest (timings, cache hits, per-cell records).
-    pub manifest: RunManifest,
-}
-
-/// What [`Campaign::run_resilient`] returns: the campaign completes even
-/// when individual cells panic or hang, so each slot is `None` where the
-/// cell failed (see the matching [`CellRecord`] for status and error).
-#[derive(Debug)]
-pub struct ResilientOutcome<T> {
-    /// Per-cell results in campaign order; `None` marks a failed cell.
+    /// worker count, scheduling, cache state, and sharding. `None` marks
+    /// a failed or skipped cell.
     pub results: Vec<Option<T>>,
-    /// The run's manifest, including per-cell statuses and failure totals.
+    /// The run's manifest (timings, cache hits, per-cell records,
+    /// failure totals, results digest).
     pub manifest: RunManifest,
 }
 
-impl<T> ResilientOutcome<T> {
+impl<T> CampaignReport<T> {
     /// Whether every cell produced a result.
     pub fn all_ok(&self) -> bool {
-        self.manifest.all_ok()
+        self.manifest.all_ok() && self.manifest.cells_skipped == 0
+    }
+
+    /// Unwrap every result, panicking with the first failed cell's label
+    /// if any is missing. Infallible after a [`FailurePolicy::Raise`]
+    /// run of an unsharded executor.
+    pub fn expect_all(self) -> Vec<T> {
+        if let Some(rec) = self.manifest.cells.iter().find(|r| !r.status.succeeded()) {
+            panic!(
+                "campaign '{}' cell '{}' has no result ({:?}: {})",
+                self.manifest.experiment, rec.label, rec.status, rec.error
+            );
+        }
+        self.results
+            .into_iter()
+            .map(|r| r.expect("statuses all succeeded"))
+            .collect()
     }
 }
 
@@ -275,7 +475,29 @@ impl Campaign {
         self.cells.is_empty()
     }
 
-    fn identity<'a>(&'a self, cell: &'a Cell) -> CellIdentity<'a> {
+    /// Execute every cell on `exec` and return results in campaign order.
+    ///
+    /// Each cell is computed solely from its own [`Cell`] (independent
+    /// seeding) and results commit by cell index, so the output — and
+    /// anything aggregated from it in order — is byte-identical whether
+    /// this runs on 1 worker or 64, work-stealing or statically sharded,
+    /// cold or fully cached, in one process or merged from N shards.
+    ///
+    /// # Panics
+    /// Under [`FailurePolicy::Raise`] (the default), re-raises the first
+    /// cell failure (with the cell's label) after the campaign drains —
+    /// successful cells are cached by then, so a re-run resumes from the
+    /// failure.
+    pub fn run<T, F, E>(&self, exec: &E, f: F) -> CampaignReport<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static,
+        E: Executor,
+    {
+        exec.execute(self, f)
+    }
+
+    pub(crate) fn identity<'a>(&'a self, cell: &'a Cell) -> CellIdentity<'a> {
         CellIdentity {
             experiment: &self.experiment,
             version: &self.version,
@@ -287,7 +509,7 @@ impl Campaign {
     /// Open the result cache, degrading to uncached execution (with a
     /// stderr warning) when the directory cannot be created — a read-only
     /// results volume shouldn't kill a multi-hour campaign.
-    fn open_cache(&self, opts: &RunnerOpts) -> Option<Cache> {
+    pub(crate) fn open_cache(&self, opts: &RunnerOpts) -> Option<Cache> {
         let root = opts.cache_dir.as_deref()?;
         match Cache::open(root, &self.experiment) {
             Ok(c) => Some(c),
@@ -301,7 +523,7 @@ impl Campaign {
         }
     }
 
-    fn blank_records(&self) -> Vec<CellRecord> {
+    pub(crate) fn blank_records(&self) -> Vec<CellRecord> {
         self.cells
             .iter()
             .map(|c| CellRecord {
@@ -321,7 +543,7 @@ impl Campaign {
     }
 
     /// Post-run LRU sweep over the whole cache root.
-    fn sweep_cache(&self, opts: &RunnerOpts) {
+    pub(crate) fn sweep_cache(&self, opts: &RunnerOpts) {
         if let (Some(root), Some(max)) = (opts.cache_dir.as_deref(), opts.cache_max_bytes) {
             if let Ok(stats) = crate::cache::sweep_lru(root, max) {
                 if opts.progress && stats.entries_removed > 0 {
@@ -336,598 +558,89 @@ impl Campaign {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn assemble_manifest(
-        &self,
-        workers: usize,
-        cache_hits: usize,
-        started: Instant,
-        records: Vec<CellRecord>,
-        cells_failed: usize,
-        cell_retries: u64,
-        cell_timeouts: u64,
-        cache_quarantined: u64,
-        prof: simtrace::ProfSnapshot,
-        scope_annotations: Vec<simtrace::ScopeAnnotation>,
-    ) -> RunManifest {
+    pub(crate) fn assemble_manifest(&self, parts: ManifestParts) -> RunManifest {
         let n = self.cells.len();
-        let wall_secs = started.elapsed().as_secs_f64();
-        let events_total: u64 = records.iter().map(|r| r.events).sum();
-        let worker_busy_secs: f64 = records.iter().map(|r| r.wall_ms).sum::<f64>() / 1e3;
-        let mut walls: Vec<f64> = records
+        let owned = n - parts.cells_skipped;
+        let wall_secs = parts.started.elapsed().as_secs_f64();
+        let events_total: u64 = parts.records.iter().map(|r| r.events).sum();
+        let worker_busy_secs: f64 = parts.records.iter().map(|r| r.wall_ms).sum::<f64>() / 1e3;
+        let mut walls: Vec<f64> = parts
+            .records
             .iter()
             .filter(|r| !r.cached && r.status.succeeded() && r.attempts > 0)
             .map(|r| r.wall_ms)
             .collect();
         walls.sort_by(|a, b| a.total_cmp(b));
+        let mut scope_annotations = parts.scope_annotations;
+        // Canonical order: harvest order is completion order, which is
+        // scheduling-dependent; sorting keeps manifests byte-comparable
+        // across executors and worker counts.
+        scope_annotations.sort_by(|a, b| a.label.cmp(&b.label).then(a.n.cmp(&b.n)));
         RunManifest {
             experiment: self.experiment.clone(),
             version: self.version.clone(),
-            workers,
+            executor: parts.executor,
+            shard: parts.shard,
+            workers: parts.workers,
             total_cells: n,
-            cache_hits,
-            cache_misses: n - cache_hits,
+            cache_hits: parts.cache_hits,
+            cache_misses: owned - parts.cache_hits,
+            cells_skipped: parts.cells_skipped,
             wall_secs,
-            cells_per_sec: n as f64 / wall_secs.max(1e-9),
+            cells_per_sec: owned as f64 / wall_secs.max(1e-9),
             events_total,
             events_per_sec: events_total as f64 / wall_secs.max(1e-9),
             worker_busy_secs,
-            utilization: worker_busy_secs / (wall_secs.max(1e-9) * workers as f64),
+            utilization: worker_busy_secs / (wall_secs.max(1e-9) * parts.workers.max(1) as f64),
             wall_ms_p50: nearest_rank(&walls, 50.0),
             wall_ms_p99: nearest_rank(&walls, 99.0),
-            cells_failed,
-            cell_retries,
-            cell_timeouts,
-            cache_quarantined,
+            cells_failed: parts.cells_failed,
+            cell_retries: parts.cell_retries,
+            cell_timeouts: parts.cell_timeouts,
+            cache_quarantined: parts.cache_quarantined,
+            results_digest: parts.results_digest,
+            fingerprint: String::new(),
             annotations: Vec::new(),
             scope_annotations,
-            prof,
-            cells: records,
+            prof: parts.prof,
+            cells: parts.records,
         }
     }
+}
 
-    /// Execute every cell and return results in campaign order.
-    ///
-    /// Cells are sharded across a bounded-queue worker pool. Each cell is
-    /// computed solely from its own [`Cell`] (independent seeding), and
-    /// results commit by cell index, so the output — and anything
-    /// aggregated from it in order — is byte-identical whether this runs
-    /// on 1 worker or 64, cold or fully cached.
-    ///
-    /// # Panics
-    /// Re-raises (with the cell's label) the first panic of any cell
-    /// closure after the pool has drained.
-    pub fn run<T, F>(&self, opts: &RunnerOpts, f: F) -> RunOutcome<T>
-    where
-        T: Serialize + Deserialize + Send,
-        F: Fn(&Cell) -> T + Sync,
-    {
-        let started = Instant::now();
-        let workers = opts.resolved_workers();
-        let cache = self.open_cache(opts);
-        let n = self.cells.len();
-        let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
-        let mut records = self.blank_records();
-        let mut progress = Progress::new(&self.experiment, n, opts.progress);
-
-        // Phase 1: serve what we can from the cache (main thread: cheap).
-        let mut pending: Vec<&Cell> = Vec::new();
-        for cell in &self.cells {
-            let hit = if opts.force_cold {
-                None
-            } else {
-                cache
-                    .as_ref()
-                    .and_then(|c| c.load::<T>(&self.identity(cell)))
-            };
-            match hit {
-                Some(v) => {
-                    results[cell.index] = Some(v);
-                    records[cell.index].cached = true;
-                    progress.tick(true);
-                }
-                None => pending.push(cell),
-            }
-        }
-        let cache_hits = n - pending.len();
-        let mut run_prof = simtrace::ProfSnapshot::default();
-        let mut scope_annotations: Vec<simtrace::ScopeAnnotation> = Vec::new();
-
-        // Phase 2: compute the misses on the worker pool.
-        if !pending.is_empty() {
-            let depth = if opts.queue_depth > 0 {
-                opts.queue_depth
-            } else {
-                workers * 2
-            };
-            let queue: BoundedQueue<&Cell> = BoundedQueue::new(depth);
-            type Done<T> = (usize, Result<(T, CellTelemetry), String>);
-            let (tx, rx) = mpsc::channel::<Done<T>>();
-            let mut first_panic: Option<(usize, String)> = None;
-            let profile = opts.profile;
-            thread::scope(|s| {
-                for _ in 0..workers.min(pending.len()) {
-                    let tx = tx.clone();
-                    let queue = &queue;
-                    let f = &f;
-                    s.spawn(move || {
-                        while let Some(cell) = queue.pop() {
-                            // Bracket the cell with the thread-local
-                            // telemetry so each record attributes exactly
-                            // what its own closure produced.
-                            let (outcome, tel) = run_bracketed(profile, || f(cell));
-                            let msg = match outcome {
-                                Ok(v) => Ok((v, tel)),
-                                Err(payload) => Err(panic_message(&*payload)),
-                            };
-                            if tx.send((cell.index, msg)).is_err() {
-                                break;
-                            }
-                        }
-                    });
-                }
-                drop(tx);
-                // The bounded queue applies backpressure here; workers
-                // drain it while we feed, so this cannot deadlock.
-                for cell in &pending {
-                    queue.push(*cell);
-                }
-                queue.close();
-                for _ in 0..pending.len() {
-                    let (idx, msg) = rx.recv().expect("worker pool hung up early");
-                    match msg {
-                        Ok((v, tel)) => {
-                            if let Some(c) = &cache {
-                                // A failed store only costs a future miss.
-                                let _ = c.store(&self.identity(&self.cells[idx]), &v);
-                            }
-                            records[idx].wall_ms = tel.wall_ms;
-                            records[idx].events = tel.events;
-                            records[idx].attempts = 1;
-                            run_prof.merge(&tel.prof);
-                            scope_annotations.extend(tel.scopes);
-                            results[idx] = Some(v);
-                            progress.tick(false);
-                        }
-                        Err(p) => {
-                            if first_panic.is_none() {
-                                first_panic = Some((idx, p));
-                            }
-                        }
-                    }
-                }
-            });
-            if let Some((idx, p)) = first_panic {
-                panic!(
-                    "campaign '{}' cell '{}' panicked: {p}",
-                    self.experiment, self.cells[idx].label
-                );
-            }
-        }
-        progress.finish();
-
-        // Size-capped LRU sweep over the whole cache root, after this
-        // run's stores have landed.
-        self.sweep_cache(opts);
-
-        let quarantined = cache.as_ref().map(|c| c.quarantined_count()).unwrap_or(0);
-        let manifest = self.assemble_manifest(
-            workers,
-            cache_hits,
-            started,
-            records,
-            0,
-            0,
-            0,
-            quarantined,
-            run_prof,
-            scope_annotations,
-        );
-        if opts.progress {
-            eprint!("{}", manifest.summary());
-        }
-        RunOutcome {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("all cells resolved"))
-                .collect(),
-            manifest,
-        }
-    }
-
-    /// Execute every cell like [`Campaign::run`], but survive failing
-    /// cells: each cell's panic is isolated and retried up to
-    /// [`RunnerOpts::cell_retries`] times (linear backoff), cells
-    /// exceeding the wall-clock budget or the progress-stall watchdog are
-    /// abandoned, and the campaign always completes — failed cells come
-    /// back as `None` with their status and terminal error recorded in
-    /// the manifest. Successful cells still land in the cache, so
-    /// re-running the campaign against a warm cache re-executes exactly
-    /// the failed cells.
-    ///
-    /// Successful cells are byte-identical to what [`Campaign::run`]
-    /// produces: same per-cell seeding, same in-order commit.
-    ///
-    /// The stricter bounds (`'static`, `F: Send`) exist because watchdog
-    /// abandonment requires detached worker threads — a hung cell's
-    /// thread is left behind (it dies with the process) while a
-    /// replacement worker keeps the pool at full strength.
-    pub fn run_resilient<T, F>(&self, opts: &RunnerOpts, f: F) -> ResilientOutcome<T>
-    where
-        T: Serialize + Deserialize + Send + 'static,
-        F: Fn(&Cell) -> T + Send + Sync + 'static,
-    {
-        /// Watchdog/retry scheduling granularity.
-        const TICK: Duration = Duration::from_millis(20);
-        /// Backoff unit: attempt `k` waits `k × RETRY_BACKOFF` before
-        /// re-dispatch.
-        const RETRY_BACKOFF: Duration = Duration::from_millis(25);
-
-        let started = Instant::now();
-        let workers = opts.resolved_workers();
-        let cache = self.open_cache(opts);
-        let n = self.cells.len();
-        let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
-        let mut records = self.blank_records();
-        let mut progress = Progress::new(&self.experiment, n, opts.progress);
-
-        // Phase 1: cache hits on the main thread.
-        let mut pending: Vec<usize> = Vec::new();
-        for cell in &self.cells {
-            let hit = if opts.force_cold {
-                None
-            } else {
-                cache
-                    .as_ref()
-                    .and_then(|c| c.load::<T>(&self.identity(cell)))
-            };
-            match hit {
-                Some(v) => {
-                    results[cell.index] = Some(v);
-                    records[cell.index].cached = true;
-                    progress.tick(true);
-                }
-                None => pending.push(cell.index),
-            }
-        }
-        let cache_hits = n - pending.len();
-        let mut retries_total = 0u64;
-        let mut timeouts_total = 0u64;
-        let mut failed_total = 0usize;
-        let mut run_prof = simtrace::ProfSnapshot::default();
-        let mut scope_annotations: Vec<simtrace::ScopeAnnotation> = Vec::new();
-
-        // Phase 2: compute misses on detached workers under a watchdog.
-        if !pending.is_empty() {
-            struct Dispatch {
-                token: u64,
-                index: usize,
-                sink: Arc<AtomicU64>,
-                recorder: Option<simtrace::FlightRecorder>,
-            }
-            enum Msg<T> {
-                Started {
-                    token: u64,
-                },
-                Done {
-                    token: u64,
-                    outcome: Result<(T, CellTelemetry), String>,
-                },
-            }
-            struct InFlight {
-                index: usize,
-                sink: Arc<AtomicU64>,
-                recorder: Option<simtrace::FlightRecorder>,
-                started: Option<Instant>,
-                progress_seen: u64,
-                progress_at: Instant,
-            }
-
-            let cells = Arc::new(self.cells.clone());
-            let f = Arc::new(f);
-            // Effectively unbounded: tokens are tiny, and the watchdog
-            // must never block on a full queue.
-            let work: Arc<BoundedQueue<Dispatch>> = Arc::new(BoundedQueue::new(usize::MAX));
-            let (tx, rx) = mpsc::channel::<Msg<T>>();
-            let spawn_worker = {
-                let work = Arc::clone(&work);
-                let cells = Arc::clone(&cells);
-                let f = Arc::clone(&f);
-                let tx = tx.clone();
-                let profile = opts.profile;
-                move || {
-                    let work = Arc::clone(&work);
-                    let cells = Arc::clone(&cells);
-                    let f = Arc::clone(&f);
-                    let tx = tx.clone();
-                    thread::spawn(move || {
-                        while let Some(d) = work.pop() {
-                            // The per-cell progress sink lets the main
-                            // thread distinguish "slow but advancing"
-                            // from "livelocked" without touching the
-                            // simulation; the flight recorder is the
-                            // dispatching thread's handle, so the ring
-                            // stays readable even if this thread hangs.
-                            simtrace::runtime::set_progress_sink(Some(Arc::clone(&d.sink)));
-                            simtrace::flightrec::install(d.recorder.clone());
-                            if tx.send(Msg::Started { token: d.token }).is_err() {
-                                break;
-                            }
-                            let (out, tel) = run_bracketed(profile, || f(&cells[d.index]));
-                            simtrace::flightrec::install(None);
-                            simtrace::runtime::set_progress_sink(None);
-                            let outcome = match out {
-                                Ok(v) => Ok((v, tel)),
-                                Err(p) => Err(panic_message(&*p)),
-                            };
-                            if tx
-                                .send(Msg::Done {
-                                    token: d.token,
-                                    outcome,
-                                })
-                                .is_err()
-                            {
-                                break;
-                            }
-                        }
-                    });
-                }
-            };
-            for _ in 0..workers.min(pending.len()) {
-                spawn_worker();
-            }
-
-            let mut inflight: HashMap<u64, InFlight> = HashMap::new();
-            let mut attempts: Vec<u32> = vec![0; n];
-            let mut next_token = 0u64;
-            let mut delayed: Vec<(Instant, usize)> = Vec::new();
-            let mut outstanding = pending.len();
-            // Not a closure: it would hold `records`/`next_token` borrowed
-            // across the whole loop, which also mutates them.
-            #[allow(clippy::too_many_arguments)]
-            fn dispatch(
-                index: usize,
-                work: &BoundedQueue<Dispatch>,
-                next_token: &mut u64,
-                attempts: &mut [u32],
-                records: &mut [CellRecord],
-                inflight: &mut HashMap<u64, InFlight>,
-                flightrec: bool,
-            ) {
-                let token = *next_token;
-                *next_token += 1;
-                attempts[index] += 1;
-                records[index].attempts = attempts[index];
-                let sink = Arc::new(AtomicU64::new(0));
-                let recorder = flightrec.then(|| {
-                    let r = simtrace::FlightRecorder::new(simtrace::flightrec::DEFAULT_CAPACITY);
-                    // Seed the ring so a cell that dies before producing
-                    // any trace record (e.g. an injected panic at
-                    // dispatch) still leaves a parseable, non-empty dump.
-                    r.push(simtrace::TraceRecord::metric(
-                        0,
-                        simtrace::kind::COUNTER,
-                        "runner.dispatch",
-                        u64::from(attempts[index]),
-                    ));
-                    r
-                });
-                inflight.insert(
-                    token,
-                    InFlight {
-                        index,
-                        sink: Arc::clone(&sink),
-                        recorder: recorder.clone(),
-                        started: None,
-                        progress_seen: 0,
-                        progress_at: Instant::now(),
-                    },
-                );
-                work.push(Dispatch {
-                    token,
-                    index,
-                    sink,
-                    recorder,
-                });
-            }
-            let flightrec = opts.flightrec_dir.is_some();
-            for &idx in &pending {
-                dispatch(
-                    idx,
-                    &work,
-                    &mut next_token,
-                    &mut attempts,
-                    &mut records,
-                    &mut inflight,
-                    flightrec,
-                );
-            }
-
-            while outstanding > 0 {
-                // Release retries whose backoff has elapsed.
-                let now = Instant::now();
-                let mut i = 0;
-                while i < delayed.len() {
-                    if delayed[i].0 <= now {
-                        let (_, idx) = delayed.swap_remove(i);
-                        dispatch(
-                            idx,
-                            &work,
-                            &mut next_token,
-                            &mut attempts,
-                            &mut records,
-                            &mut inflight,
-                            flightrec,
-                        );
-                    } else {
-                        i += 1;
-                    }
-                }
-
-                match rx.recv_timeout(TICK) {
-                    Ok(Msg::Started { token }) => {
-                        if let Some(fl) = inflight.get_mut(&token) {
-                            let now = Instant::now();
-                            fl.started = Some(now);
-                            fl.progress_at = now;
-                            fl.progress_seen = fl.sink.load(Ordering::Relaxed);
-                        }
-                    }
-                    Ok(Msg::Done { token, outcome }) => {
-                        // An unknown token is a late result from an
-                        // attempt the watchdog already abandoned: the
-                        // cell's fate is sealed, drop it (and never
-                        // cache it).
-                        let Some(fl) = inflight.remove(&token) else {
-                            continue;
-                        };
-                        let idx = fl.index;
-                        match outcome {
-                            Ok((v, tel)) => {
-                                if let Some(c) = &cache {
-                                    let _ = c.store(&self.identity(&self.cells[idx]), &v);
-                                }
-                                records[idx].wall_ms = tel.wall_ms;
-                                records[idx].events = tel.events;
-                                run_prof.merge(&tel.prof);
-                                scope_annotations.extend(tel.scopes);
-                                records[idx].status = if attempts[idx] > 1 {
-                                    CellStatus::Retried
-                                } else {
-                                    CellStatus::Ok
-                                };
-                                results[idx] = Some(v);
-                                outstanding -= 1;
-                                progress.tick(false);
-                            }
-                            Err(msg) => {
-                                if attempts[idx] <= opts.cell_retries {
-                                    retries_total += 1;
-                                    let backoff = RETRY_BACKOFF * attempts[idx];
-                                    delayed.push((Instant::now() + backoff, idx));
-                                } else {
-                                    records[idx].status = CellStatus::Panicked;
-                                    records[idx].error = msg;
-                                    // Terminal failure: dump the black box.
-                                    if let (Some(dir), Some(rec)) =
-                                        (opts.flightrec_dir.as_deref(), fl.recorder.as_ref())
-                                    {
-                                        if let Some(path) =
-                                            dump_flightrec(dir, &self.cells[idx].label, rec)
-                                        {
-                                            records[idx].flightrec = path;
-                                        }
-                                    }
-                                    failed_total += 1;
-                                    outstanding -= 1;
-                                    progress.tick(false);
-                                }
-                            }
-                        }
-                    }
-                    Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
-                }
-
-                // Watchdog: abandon cells over the wall budget or stalled.
-                let now = Instant::now();
-                let mut expired: Vec<(u64, String)> = Vec::new();
-                for (&token, fl) in inflight.iter_mut() {
-                    let Some(cell_started) = fl.started else {
-                        continue;
-                    };
-                    if let Some(limit) = opts.cell_timeout {
-                        if now.duration_since(cell_started) > limit {
-                            expired
-                                .push((token, format!("wall-clock budget exceeded ({limit:?})")));
-                            continue;
-                        }
-                    }
-                    if let Some(stall) = opts.stall_timeout {
-                        let cur = fl.sink.load(Ordering::Relaxed);
-                        if cur != fl.progress_seen {
-                            fl.progress_seen = cur;
-                            fl.progress_at = now;
-                        } else if now.duration_since(fl.progress_at) > stall {
-                            expired.push((token, format!("no simulator progress for {stall:?}")));
-                        }
-                    }
-                }
-                for (token, msg) in expired {
-                    let Some(fl) = inflight.remove(&token) else {
-                        continue;
-                    };
-                    records[fl.index].status = CellStatus::TimedOut;
-                    records[fl.index].error = msg;
-                    // The hung worker can never drain its own ring; the
-                    // dispatching thread's clone reads it from outside.
-                    if let (Some(dir), Some(rec)) =
-                        (opts.flightrec_dir.as_deref(), fl.recorder.as_ref())
-                    {
-                        if let Some(path) = dump_flightrec(dir, &self.cells[fl.index].label, rec) {
-                            records[fl.index].flightrec = path;
-                        }
-                    }
-                    timeouts_total += 1;
-                    failed_total += 1;
-                    outstanding -= 1;
-                    progress.tick(false);
-                    // The abandoned worker thread is stuck in the cell;
-                    // restore pool capacity with a fresh thread.
-                    spawn_worker();
-                }
-            }
-            work.close();
-            drop(tx);
-
-            // Defensive: if the channel disconnected early (no live
-            // workers), account for whatever never resolved.
-            for &idx in &pending {
-                if results[idx].is_none() && records[idx].status.succeeded() {
-                    records[idx].status = CellStatus::Panicked;
-                    records[idx].error = "worker pool disconnected".to_string();
-                    failed_total += 1;
-                }
-            }
-        }
-        progress.finish();
-        self.sweep_cache(opts);
-
-        let quarantined = cache.as_ref().map(|c| c.quarantined_count()).unwrap_or(0);
-        let manifest = self.assemble_manifest(
-            workers,
-            cache_hits,
-            started,
-            records,
-            failed_total,
-            retries_total,
-            timeouts_total,
-            quarantined,
-            run_prof,
-            scope_annotations,
-        );
-        if opts.progress {
-            eprint!("{}", manifest.summary());
-        }
-        ResilientOutcome { results, manifest }
-    }
+/// Everything an executor hands to [`Campaign::assemble_manifest`].
+pub(crate) struct ManifestParts {
+    pub executor: String,
+    pub shard: Option<ShardInfo>,
+    pub workers: usize,
+    pub cache_hits: usize,
+    pub cells_skipped: usize,
+    pub started: Instant,
+    pub records: Vec<CellRecord>,
+    pub cells_failed: usize,
+    pub cell_retries: u64,
+    pub cell_timeouts: u64,
+    pub cache_quarantined: u64,
+    pub results_digest: String,
+    pub prof: simtrace::ProfSnapshot,
+    pub scope_annotations: Vec<simtrace::ScopeAnnotation>,
 }
 
 /// Telemetry harvested from the worker's thread-locals after one cell
 /// closure returns: compute time, simulator events, span profile, and
 /// queued scope annotations.
-struct CellTelemetry {
-    wall_ms: f64,
-    events: u64,
-    prof: simtrace::ProfSnapshot,
-    scopes: Vec<simtrace::ScopeAnnotation>,
+pub(crate) struct CellTelemetry {
+    pub wall_ms: f64,
+    pub events: u64,
+    pub prof: simtrace::ProfSnapshot,
+    pub scopes: Vec<simtrace::ScopeAnnotation>,
 }
 
 /// Run one cell closure with the thread-local telemetry bracketed around
 /// it: the event tally, span profiler, and scope-annotation queue are
 /// reset before the closure and harvested after, so each record
 /// attributes exactly what its own closure produced.
-fn run_bracketed<T>(
+pub(crate) fn run_bracketed<T>(
     profile: bool,
     f: impl FnOnce() -> T,
 ) -> (std::thread::Result<T>, CellTelemetry) {
@@ -956,7 +669,7 @@ fn run_bracketed<T>(
 
 /// Sanitize a cell label into a filename: anything outside
 /// `[A-Za-z0-9._-]` becomes `-`.
-fn sanitize_label(label: &str) -> String {
+pub(crate) fn sanitize_label(label: &str) -> String {
     label
         .chars()
         .map(|c| {
@@ -973,7 +686,11 @@ fn sanitize_label(label: &str) -> String {
 /// first), returning the path on success. Dump failures only warn — the
 /// cell already failed, and losing the black box must not also lose the
 /// campaign.
-fn dump_flightrec(dir: &Path, label: &str, recorder: &simtrace::FlightRecorder) -> Option<String> {
+pub(crate) fn dump_flightrec(
+    dir: &Path,
+    label: &str,
+    recorder: &simtrace::FlightRecorder,
+) -> Option<String> {
     let path = dir.join(format!("{}.jsonl", sanitize_label(label)));
     let write =
         std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, recorder.to_jsonl()));
@@ -984,16 +701,6 @@ fn dump_flightrec(dir: &Path, label: &str, recorder: &simtrace::FlightRecorder) 
             None
         }
     }
-}
-
-/// Nearest-rank percentile over an ascending-sorted slice (0.0 when
-/// empty).
-fn nearest_rank(sorted: &[f64], pct: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Parse a byte-size string: plain bytes, or with a `K`/`M`/`G` suffix
@@ -1013,7 +720,7 @@ pub fn parse_bytes(s: &str) -> Option<u64> {
 /// `Box<dyn Any + Send>` from `catch_unwind` must pass `&*payload`:
 /// passing `&payload` unsizes the *box itself* into `&dyn Any` (boxes are
 /// `'static + Send` too), and every downcast then fails.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1027,244 +734,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
 
-    fn demo_campaign(n: u64) -> Campaign {
-        let mut c = Campaign::new("unit", "v1");
-        for seed in 0..n {
-            c.cell(format!("cell-{seed}"), format!("seed={seed}"), seed);
-        }
-        c
-    }
-
-    #[test]
-    fn results_arrive_in_cell_order() {
-        let c = demo_campaign(32);
-        let out = c.run(&RunnerOpts::default().with_workers(8), |cell| {
-            // Uneven cell cost to scramble completion order.
-            let spin = (cell.seed % 7) * 200;
-            let mut acc = 0u64;
-            for i in 0..spin {
-                acc = acc.wrapping_add(i * i);
-            }
-            cell.seed as f64 + (acc % 1) as f64
-        });
-        let expect: Vec<f64> = (0..32).map(|s| s as f64).collect();
-        assert_eq!(out.results, expect);
-        assert_eq!(out.manifest.total_cells, 32);
-        assert_eq!(out.manifest.cache_hits, 0);
-        assert_eq!(out.manifest.workers, 8);
-    }
-
-    #[test]
-    fn empty_campaign_is_fine() {
-        let c = Campaign::new("unit", "v1");
-        assert!(c.is_empty());
-        let out = c.run(&RunnerOpts::serial(), |_| 0u64);
-        assert!(out.results.is_empty());
-        assert_eq!(out.manifest.total_cells, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "cell 'cell-3' panicked: boom")]
-    fn cell_panics_surface_with_label() {
-        let c = demo_campaign(6);
-        let _ = c.run(&RunnerOpts::default().with_workers(3), |cell| {
-            if cell.seed == 3 {
-                panic!("boom");
-            }
-            cell.seed
-        });
-    }
-
-    #[test]
-    fn cell_events_land_in_manifest_telemetry() {
-        let c = demo_campaign(8);
-        let out = c.run(&RunnerOpts::default().with_workers(4), |cell| {
-            simtrace::runtime::add_cell_events(100 + cell.seed);
-            cell.seed
-        });
-        let expect: u64 = (0..8).map(|s| 100 + s).sum();
-        assert_eq!(out.manifest.events_total, expect);
-        for rec in &out.manifest.cells {
-            assert_eq!(rec.events, 100 + rec.seed);
-        }
-        assert!(out.manifest.events_per_sec > 0.0);
-        assert!(out.manifest.worker_busy_secs >= 0.0);
-        assert!(out.manifest.utilization >= 0.0 && out.manifest.utilization <= 1.0);
-    }
-
-    #[test]
-    fn resilient_run_survives_a_panicking_cell() {
-        let c = demo_campaign(8);
-        let opts = RunnerOpts::default().with_workers(3);
-        let clean = c.run_resilient(&opts, |cell| cell.seed * 10);
-        assert!(clean.all_ok());
-
-        let hurt = c.run_resilient(&opts, |cell| {
-            if cell.seed == 3 {
-                panic!("injected");
-            }
-            cell.seed * 10
-        });
-        assert!(!hurt.all_ok());
-        assert_eq!(hurt.manifest.cells_failed, 1);
-        assert_eq!(hurt.manifest.cell_retries, 0);
-        assert_eq!(hurt.results[3], None);
-        let rec = &hurt.manifest.cells[3];
-        assert_eq!(rec.status, CellStatus::Panicked);
-        assert_eq!(rec.attempts, 1);
-        assert!(rec.error.contains("injected"), "error: {}", rec.error);
-        // Every other cell is byte-identical to the clean run.
-        for i in (0..8).filter(|&i| i != 3) {
-            assert_eq!(hurt.results[i], clean.results[i], "cell {i}");
-            assert_eq!(hurt.manifest.cells[i].status, CellStatus::Ok);
-        }
-    }
-
-    #[test]
-    fn retry_recovers_a_flaky_cell() {
-        use std::sync::atomic::{AtomicU32, Ordering};
-        let c = demo_campaign(6);
-        let tries = Arc::new(AtomicU32::new(0));
-        let t = Arc::clone(&tries);
-        let out = c.run_resilient(
-            &RunnerOpts::default().with_workers(2).with_cell_retries(2),
-            move |cell| {
-                if cell.seed == 2 && t.fetch_add(1, Ordering::SeqCst) == 0 {
-                    panic!("transient");
-                }
-                cell.seed
-            },
-        );
-        assert!(out.all_ok());
-        assert_eq!(out.results[2], Some(2));
-        assert_eq!(out.manifest.cell_retries, 1);
-        assert_eq!(out.manifest.cells[2].status, CellStatus::Retried);
-        assert_eq!(out.manifest.cells[2].attempts, 2);
-        assert_eq!(out.manifest.cells[1].status, CellStatus::Ok);
-        assert_eq!(out.manifest.cells[1].attempts, 1);
-    }
-
-    #[test]
-    fn retry_budget_is_bounded() {
-        let c = demo_campaign(4);
-        let out = c.run_resilient(
-            &RunnerOpts::default().with_workers(2).with_cell_retries(2),
-            |cell| {
-                if cell.seed == 1 {
-                    panic!("always");
-                }
-                cell.seed
-            },
-        );
-        assert_eq!(out.manifest.cells_failed, 1);
-        assert_eq!(out.manifest.cell_retries, 2);
-        assert_eq!(out.manifest.cells[1].status, CellStatus::Panicked);
-        assert_eq!(out.manifest.cells[1].attempts, 3, "1 run + 2 retries");
-    }
-
-    #[test]
-    fn watchdog_abandons_a_hung_cell() {
-        let c = demo_campaign(5);
-        let started = Instant::now();
-        let out = c.run_resilient(
-            &RunnerOpts::default()
-                .with_workers(2)
-                .with_cell_timeout(Duration::from_millis(150)),
-            |cell| {
-                if cell.seed == 1 {
-                    // A "hang" that outlives the watchdog by far but
-                    // still lets the leaked thread die quickly.
-                    std::thread::sleep(Duration::from_secs(4));
-                }
-                cell.seed
-            },
-        );
-        assert!(
-            started.elapsed() < Duration::from_secs(3),
-            "campaign must not wait out the hang"
-        );
-        assert_eq!(out.manifest.cells_failed, 1);
-        assert_eq!(out.manifest.cell_timeouts, 1);
-        assert_eq!(out.manifest.cells[1].status, CellStatus::TimedOut);
-        assert!(out.manifest.cells[1].error.contains("wall-clock"));
-        assert_eq!(out.results[1], None);
-        for i in [0usize, 2, 3, 4] {
-            assert_eq!(out.results[i], Some(i as u64), "cell {i}");
-        }
-    }
-
-    #[test]
-    fn stall_watchdog_spares_slow_but_advancing_cells() {
-        let c = demo_campaign(4);
-        let out = c.run_resilient(
-            &RunnerOpts::default()
-                .with_workers(2)
-                .with_stall_timeout(Duration::from_millis(200)),
-            |cell| {
-                if cell.seed == 0 {
-                    // Slower than the stall window end to end, but
-                    // progressing the whole time: must survive.
-                    for _ in 0..8 {
-                        std::thread::sleep(Duration::from_millis(60));
-                        simtrace::runtime::tick_progress();
-                    }
-                } else if cell.seed == 1 {
-                    // Livelocked: wall clock advances, simulator doesn't.
-                    std::thread::sleep(Duration::from_secs(4));
-                }
-                cell.seed
-            },
-        );
-        assert_eq!(out.results[0], Some(0), "advancing cell must survive");
-        assert_eq!(out.manifest.cells[0].status, CellStatus::Ok);
-        assert_eq!(out.results[1], None);
-        assert_eq!(out.manifest.cells[1].status, CellStatus::TimedOut);
-        assert!(
-            out.manifest.cells[1]
-                .error
-                .contains("no simulator progress"),
-            "error: {}",
-            out.manifest.cells[1].error
-        );
-    }
-
-    #[test]
-    fn failed_cells_miss_the_cache_so_resume_reruns_only_them() {
-        let dir =
-            std::env::temp_dir().join(format!("simrunner-resume-unit-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let c = demo_campaign(6);
-        let opts = RunnerOpts::default().with_workers(2).with_cache(&dir);
-        let broken = c.run_resilient(&opts, |cell| {
-            if cell.seed == 4 {
-                panic!("boom");
-            }
-            cell.seed as f64
-        });
-        assert_eq!(broken.manifest.cells_failed, 1);
-        assert_eq!(broken.manifest.cache_hits, 0);
-        // Resume: the bug is "fixed"; only the failed cell recomputes.
-        let resumed = c.run_resilient(&opts, |cell| cell.seed as f64);
-        assert!(resumed.all_ok());
-        assert_eq!(resumed.manifest.cache_hits, 5);
-        assert_eq!(resumed.manifest.cache_misses, 1);
-        assert!(!resumed.manifest.cells[4].cached);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn unwritable_cache_degrades_to_uncached_run() {
-        // A file where the cache root should be: create_dir_all fails.
-        let file =
-            std::env::temp_dir().join(format!("simrunner-badroot-unit-{}", std::process::id()));
-        std::fs::write(&file, b"not a directory").unwrap();
-        let c = demo_campaign(3);
-        let out = c.run(&RunnerOpts::serial().with_cache(&file), |cell| cell.seed);
-        assert_eq!(out.results, vec![0, 1, 2]);
-        assert_eq!(out.manifest.cache_hits, 0);
-        let _ = std::fs::remove_file(&file);
-    }
-
     #[test]
     fn parse_bytes_accepts_suffixes() {
         assert_eq!(parse_bytes("1024"), Some(1024));
@@ -1277,157 +746,109 @@ mod tests {
     }
 
     #[test]
-    fn profiled_run_lands_spans_and_wall_percentiles_in_manifest() {
-        let c = demo_campaign(8);
-        let out = c.run(
-            &RunnerOpts::default().with_workers(2).with_profile(),
-            |cell| {
-                let _g = simtrace::prof::span("cell/work");
-                // Make the span worth at least a few microseconds.
-                let mut acc = 0u64;
-                for i in 0..20_000 {
-                    acc = acc.wrapping_add(std::hint::black_box(i ^ cell.seed));
-                }
-                acc % 2
-            },
-        );
-        let m = &out.manifest;
-        assert!(!m.prof.is_empty(), "profiled run must record spans");
-        assert!(
-            m.prof.spans.iter().any(|s| s.path == "cell/work"),
-            "spans: {:?}",
-            m.prof.spans
-        );
-        let work = m.prof.spans.iter().find(|s| s.path == "cell/work").unwrap();
-        assert_eq!(work.calls, 8, "one span entry per cell");
-        assert!(m.wall_ms_p50 > 0.0);
-        assert!(m.wall_ms_p99 >= m.wall_ms_p50);
-        // An unprofiled run of the same campaign records nothing.
-        let off = c.run(&RunnerOpts::default().with_workers(2), |cell| cell.seed);
-        assert!(off.manifest.prof.is_empty());
-    }
-
-    #[test]
-    fn scope_annotations_flow_into_the_manifest() {
-        let c = demo_campaign(4);
-        let out = c.run(&RunnerOpts::serial(), |cell| {
-            simtrace::runtime::add_scope_annotation(simtrace::ScopeAnnotation {
-                label: format!("scope/{}/queue_depth", cell.label),
-                n: 10 + cell.seed,
-                p50: 0.001,
-                p90: 0.002,
-                p99: 0.003,
-                p999: 0.004,
-            });
-            cell.seed
-        });
-        assert_eq!(out.manifest.scope_annotations.len(), 4);
-        assert!(out
-            .manifest
-            .scope_annotations
-            .iter()
-            .any(|a| a.label == "scope/cell-2/queue_depth" && a.n == 12));
-    }
-
-    #[test]
-    fn terminal_panic_dumps_the_flight_recorder() {
-        let dir =
-            std::env::temp_dir().join(format!("simrunner-flightrec-unit-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let c = demo_campaign(5);
-        let out = c.run_resilient(
-            &RunnerOpts::default()
-                .with_workers(2)
-                .with_cell_retries(1)
-                .with_flightrec_dir(&dir),
-            |cell| {
-                simtrace::flightrec::record_with(|| {
-                    simtrace::TraceRecord::metric(42, simtrace::kind::COUNTER, "unit.marker", 7)
-                });
-                if cell.seed == 3 {
-                    panic!("terminal");
-                }
-                cell.seed
-            },
-        );
-        assert!(!out.all_ok());
-        let rec = &out.manifest.cells[3];
-        assert_eq!(rec.status, CellStatus::Panicked);
-        assert!(
-            rec.flightrec.ends_with("cell-3.jsonl"),
-            "dump path: {}",
-            rec.flightrec
-        );
-        let dump = std::fs::read_to_string(&rec.flightrec).expect("dump exists");
-        let parsed = simtrace::query::parse_jsonl(&dump).expect("dump parses");
-        // Seeded dispatch record (attempt 2 after one retry) plus the
-        // cell's own marker.
-        assert!(parsed
-            .iter()
-            .any(|r| r.name.as_deref() == Some("runner.dispatch") && r.value == Some(2.0)));
-        assert!(parsed
-            .iter()
-            .any(|r| r.name.as_deref() == Some("unit.marker")));
-        // Successful cells leave no dump.
-        for i in (0..5).filter(|&i| i != 3) {
-            assert!(out.manifest.cells[i].flightrec.is_empty());
-        }
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn timed_out_cell_dumps_the_flight_recorder_from_outside() {
-        let dir = std::env::temp_dir().join(format!(
-            "simrunner-flightrec-hang-unit-{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        let c = demo_campaign(3);
-        let out = c.run_resilient(
-            &RunnerOpts::default()
-                .with_workers(2)
-                .with_cell_timeout(Duration::from_millis(150))
-                .with_flightrec_dir(&dir),
-            |cell| {
-                if cell.seed == 1 {
-                    std::thread::sleep(Duration::from_secs(4));
-                }
-                cell.seed
-            },
-        );
-        let rec = &out.manifest.cells[1];
-        assert_eq!(rec.status, CellStatus::TimedOut);
-        assert!(!rec.flightrec.is_empty(), "hung cell must leave a dump");
-        let dump = std::fs::read_to_string(&rec.flightrec).expect("dump exists");
-        assert!(
-            simtrace::query::parse_jsonl(&dump).is_ok_and(|r| !r.is_empty()),
-            "dump must parse non-empty"
-        );
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
     fn sanitize_label_keeps_safe_chars() {
         assert_eq!(sanitize_label("flap:cubic+suss:2"), "flap-cubic-suss-2");
         assert_eq!(sanitize_label("ok._-123"), "ok._-123");
     }
 
-    #[test]
-    fn nearest_rank_percentiles() {
-        assert_eq!(nearest_rank(&[], 50.0), 0.0);
-        let v: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(nearest_rank(&v, 50.0), 50.0);
-        assert_eq!(nearest_rank(&v, 99.0), 99.0);
-        assert_eq!(nearest_rank(&[7.0], 99.0), 7.0);
+    fn env_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |k| {
+            pairs
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.to_string())
+        }
     }
 
     #[test]
-    fn env_overrides_parse() {
-        // Only exercises the parsing surface that does not touch global
-        // env state set by other tests.
+    fn apply_env_parses_every_knob() {
+        let (opts, warnings) = RunnerOpts::default().apply_env(env_of(&[
+            ("SUSS_WORKERS", "3"),
+            ("SUSS_CACHE_DIR", "/tmp/cache"),
+            ("SUSS_FORCE_COLD", "1"),
+            ("SUSS_PROGRESS", "0"),
+            ("SUSS_CACHE_MAX_BYTES", "2M"),
+            ("SUSS_CELL_TIMEOUT_MS", "1500"),
+            ("SUSS_STALL_TIMEOUT_MS", "0"),
+            ("SUSS_CELL_RETRIES", "2"),
+            ("SUSS_PROF", "1"),
+            ("SUSS_FLIGHTREC_DIR", "/tmp/frec"),
+            ("SUSS_EXECUTOR", "steal"),
+        ]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(opts.workers, 3);
+        assert_eq!(opts.cache_dir.as_deref(), Some(Path::new("/tmp/cache")));
+        assert!(opts.force_cold);
+        assert!(!opts.progress);
+        assert_eq!(opts.cache_max_bytes, Some(2 << 20));
+        assert_eq!(opts.cell_timeout, Some(Duration::from_millis(1500)));
+        assert_eq!(opts.stall_timeout, None, "0 disables the watchdog");
+        assert_eq!(opts.cell_retries, 2);
+        assert!(opts.profile);
+        assert_eq!(opts.flightrec_dir.as_deref(), Some(Path::new("/tmp/frec")));
+        assert_eq!(opts.executor, ExecSpec::WorkStealing);
+        assert!(!opts.shard_exit);
+    }
+
+    #[test]
+    fn apply_env_shard_coordinates_imply_process_exit() {
+        let (opts, warnings) = RunnerOpts::default().apply_env(env_of(&[("SUSS_SHARD", "1/4")]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(opts.executor, ExecSpec::Shard { index: 1, total: 4 });
+        assert!(
+            opts.shard_exit,
+            "env-driven shards must exit after the shard manifest"
+        );
+    }
+
+    #[test]
+    fn apply_env_warns_and_keeps_prior_value_on_malformed_input() {
+        let base = RunnerOpts::default()
+            .with_workers(7)
+            .with_cell_retries(4)
+            .with_cache_max_bytes(1024);
+        let (opts, warnings) = base.apply_env(env_of(&[
+            ("SUSS_WORKERS", "many"),
+            ("SUSS_CACHE_MAX_BYTES", "-5"),
+            ("SUSS_CELL_TIMEOUT_MS", "soon"),
+            ("SUSS_STALL_TIMEOUT_MS", "1e3"),
+            ("SUSS_CELL_RETRIES", "2.5"),
+            ("SUSS_EXECUTOR", "quantum"),
+            ("SUSS_SHARD", "4/4"),
+        ]));
+        assert_eq!(warnings.len(), 7, "{warnings:?}");
+        for w in &warnings {
+            assert!(w.starts_with("ignoring SUSS_"), "{w}");
+        }
+        assert_eq!(opts.workers, 7, "malformed value must keep the prior one");
+        assert_eq!(opts.cell_retries, 4);
+        assert_eq!(opts.cache_max_bytes, Some(1024));
+        assert_eq!(opts.cell_timeout, None);
+        assert_eq!(opts.executor, ExecSpec::Pool);
+        assert!(!opts.shard_exit);
+    }
+
+    #[test]
+    fn shard_coordinates_must_be_in_range() {
+        assert_eq!(parse_shard("0/1"), Some((0, 1)));
+        assert_eq!(parse_shard("3/4"), Some((3, 4)));
+        assert_eq!(parse_shard(" 1 / 2 "), Some((1, 2)));
+        assert_eq!(parse_shard("4/4"), None);
+        assert_eq!(parse_shard("2"), None);
+        assert_eq!(parse_shard("a/b"), None);
+        assert_eq!(parse_shard("1/0"), None);
+    }
+
+    #[test]
+    fn serial_opts_resolve_one_worker() {
         let opts = RunnerOpts::serial();
         assert_eq!(opts.resolved_workers(), 1);
         let auto = RunnerOpts::default();
         assert!(auto.resolved_workers() >= 1);
+        assert_eq!(auto.stem_for("fig17"), Path::new("results").join("fig17"));
+        assert_eq!(
+            auto.with_manifest_stem("/tmp/x/fig17").stem_for("fig17"),
+            Path::new("/tmp/x/fig17")
+        );
     }
 }

@@ -1,0 +1,1731 @@
+//! Executors: the pluggable engines behind [`Campaign::run`].
+//!
+//! A [`Campaign`] is pure data; an [`Executor`] decides *how* its cells
+//! get computed. Three engines ship here, all committing results by cell
+//! index so the output is byte-identical across engines:
+//!
+//! * [`PoolExecutor`] — the deterministic token-tracked thread pool with
+//!   panic isolation, bounded retries, wall-clock and progress-stall
+//!   watchdogs, and flight-recorder crash dumps (the default);
+//! * [`WorkStealingExecutor`] — workers pull cells from per-worker
+//!   deques and steal from idle neighbours' backs; retries run inline on
+//!   the worker. No watchdog (abandonment needs detached threads);
+//! * [`ShardWorker`] / [`ShardCoordinator`] / [`ShardMerge`] — the
+//!   distributed path. A worker computes only the cells its shard owns
+//!   (round-robin by index, see [`ShardInfo::owns`]) against the shared
+//!   cache and writes a shard manifest; the coordinator runs N shards
+//!   (child processes or in-process), merges their manifests with
+//!   [`RunManifest::merge_shards`], reloads the results from the shared
+//!   cache, and returns a report indistinguishable from a single-process
+//!   run — same results, same manifest fingerprint.
+//!
+//! [`RunnerOpts::executor`](crate::RunnerOpts::executor) builds the
+//! engine selected by [`ExecSpec`](crate::ExecSpec), so call sites
+//! uniformly write `campaign.run(&opts.executor(), f)`.
+
+use crate::campaign::{
+    dump_flightrec, panic_message, run_bracketed, Campaign, CampaignReport, Cell, CellTelemetry,
+    ExecSpec, FailurePolicy, ManifestParts, RunnerOpts,
+};
+use crate::manifest::{shard_manifest_path, CellRecord, CellStatus, RunManifest, ShardInfo};
+use crate::pool::{BoundedQueue, StealQueues};
+use crate::progress::Progress;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Watchdog/retry scheduling granularity of the pool executor.
+const TICK: Duration = Duration::from_millis(20);
+/// Backoff unit: attempt `k` waits `k × RETRY_BACKOFF` before re-running.
+const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+/// Exit code of a shard child whose cells failed (manifest still written).
+pub const SHARD_FAILED_EXIT: i32 = 3;
+
+/// An execution engine for campaigns. Implementations must commit
+/// results in campaign (cell-index) order and fill a [`RunManifest`]
+/// describing the run.
+pub trait Executor {
+    /// Short engine name for manifests (`pool`, `steal`, `shard 0/2`, …).
+    fn label(&self) -> String;
+
+    /// Execute `campaign`, computing each cell with `f`.
+    fn execute<T, F>(&self, campaign: &Campaign, f: F) -> CampaignReport<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static;
+}
+
+// ---------------------------------------------------------------------------
+// Shared phases: cache serve, manifest finish
+// ---------------------------------------------------------------------------
+
+/// State threaded through an executor's phases.
+struct Prepared<T> {
+    started: Instant,
+    workers: usize,
+    cache: Option<crate::cache::Cache>,
+    results: Vec<Option<T>>,
+    records: Vec<CellRecord>,
+    /// Cell indices still to compute (owned, not served from cache).
+    pending: Vec<usize>,
+    cache_hits: usize,
+    skipped: usize,
+    progress: Progress,
+}
+
+/// Failure/observability tallies from an executor's compute phase.
+#[derive(Default)]
+struct Tallies {
+    failed: usize,
+    retries: u64,
+    timeouts: u64,
+    prof: simtrace::ProfSnapshot,
+    scopes: Vec<simtrace::ScopeAnnotation>,
+}
+
+/// Phase 1, common to all local executors: mark unowned cells skipped and
+/// serve owned cells from the cache (main thread: cheap).
+fn prepare<T: Deserialize>(
+    campaign: &Campaign,
+    opts: &RunnerOpts,
+    shard: Option<ShardInfo>,
+) -> Prepared<T> {
+    let started = Instant::now();
+    let workers = opts.resolved_workers();
+    let cache = campaign.open_cache(opts);
+    let n = campaign.cells.len();
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut records = campaign.blank_records();
+    let owns = |i: usize| shard.is_none_or(|s| s.owns(i));
+    let owned_total = (0..n).filter(|&i| owns(i)).count();
+    let mut progress = Progress::new(&campaign.experiment, owned_total, opts.progress);
+    let mut pending: Vec<usize> = Vec::new();
+    let mut skipped = 0usize;
+    for cell in &campaign.cells {
+        if !owns(cell.index) {
+            records[cell.index].status = CellStatus::Skipped;
+            skipped += 1;
+            continue;
+        }
+        let hit = if opts.force_cold {
+            None
+        } else {
+            cache
+                .as_ref()
+                .and_then(|c| c.load::<T>(&campaign.identity(cell)))
+        };
+        match hit {
+            Some(v) => {
+                results[cell.index] = Some(v);
+                records[cell.index].cached = true;
+                progress.tick(true);
+            }
+            None => pending.push(cell.index),
+        }
+    }
+    let cache_hits = owned_total - pending.len();
+    Prepared {
+        started,
+        workers,
+        cache,
+        results,
+        records,
+        pending,
+        cache_hits,
+        skipped,
+        progress,
+    }
+}
+
+/// Final phase, common to all local executors: sweep the cache, assemble
+/// the manifest (with results digest and fingerprint), print the summary,
+/// and apply the failure policy.
+fn finish<T: Serialize>(
+    campaign: &Campaign,
+    opts: &RunnerOpts,
+    exec_label: String,
+    shard: Option<ShardInfo>,
+    prep: Prepared<T>,
+    tallies: Tallies,
+    raise: bool,
+) -> CampaignReport<T> {
+    prep.progress.finish();
+    campaign.sweep_cache(opts);
+    let quarantined = prep
+        .cache
+        .as_ref()
+        .map(|c| c.quarantined_count())
+        .unwrap_or(0);
+    let digest = results_digest_of(&prep.results, &prep.records);
+    let mut manifest = campaign.assemble_manifest(ManifestParts {
+        executor: exec_label,
+        shard,
+        workers: prep.workers,
+        cache_hits: prep.cache_hits,
+        cells_skipped: prep.skipped,
+        started: prep.started,
+        records: prep.records,
+        cells_failed: tallies.failed,
+        cell_retries: tallies.retries,
+        cell_timeouts: tallies.timeouts,
+        cache_quarantined: quarantined,
+        results_digest: digest,
+        prof: tallies.prof,
+        scope_annotations: tallies.scopes,
+    });
+    manifest.fingerprint = manifest.compute_fingerprint();
+    if opts.progress {
+        eprint!("{}", manifest.summary());
+    }
+    if raise {
+        raise_first_failure(&manifest);
+    }
+    CampaignReport {
+        results: prep.results,
+        manifest,
+    }
+}
+
+/// Re-raise the first terminal cell failure with the old single-process
+/// message shape ("campaign 'x' cell 'y' panicked: boom").
+fn raise_first_failure(m: &RunManifest) {
+    if let Some(rec) = m
+        .cells
+        .iter()
+        .find(|r| !r.status.succeeded() && r.status != CellStatus::Skipped)
+    {
+        let verb = match rec.status {
+            CellStatus::TimedOut => "timed out",
+            _ => "panicked",
+        };
+        panic!(
+            "campaign '{}' cell '{}' {verb}: {}",
+            m.experiment, rec.label, rec.error
+        );
+    }
+}
+
+/// FNV-1a digest over the results present, keyed by cell index. Failed
+/// cells (a `None` whose record is not `Skipped`) make the digest
+/// meaningless, so it comes back empty. The serde shim's f64 rendering
+/// round-trips exactly, so a digest over re-serialized cached values
+/// equals the digest over freshly computed ones.
+fn results_digest_of<T: Serialize>(results: &[Option<T>], records: &[CellRecord]) -> String {
+    let mut canon = String::new();
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Some(v) => {
+                canon.push_str(&i.to_string());
+                canon.push('\0');
+                canon.push_str(&serde::to_string(v));
+                canon.push('\n');
+            }
+            None if records[i].status == CellStatus::Skipped => {}
+            None => return String::new(),
+        }
+    }
+    format!("{:016x}", crate::fnv1a64(canon.as_bytes()))
+}
+
+// ---------------------------------------------------------------------------
+// Pool executor (and the shard worker's compute core)
+// ---------------------------------------------------------------------------
+
+/// The deterministic token-tracked thread pool: detached workers under a
+/// watchdog, per-cell panic isolation with bounded retries (linear
+/// backoff), wall-clock and progress-stall abandonment, flight-recorder
+/// dumps on terminal failure. Results commit by cell index on the main
+/// thread.
+///
+/// Detached (non-scoped) threads are what make abandonment possible: a
+/// hung cell's thread is left behind (it dies with the process) while a
+/// replacement worker keeps the pool at full strength — hence the
+/// `'static` bounds on [`Executor::execute`].
+#[derive(Debug, Clone)]
+pub struct PoolExecutor {
+    /// Execution options.
+    pub opts: RunnerOpts,
+}
+
+impl Executor for PoolExecutor {
+    fn label(&self) -> String {
+        "pool".into()
+    }
+
+    fn execute<T, F>(&self, campaign: &Campaign, f: F) -> CampaignReport<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static,
+    {
+        let mut prep = prepare::<T>(campaign, &self.opts, None);
+        let tallies = run_pool_phase(campaign, &self.opts, &mut prep, f);
+        let raise = self.opts.on_failure == FailurePolicy::Raise;
+        finish(
+            campaign,
+            &self.opts,
+            self.label(),
+            None,
+            prep,
+            tallies,
+            raise,
+        )
+    }
+}
+
+/// Phase 2 of the pool executor and shard worker: compute `prep.pending`
+/// on detached workers under the watchdog loop.
+fn run_pool_phase<T, F>(
+    campaign: &Campaign,
+    opts: &RunnerOpts,
+    prep: &mut Prepared<T>,
+    f: F,
+) -> Tallies
+where
+    T: Serialize + Deserialize + Send + 'static,
+    F: Fn(&Cell) -> T + Send + Sync + 'static,
+{
+    let mut tallies = Tallies::default();
+    if prep.pending.is_empty() {
+        return tallies;
+    }
+    let n = campaign.cells.len();
+    let results = &mut prep.results;
+    let records = &mut prep.records;
+    let cache = &prep.cache;
+    let progress = &mut prep.progress;
+
+    struct Dispatch {
+        token: u64,
+        index: usize,
+        sink: Arc<AtomicU64>,
+        recorder: Option<simtrace::FlightRecorder>,
+    }
+    enum Msg<T> {
+        Started {
+            token: u64,
+        },
+        Done {
+            token: u64,
+            outcome: Result<(T, CellTelemetry), String>,
+        },
+    }
+    struct InFlight {
+        index: usize,
+        sink: Arc<AtomicU64>,
+        recorder: Option<simtrace::FlightRecorder>,
+        started: Option<Instant>,
+        progress_seen: u64,
+        progress_at: Instant,
+    }
+
+    let cells = Arc::new(campaign.cells.clone());
+    let f = Arc::new(f);
+    // Effectively unbounded: tokens are tiny, and the watchdog must never
+    // block on a full queue.
+    let work: Arc<BoundedQueue<Dispatch>> = Arc::new(BoundedQueue::new(usize::MAX));
+    let (tx, rx) = mpsc::channel::<Msg<T>>();
+    let spawn_worker = {
+        let work = Arc::clone(&work);
+        let cells = Arc::clone(&cells);
+        let f = Arc::clone(&f);
+        let tx = tx.clone();
+        let profile = opts.profile;
+        move || {
+            let work = Arc::clone(&work);
+            let cells = Arc::clone(&cells);
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            thread::spawn(move || {
+                while let Some(d) = work.pop() {
+                    // The per-cell progress sink lets the main thread
+                    // distinguish "slow but advancing" from "livelocked"
+                    // without touching the simulation; the flight
+                    // recorder is the dispatching thread's handle, so the
+                    // ring stays readable even if this thread hangs.
+                    simtrace::runtime::set_progress_sink(Some(Arc::clone(&d.sink)));
+                    simtrace::flightrec::install(d.recorder.clone());
+                    if tx.send(Msg::Started { token: d.token }).is_err() {
+                        break;
+                    }
+                    let (out, tel) = run_bracketed(profile, || f(&cells[d.index]));
+                    simtrace::flightrec::install(None);
+                    simtrace::runtime::set_progress_sink(None);
+                    let outcome = match out {
+                        Ok(v) => Ok((v, tel)),
+                        Err(p) => Err(panic_message(&*p)),
+                    };
+                    if tx
+                        .send(Msg::Done {
+                            token: d.token,
+                            outcome,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+    };
+    for _ in 0..prep.workers.min(prep.pending.len()) {
+        spawn_worker();
+    }
+
+    let mut inflight: HashMap<u64, InFlight> = HashMap::new();
+    let mut attempts: Vec<u32> = vec![0; n];
+    let mut next_token = 0u64;
+    let mut delayed: Vec<(Instant, usize)> = Vec::new();
+    let mut outstanding = prep.pending.len();
+    // Not a closure: it would hold `records`/`next_token` borrowed across
+    // the whole loop, which also mutates them.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        index: usize,
+        work: &BoundedQueue<Dispatch>,
+        next_token: &mut u64,
+        attempts: &mut [u32],
+        records: &mut [CellRecord],
+        inflight: &mut HashMap<u64, InFlight>,
+        flightrec: bool,
+    ) {
+        let token = *next_token;
+        *next_token += 1;
+        attempts[index] += 1;
+        records[index].attempts = attempts[index];
+        let sink = Arc::new(AtomicU64::new(0));
+        let recorder = flightrec.then(|| {
+            let r = simtrace::FlightRecorder::new(simtrace::flightrec::DEFAULT_CAPACITY);
+            // Seed the ring so a cell that dies before producing any
+            // trace record (e.g. an injected panic at dispatch) still
+            // leaves a parseable, non-empty dump.
+            r.push(simtrace::TraceRecord::metric(
+                0,
+                simtrace::kind::COUNTER,
+                "runner.dispatch",
+                u64::from(attempts[index]),
+            ));
+            r
+        });
+        inflight.insert(
+            token,
+            InFlight {
+                index,
+                sink: Arc::clone(&sink),
+                recorder: recorder.clone(),
+                started: None,
+                progress_seen: 0,
+                progress_at: Instant::now(),
+            },
+        );
+        work.push(Dispatch {
+            token,
+            index,
+            sink,
+            recorder,
+        });
+    }
+    let flightrec = opts.flightrec_dir.is_some();
+    for &idx in &prep.pending {
+        dispatch(
+            idx,
+            &work,
+            &mut next_token,
+            &mut attempts,
+            records,
+            &mut inflight,
+            flightrec,
+        );
+    }
+
+    while outstanding > 0 {
+        // Release retries whose backoff has elapsed.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < delayed.len() {
+            if delayed[i].0 <= now {
+                let (_, idx) = delayed.swap_remove(i);
+                dispatch(
+                    idx,
+                    &work,
+                    &mut next_token,
+                    &mut attempts,
+                    records,
+                    &mut inflight,
+                    flightrec,
+                );
+            } else {
+                i += 1;
+            }
+        }
+
+        match rx.recv_timeout(TICK) {
+            Ok(Msg::Started { token }) => {
+                if let Some(fl) = inflight.get_mut(&token) {
+                    let now = Instant::now();
+                    fl.started = Some(now);
+                    fl.progress_at = now;
+                    fl.progress_seen = fl.sink.load(Ordering::Relaxed);
+                }
+            }
+            Ok(Msg::Done { token, outcome }) => {
+                // An unknown token is a late result from an attempt the
+                // watchdog already abandoned: the cell's fate is sealed,
+                // drop it (and never cache it).
+                let Some(fl) = inflight.remove(&token) else {
+                    continue;
+                };
+                let idx = fl.index;
+                match outcome {
+                    Ok((v, tel)) => {
+                        if let Some(c) = cache {
+                            // A failed store only costs a future miss.
+                            let _ = c.store(&campaign.identity(&campaign.cells[idx]), &v);
+                        }
+                        records[idx].wall_ms = tel.wall_ms;
+                        records[idx].events = tel.events;
+                        tallies.prof.merge(&tel.prof);
+                        tallies.scopes.extend(tel.scopes);
+                        records[idx].status = if attempts[idx] > 1 {
+                            CellStatus::Retried
+                        } else {
+                            CellStatus::Ok
+                        };
+                        results[idx] = Some(v);
+                        outstanding -= 1;
+                        progress.tick(false);
+                    }
+                    Err(msg) => {
+                        if attempts[idx] <= opts.cell_retries {
+                            tallies.retries += 1;
+                            let backoff = RETRY_BACKOFF * attempts[idx];
+                            delayed.push((Instant::now() + backoff, idx));
+                        } else {
+                            records[idx].status = CellStatus::Panicked;
+                            records[idx].error = msg;
+                            // Terminal failure: dump the black box.
+                            if let (Some(dir), Some(rec)) =
+                                (opts.flightrec_dir.as_deref(), fl.recorder.as_ref())
+                            {
+                                if let Some(path) =
+                                    dump_flightrec(dir, &campaign.cells[idx].label, rec)
+                                {
+                                    records[idx].flightrec = path;
+                                }
+                            }
+                            tallies.failed += 1;
+                            outstanding -= 1;
+                            progress.tick(false);
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Watchdog: abandon cells over the wall budget or stalled.
+        let now = Instant::now();
+        let mut expired: Vec<(u64, String)> = Vec::new();
+        for (&token, fl) in inflight.iter_mut() {
+            let Some(cell_started) = fl.started else {
+                continue;
+            };
+            if let Some(limit) = opts.cell_timeout {
+                if now.duration_since(cell_started) > limit {
+                    expired.push((token, format!("wall-clock budget exceeded ({limit:?})")));
+                    continue;
+                }
+            }
+            if let Some(stall) = opts.stall_timeout {
+                let cur = fl.sink.load(Ordering::Relaxed);
+                if cur != fl.progress_seen {
+                    fl.progress_seen = cur;
+                    fl.progress_at = now;
+                } else if now.duration_since(fl.progress_at) > stall {
+                    expired.push((token, format!("no simulator progress for {stall:?}")));
+                }
+            }
+        }
+        for (token, msg) in expired {
+            let Some(fl) = inflight.remove(&token) else {
+                continue;
+            };
+            records[fl.index].status = CellStatus::TimedOut;
+            records[fl.index].error = msg;
+            // The hung worker can never drain its own ring; the
+            // dispatching thread's clone reads it from outside.
+            if let (Some(dir), Some(rec)) = (opts.flightrec_dir.as_deref(), fl.recorder.as_ref()) {
+                if let Some(path) = dump_flightrec(dir, &campaign.cells[fl.index].label, rec) {
+                    records[fl.index].flightrec = path;
+                }
+            }
+            tallies.timeouts += 1;
+            tallies.failed += 1;
+            outstanding -= 1;
+            progress.tick(false);
+            // The abandoned worker thread is stuck in the cell; restore
+            // pool capacity with a fresh thread.
+            spawn_worker();
+        }
+    }
+    work.close();
+    drop(tx);
+
+    // Defensive: if the channel disconnected early (no live workers),
+    // account for whatever never resolved.
+    for &idx in &prep.pending {
+        if results[idx].is_none() && records[idx].status.succeeded() {
+            records[idx].status = CellStatus::Panicked;
+            records[idx].error = "worker pool disconnected".to_string();
+            tallies.failed += 1;
+        }
+    }
+    tallies
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing executor
+// ---------------------------------------------------------------------------
+
+/// The work-stealing local executor: cells are preloaded round-robin
+/// into per-worker deques ([`StealQueues`]); a worker drains its own
+/// deque front-first and steals from the back of idle neighbours', so no
+/// worker idles while cells remain. Panics retry inline on the worker
+/// with the same linear backoff as the pool. Results still commit by
+/// cell index on the main thread, so output is byte-identical to the
+/// pool executor.
+///
+/// Not supported here: watchdog abandonment (requires detached threads —
+/// a hung cell hangs the campaign) and flight-recorder dumps. Campaigns
+/// that need those use [`PoolExecutor`].
+#[derive(Debug, Clone)]
+pub struct WorkStealingExecutor {
+    /// Execution options.
+    pub opts: RunnerOpts,
+}
+
+impl Executor for WorkStealingExecutor {
+    fn label(&self) -> String {
+        "steal".into()
+    }
+
+    fn execute<T, F>(&self, campaign: &Campaign, f: F) -> CampaignReport<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static,
+    {
+        let mut prep = prepare::<T>(campaign, &self.opts, None);
+        let tallies = run_steal_phase(campaign, &self.opts, &mut prep, f);
+        let raise = self.opts.on_failure == FailurePolicy::Raise;
+        finish(
+            campaign,
+            &self.opts,
+            self.label(),
+            None,
+            prep,
+            tallies,
+            raise,
+        )
+    }
+}
+
+/// Phase 2 of the work-stealing executor: scoped workers over
+/// [`StealQueues`], inline retries, in-order commit on the main thread.
+fn run_steal_phase<T, F>(
+    campaign: &Campaign,
+    opts: &RunnerOpts,
+    prep: &mut Prepared<T>,
+    f: F,
+) -> Tallies
+where
+    T: Serialize + Deserialize + Send + 'static,
+    F: Fn(&Cell) -> T + Send + Sync + 'static,
+{
+    let mut tallies = Tallies::default();
+    if prep.pending.is_empty() {
+        return tallies;
+    }
+    if opts.cell_timeout.is_some() || opts.stall_timeout.is_some() {
+        eprintln!(
+            "warning: the work-stealing executor has no watchdog; \
+             cell/stall timeouts are ignored (use the pool executor)"
+        );
+    }
+    let workers = prep.workers.min(prep.pending.len());
+    let queues = StealQueues::new(workers, prep.pending.iter().copied());
+    type Done<T> = (usize, Result<(T, CellTelemetry), String>, u32);
+    let (tx, rx) = mpsc::channel::<Done<T>>();
+    let retries = opts.cell_retries;
+    let profile = opts.profile;
+    let results = &mut prep.results;
+    let records = &mut prep.records;
+    let cache = &prep.cache;
+    let progress = &mut prep.progress;
+    thread::scope(|s| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let (queues, f, cells) = (&queues, &f, &campaign.cells);
+            s.spawn(move || {
+                while let Some(idx) = queues.take(w) {
+                    let mut attempt = 0u32;
+                    loop {
+                        attempt += 1;
+                        let (out, tel) = run_bracketed(profile, || f(&cells[idx]));
+                        match out {
+                            Ok(v) => {
+                                let _ = tx.send((idx, Ok((v, tel)), attempt));
+                                break;
+                            }
+                            Err(p) => {
+                                let msg = panic_message(&*p);
+                                if attempt > retries {
+                                    let _ = tx.send((idx, Err(msg), attempt));
+                                    break;
+                                }
+                                thread::sleep(RETRY_BACKOFF * attempt);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for _ in 0..prep.pending.len() {
+            let (idx, outcome, attempts) = rx.recv().expect("steal pool hung up early");
+            records[idx].attempts = attempts;
+            tallies.retries += u64::from(attempts.saturating_sub(1));
+            match outcome {
+                Ok((v, tel)) => {
+                    if let Some(c) = cache {
+                        let _ = c.store(&campaign.identity(&campaign.cells[idx]), &v);
+                    }
+                    records[idx].wall_ms = tel.wall_ms;
+                    records[idx].events = tel.events;
+                    records[idx].status = if attempts > 1 {
+                        CellStatus::Retried
+                    } else {
+                        CellStatus::Ok
+                    };
+                    tallies.prof.merge(&tel.prof);
+                    tallies.scopes.extend(tel.scopes);
+                    results[idx] = Some(v);
+                }
+                Err(msg) => {
+                    records[idx].status = CellStatus::Panicked;
+                    records[idx].error = msg;
+                    tallies.failed += 1;
+                }
+            }
+            progress.tick(false);
+        }
+    });
+    tallies
+}
+
+// ---------------------------------------------------------------------------
+// Sharded execution: worker, coordinator, merge
+// ---------------------------------------------------------------------------
+
+/// Executes one shard of a campaign: the cells with
+/// `index % shard.total == shard.index` run on the pool core against the
+/// shared cache, every other cell is recorded as
+/// [`Skipped`](CellStatus::Skipped), and the resulting shard manifest is
+/// written to `<stem>.shard<k>of<N>.manifest.json`.
+///
+/// The failure policy is always record-style here — the coordinator
+/// applies [`FailurePolicy`] after the merge, and a shard child must
+/// deliver its manifest even when cells fail. With `exit: true` (set via
+/// `SUSS_SHARD` in child processes) the process exits after the manifest
+/// is written: 0 when clean, [`SHARD_FAILED_EXIT`] when cells failed.
+#[derive(Debug, Clone)]
+pub struct ShardWorker {
+    /// Execution options.
+    pub opts: RunnerOpts,
+    /// Which slice of the campaign this worker owns.
+    pub shard: ShardInfo,
+    /// Exit the process after writing the shard manifest.
+    pub exit: bool,
+}
+
+impl Executor for ShardWorker {
+    fn label(&self) -> String {
+        format!("shard {}/{}", self.shard.index, self.shard.total)
+    }
+
+    fn execute<T, F>(&self, campaign: &Campaign, f: F) -> CampaignReport<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static,
+    {
+        let mut prep = prepare::<T>(campaign, &self.opts, Some(self.shard));
+        let tallies = run_pool_phase(campaign, &self.opts, &mut prep, f);
+        let report = finish(
+            campaign,
+            &self.opts,
+            self.label(),
+            Some(self.shard),
+            prep,
+            tallies,
+            false,
+        );
+        let stem = self.opts.stem_for(&campaign.experiment);
+        let path = shard_manifest_path(&stem, self.shard.index, self.shard.total);
+        if let Err(e) = report.manifest.write(&path) {
+            eprintln!("error: cannot write shard manifest {}: {e}", path.display());
+            if self.exit {
+                std::process::exit(4);
+            }
+        }
+        if self.exit {
+            std::process::exit(if report.manifest.cells_failed > 0 {
+                SHARD_FAILED_EXIT
+            } else {
+                0
+            });
+        }
+        report
+    }
+}
+
+/// Splits a campaign into N shards against the shared cache, runs them
+/// (as child processes re-executing the current binary with
+/// `SUSS_SHARD=k/N`, or in-process when `argv` is `None`), merges the
+/// shard manifests, and reloads the full result set from the cache —
+/// returning a report whose results and manifest fingerprint are
+/// identical to a single-process run.
+///
+/// A shard that dies without writing its manifest has its cells recorded
+/// as `Panicked` ("shard died"); because successful cells are already in
+/// the shared cache, simply re-running the coordinator resumes the
+/// campaign, recomputing only what the dead shard never finished.
+#[derive(Debug, Clone)]
+pub struct ShardCoordinator {
+    /// Execution options (must carry a `cache_dir`; without one the
+    /// coordinator degrades to the pool executor with a warning).
+    pub opts: RunnerOpts,
+    /// How many shards to split into.
+    pub shards: usize,
+    /// Child-process arguments (the current executable is re-invoked
+    /// with these), or `None` to run shards in-process sequentially.
+    pub argv: Option<Vec<String>>,
+}
+
+impl Executor for ShardCoordinator {
+    fn label(&self) -> String {
+        format!("coordinator({} shards)", self.shards.max(1))
+    }
+
+    fn execute<T, F>(&self, campaign: &Campaign, f: F) -> CampaignReport<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static,
+    {
+        let started = Instant::now();
+        if self.opts.cache_dir.is_none() {
+            eprintln!(
+                "warning: the shard coordinator needs a shared cache dir \
+                 (results are exchanged through it); running on the pool executor instead"
+            );
+            return PoolExecutor {
+                opts: self.opts.clone(),
+            }
+            .execute(campaign, f);
+        }
+        let total = self.shards.max(1);
+        let stem = self.opts.stem_for(&campaign.experiment);
+        write_shard_plan(&stem, campaign, total, &self.opts);
+        // Remove leftover shard manifests first: a stale one would
+        // masquerade as this run's output if its shard died.
+        for k in 0..total {
+            let _ = std::fs::remove_file(shard_manifest_path(&stem, k, total));
+        }
+        let f = Arc::new(f);
+        match &self.argv {
+            Some(argv) => spawn_shard_children(total, argv, &self.opts),
+            None => {
+                for k in 0..total {
+                    let worker = ShardWorker {
+                        opts: self.opts.clone(),
+                        shard: ShardInfo { index: k, total },
+                        exit: false,
+                    };
+                    let fk = Arc::clone(&f);
+                    let _ = worker.execute(campaign, move |cell: &Cell| fk(cell));
+                }
+            }
+        }
+        merge_and_load(
+            campaign,
+            &self.opts,
+            started,
+            &stem,
+            total,
+            self.label(),
+            &*f,
+        )
+    }
+}
+
+/// Merges already-written shard manifests (e.g. from shard runs driven
+/// by `scripts/shard_run.sh` or on other machines sharing the cache)
+/// without executing anything. Missing shards are recorded as failed,
+/// exactly like a coordinator whose child died.
+#[derive(Debug, Clone)]
+pub struct ShardMerge {
+    /// Execution options (cache dir locates the shard results).
+    pub opts: RunnerOpts,
+    /// How many shard manifests to expect.
+    pub shards: usize,
+}
+
+impl Executor for ShardMerge {
+    fn label(&self) -> String {
+        format!("merged({} shards)", self.shards.max(1))
+    }
+
+    fn execute<T, F>(&self, campaign: &Campaign, f: F) -> CampaignReport<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static,
+    {
+        let started = Instant::now();
+        let total = self.shards.max(1);
+        let stem = self.opts.stem_for(&campaign.experiment);
+        merge_and_load(
+            campaign,
+            &self.opts,
+            started,
+            &stem,
+            total,
+            self.label(),
+            &f,
+        )
+    }
+}
+
+/// Spawn one child per shard (the current executable with `argv` plus
+/// `SUSS_SHARD=k/N` and the shared `SUSS_CACHE_DIR` in the environment)
+/// and wait for all of them. Spawn or exit failures only warn: the merge
+/// phase records a missing shard manifest as that shard having died.
+fn spawn_shard_children(total: usize, argv: &[String], opts: &RunnerOpts) {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("warning: cannot locate current executable for shard children: {e}");
+            return;
+        }
+    };
+    let cache = opts
+        .cache_dir
+        .as_ref()
+        .expect("coordinator requires a cache dir");
+    let mut children = Vec::new();
+    for k in 0..total {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(argv);
+        cmd.env("SUSS_SHARD", format!("{k}/{total}"));
+        cmd.env("SUSS_CACHE_DIR", cache);
+        // The child writes no figures (it exits after its shard
+        // manifest); its stdout is only table noise.
+        cmd.stdout(std::process::Stdio::null());
+        match cmd.spawn() {
+            Ok(child) => children.push((k, child)),
+            Err(e) => eprintln!("warning: shard {k}/{total} failed to spawn: {e}"),
+        }
+    }
+    for (k, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => match status.code() {
+                Some(SHARD_FAILED_EXIT) => eprintln!(
+                    "warning: shard {k}/{total} completed with failed cells \
+                     (see its shard manifest)"
+                ),
+                _ => eprintln!("warning: shard {k}/{total} exited abnormally: {status}"),
+            },
+            Err(e) => eprintln!("warning: waiting for shard {k}/{total} failed: {e}"),
+        }
+    }
+}
+
+/// The coordinator's back half: read the shard manifests (synthesizing a
+/// dead-shard manifest for any that are missing), merge them, reload the
+/// full result set from the shared cache (recomputing inline on a cache
+/// miss — eviction must not corrupt the campaign), stamp digest,
+/// fingerprint, and coordinator wall time, and apply the failure policy.
+fn merge_and_load<T, F>(
+    campaign: &Campaign,
+    opts: &RunnerOpts,
+    started: Instant,
+    stem: &Path,
+    total: usize,
+    exec_label: String,
+    f: &F,
+) -> CampaignReport<T>
+where
+    T: Serialize + Deserialize + Send + 'static,
+    F: Fn(&Cell) -> T,
+{
+    let mut shard_manifests = Vec::with_capacity(total);
+    for k in 0..total {
+        let path = shard_manifest_path(stem, k, total);
+        match RunManifest::read(&path) {
+            Ok(m) => shard_manifests.push(m),
+            Err(e) => {
+                eprintln!(
+                    "warning: shard {k}/{total} left no manifest ({e}); \
+                     recording its cells as failed"
+                );
+                shard_manifests.push(dead_shard_manifest(campaign, k, total, &e.to_string()));
+            }
+        }
+    }
+    let mut manifest = match RunManifest::merge_shards(shard_manifests) {
+        Ok(m) => m,
+        Err(e) => panic!(
+            "campaign '{}': shard merge failed: {e}",
+            campaign.experiment
+        ),
+    };
+    let cache = campaign.open_cache(opts);
+    let n = campaign.cells.len();
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    for cell in &campaign.cells {
+        if !manifest.cells[cell.index].status.succeeded() {
+            continue;
+        }
+        let id = campaign.identity(cell);
+        match cache.as_ref().and_then(|c| c.load::<T>(&id)) {
+            Some(v) => results[cell.index] = Some(v),
+            None => {
+                eprintln!(
+                    "warning: cell '{}' missing from the shared cache; recomputing",
+                    cell.label
+                );
+                let v = f(cell);
+                if let Some(c) = &cache {
+                    let _ = c.store(&id, &v);
+                }
+                results[cell.index] = Some(v);
+            }
+        }
+    }
+    manifest.executor = exec_label;
+    manifest.results_digest = results_digest_of(&results, &manifest.cells);
+    let wall = started.elapsed().as_secs_f64();
+    manifest.wall_secs = wall;
+    manifest.cells_per_sec = n as f64 / wall.max(1e-9);
+    manifest.events_per_sec = manifest.events_total as f64 / wall.max(1e-9);
+    manifest.utilization =
+        manifest.worker_busy_secs / (wall.max(1e-9) * manifest.workers.max(1) as f64);
+    manifest.fingerprint = manifest.compute_fingerprint();
+    campaign.sweep_cache(opts);
+    if opts.progress {
+        eprint!("{}", manifest.summary());
+    }
+    if opts.on_failure == FailurePolicy::Raise {
+        raise_first_failure(&manifest);
+    }
+    CampaignReport { results, manifest }
+}
+
+/// A shard manifest standing in for a shard that never wrote one: every
+/// owned cell is `Panicked` with a "shard died" error, the rest skipped.
+fn dead_shard_manifest(campaign: &Campaign, index: usize, total: usize, err: &str) -> RunManifest {
+    let shard = ShardInfo { index, total };
+    let mut records = campaign.blank_records();
+    let mut failed = 0usize;
+    let mut skipped = 0usize;
+    for r in records.iter_mut() {
+        if shard.owns(r.index) {
+            r.status = CellStatus::Panicked;
+            r.error = format!("shard {index}/{total} died without a manifest: {err}");
+            failed += 1;
+        } else {
+            r.status = CellStatus::Skipped;
+            skipped += 1;
+        }
+    }
+    campaign.assemble_manifest(ManifestParts {
+        executor: format!("shard {index}/{total} (dead)"),
+        shard: Some(shard),
+        workers: 0,
+        cache_hits: 0,
+        cells_skipped: skipped,
+        started: Instant::now(),
+        records,
+        cells_failed: failed,
+        cell_retries: 0,
+        cell_timeouts: 0,
+        cache_quarantined: 0,
+        results_digest: String::new(),
+        prof: simtrace::ProfSnapshot::default(),
+        scope_annotations: Vec::new(),
+    })
+}
+
+/// The machine-readable shard plan written by the coordinator to
+/// `<stem>.shardplan.json`: what was split, how, and where the shard
+/// manifests will land — so external drivers (other machines sharing the
+/// cache) can run shards themselves and merge later.
+#[derive(Debug, Clone, Serialize)]
+struct ShardPlan {
+    experiment: String,
+    version: String,
+    total_cells: usize,
+    shards: usize,
+    cache_dir: String,
+    cells_per_shard: Vec<usize>,
+    shard_manifests: Vec<String>,
+}
+
+/// Write the shard plan next to the manifests. Failure only warns — the
+/// plan is documentation, not coordination state.
+fn write_shard_plan(stem: &Path, campaign: &Campaign, total: usize, opts: &RunnerOpts) {
+    let plan = ShardPlan {
+        experiment: campaign.experiment.clone(),
+        version: campaign.version.clone(),
+        total_cells: campaign.cells.len(),
+        shards: total,
+        cache_dir: opts
+            .cache_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_default(),
+        cells_per_shard: (0..total)
+            .map(|k| {
+                let s = ShardInfo { index: k, total };
+                (0..campaign.cells.len()).filter(|&i| s.owns(i)).count()
+            })
+            .collect(),
+        shard_manifests: (0..total)
+            .map(|k| shard_manifest_path(stem, k, total).display().to_string())
+            .collect(),
+    };
+    let name = stem
+        .file_name()
+        .map(|s| s.to_string_lossy())
+        .unwrap_or_default();
+    let path = stem.with_file_name(format!("{name}.shardplan.json"));
+    let write = path
+        .parent()
+        .map(std::fs::create_dir_all)
+        .unwrap_or(Ok(()))
+        .and_then(|_| std::fs::write(&path, serde::to_string(&plan) + "\n"));
+    if let Err(e) = write {
+        eprintln!("warning: cannot write shard plan {}: {e}", path.display());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ExecSpec → executor
+// ---------------------------------------------------------------------------
+
+/// The executor built from an [`ExecSpec`] — a closed enum delegating
+/// [`Executor`] to the selected engine (the trait's generic method rules
+/// out `dyn Executor`).
+#[derive(Debug, Clone)]
+pub enum BuiltExecutor {
+    /// See [`PoolExecutor`].
+    Pool(PoolExecutor),
+    /// See [`WorkStealingExecutor`].
+    Steal(WorkStealingExecutor),
+    /// See [`ShardWorker`].
+    Shard(ShardWorker),
+    /// See [`ShardCoordinator`].
+    Coordinator(ShardCoordinator),
+    /// See [`ShardMerge`].
+    Merge(ShardMerge),
+}
+
+impl Executor for BuiltExecutor {
+    fn label(&self) -> String {
+        match self {
+            BuiltExecutor::Pool(e) => e.label(),
+            BuiltExecutor::Steal(e) => e.label(),
+            BuiltExecutor::Shard(e) => e.label(),
+            BuiltExecutor::Coordinator(e) => e.label(),
+            BuiltExecutor::Merge(e) => e.label(),
+        }
+    }
+
+    fn execute<T, F>(&self, campaign: &Campaign, f: F) -> CampaignReport<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn(&Cell) -> T + Send + Sync + 'static,
+    {
+        match self {
+            BuiltExecutor::Pool(e) => e.execute(campaign, f),
+            BuiltExecutor::Steal(e) => e.execute(campaign, f),
+            BuiltExecutor::Shard(e) => e.execute(campaign, f),
+            BuiltExecutor::Coordinator(e) => e.execute(campaign, f),
+            BuiltExecutor::Merge(e) => e.execute(campaign, f),
+        }
+    }
+}
+
+impl RunnerOpts {
+    /// Build the executor selected by [`RunnerOpts::executor`](RunnerOpts)
+    /// (the `executor` field): call sites uniformly write
+    /// `campaign.run(&opts.executor(), f)`.
+    pub fn executor(&self) -> BuiltExecutor {
+        match &self.executor {
+            ExecSpec::Pool => BuiltExecutor::Pool(PoolExecutor { opts: self.clone() }),
+            ExecSpec::WorkStealing => {
+                BuiltExecutor::Steal(WorkStealingExecutor { opts: self.clone() })
+            }
+            ExecSpec::Shard { index, total } => BuiltExecutor::Shard(ShardWorker {
+                opts: self.clone(),
+                shard: ShardInfo {
+                    index: *index,
+                    total: *total,
+                },
+                exit: self.shard_exit,
+            }),
+            ExecSpec::Coordinator { shards, argv } => {
+                BuiltExecutor::Coordinator(ShardCoordinator {
+                    opts: self.clone(),
+                    shards: *shards,
+                    argv: argv.clone(),
+                })
+            }
+            ExecSpec::MergeShards { shards } => BuiltExecutor::Merge(ShardMerge {
+                opts: self.clone(),
+                shards: *shards,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_campaign(n: u64) -> Campaign {
+        let mut c = Campaign::new("unit", "v1");
+        for seed in 0..n {
+            c.cell(format!("cell-{seed}"), format!("seed={seed}"), seed);
+        }
+        c
+    }
+
+    #[test]
+    fn results_arrive_in_cell_order() {
+        let c = demo_campaign(32);
+        let out = c.run(&RunnerOpts::default().with_workers(8).executor(), |cell| {
+            // Uneven cell cost to scramble completion order.
+            let spin = (cell.seed % 7) * 200;
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i * i);
+            }
+            cell.seed as f64 + (acc % 1) as f64
+        });
+        let expect: Vec<f64> = (0..32).map(|s| s as f64).collect();
+        assert_eq!(out.manifest.total_cells, 32);
+        assert_eq!(out.manifest.cache_hits, 0);
+        assert_eq!(out.manifest.workers, 8);
+        assert_eq!(out.manifest.executor, "pool");
+        assert!(!out.manifest.results_digest.is_empty());
+        assert_eq!(out.expect_all(), expect);
+    }
+
+    #[test]
+    fn empty_campaign_is_fine() {
+        let c = Campaign::new("unit", "v1");
+        assert!(c.is_empty());
+        let out = c.run(&RunnerOpts::serial().executor(), |_| 0u64);
+        assert!(out.results.is_empty());
+        assert_eq!(out.manifest.total_cells, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 'cell-3' panicked: boom")]
+    fn cell_panics_surface_with_label() {
+        let c = demo_campaign(6);
+        let _ = c.run(&RunnerOpts::default().with_workers(3).executor(), |cell| {
+            if cell.seed == 3 {
+                panic!("boom");
+            }
+            cell.seed
+        });
+    }
+
+    #[test]
+    fn cell_events_land_in_manifest_telemetry() {
+        let c = demo_campaign(8);
+        let out = c.run(&RunnerOpts::default().with_workers(4).executor(), |cell| {
+            simtrace::runtime::add_cell_events(100 + cell.seed);
+            cell.seed
+        });
+        let expect: u64 = (0..8).map(|s| 100 + s).sum();
+        assert_eq!(out.manifest.events_total, expect);
+        for rec in &out.manifest.cells {
+            assert_eq!(rec.events, 100 + rec.seed);
+        }
+        assert!(out.manifest.events_per_sec > 0.0);
+        assert!(out.manifest.worker_busy_secs >= 0.0);
+        assert!(out.manifest.utilization >= 0.0 && out.manifest.utilization <= 1.0);
+    }
+
+    #[test]
+    fn record_policy_survives_a_panicking_cell() {
+        let c = demo_campaign(8);
+        let opts = RunnerOpts::default().with_workers(3).record_failures();
+        let clean = c.run(&opts.clone().executor(), |cell| cell.seed * 10);
+        assert!(clean.all_ok());
+        assert!(!clean.manifest.results_digest.is_empty());
+
+        let hurt = c.run(&opts.executor(), |cell| {
+            if cell.seed == 3 {
+                panic!("injected");
+            }
+            cell.seed * 10
+        });
+        assert!(!hurt.all_ok());
+        assert_eq!(hurt.manifest.cells_failed, 1);
+        assert_eq!(hurt.manifest.cell_retries, 0);
+        assert_eq!(hurt.results[3], None);
+        assert!(
+            hurt.manifest.results_digest.is_empty(),
+            "a failed cell must void the results digest"
+        );
+        let rec = &hurt.manifest.cells[3];
+        assert_eq!(rec.status, CellStatus::Panicked);
+        assert_eq!(rec.attempts, 1);
+        assert!(rec.error.contains("injected"), "error: {}", rec.error);
+        // Every other cell is byte-identical to the clean run.
+        for i in (0..8).filter(|&i| i != 3) {
+            assert_eq!(hurt.results[i], clean.results[i], "cell {i}");
+            assert_eq!(hurt.manifest.cells[i].status, CellStatus::Ok);
+        }
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_cell() {
+        use std::sync::atomic::AtomicU32;
+        let c = demo_campaign(6);
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let out = c.run(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_cell_retries(2)
+                .executor(),
+            move |cell| {
+                if cell.seed == 2 && t.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                cell.seed
+            },
+        );
+        assert!(out.all_ok());
+        assert_eq!(out.results[2], Some(2));
+        assert_eq!(out.manifest.cell_retries, 1);
+        assert_eq!(out.manifest.cells[2].status, CellStatus::Retried);
+        assert_eq!(out.manifest.cells[2].attempts, 2);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::Ok);
+        assert_eq!(out.manifest.cells[1].attempts, 1);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let c = demo_campaign(4);
+        let out = c.run(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_cell_retries(2)
+                .record_failures()
+                .executor(),
+            |cell| {
+                if cell.seed == 1 {
+                    panic!("always");
+                }
+                cell.seed
+            },
+        );
+        assert_eq!(out.manifest.cells_failed, 1);
+        assert_eq!(out.manifest.cell_retries, 2);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::Panicked);
+        assert_eq!(out.manifest.cells[1].attempts, 3, "1 run + 2 retries");
+    }
+
+    #[test]
+    fn watchdog_abandons_a_hung_cell() {
+        let c = demo_campaign(5);
+        let started = Instant::now();
+        let out = c.run(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_cell_timeout(Duration::from_millis(150))
+                .record_failures()
+                .executor(),
+            |cell| {
+                if cell.seed == 1 {
+                    // A "hang" that outlives the watchdog by far but
+                    // still lets the leaked thread die quickly.
+                    std::thread::sleep(Duration::from_secs(4));
+                }
+                cell.seed
+            },
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "campaign must not wait out the hang"
+        );
+        assert_eq!(out.manifest.cells_failed, 1);
+        assert_eq!(out.manifest.cell_timeouts, 1);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::TimedOut);
+        assert!(out.manifest.cells[1].error.contains("wall-clock"));
+        assert_eq!(out.results[1], None);
+        for i in [0usize, 2, 3, 4] {
+            assert_eq!(out.results[i], Some(i as u64), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn stall_watchdog_spares_slow_but_advancing_cells() {
+        let c = demo_campaign(4);
+        let out = c.run(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_stall_timeout(Duration::from_millis(200))
+                .record_failures()
+                .executor(),
+            |cell| {
+                if cell.seed == 0 {
+                    // Slower than the stall window end to end, but
+                    // progressing the whole time: must survive.
+                    for _ in 0..8 {
+                        std::thread::sleep(Duration::from_millis(60));
+                        simtrace::runtime::tick_progress();
+                    }
+                } else if cell.seed == 1 {
+                    // Livelocked: wall clock advances, simulator doesn't.
+                    std::thread::sleep(Duration::from_secs(4));
+                }
+                cell.seed
+            },
+        );
+        assert_eq!(out.results[0], Some(0), "advancing cell must survive");
+        assert_eq!(out.manifest.cells[0].status, CellStatus::Ok);
+        assert_eq!(out.results[1], None);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::TimedOut);
+        assert!(
+            out.manifest.cells[1]
+                .error
+                .contains("no simulator progress"),
+            "error: {}",
+            out.manifest.cells[1].error
+        );
+    }
+
+    #[test]
+    fn failed_cells_miss_the_cache_so_resume_reruns_only_them() {
+        let dir =
+            std::env::temp_dir().join(format!("simrunner-resume-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = demo_campaign(6);
+        let opts = RunnerOpts::default()
+            .with_workers(2)
+            .with_cache(&dir)
+            .record_failures();
+        let broken = c.run(&opts.clone().executor(), |cell| {
+            if cell.seed == 4 {
+                panic!("boom");
+            }
+            cell.seed as f64
+        });
+        assert_eq!(broken.manifest.cells_failed, 1);
+        assert_eq!(broken.manifest.cache_hits, 0);
+        // Resume: the bug is "fixed"; only the failed cell recomputes.
+        let resumed = c.run(&opts.executor(), |cell| cell.seed as f64);
+        assert!(resumed.all_ok());
+        assert_eq!(resumed.manifest.cache_hits, 5);
+        assert_eq!(resumed.manifest.cache_misses, 1);
+        assert!(!resumed.manifest.cells[4].cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_cache_degrades_to_uncached_run() {
+        // A file where the cache root should be: create_dir_all fails.
+        let file =
+            std::env::temp_dir().join(format!("simrunner-badroot-unit-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let c = demo_campaign(3);
+        let out = c.run(&RunnerOpts::serial().with_cache(&file).executor(), |cell| {
+            cell.seed
+        });
+        assert_eq!(out.manifest.cache_hits, 0);
+        assert_eq!(out.expect_all(), vec![0, 1, 2]);
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn profiled_run_lands_spans_and_wall_percentiles_in_manifest() {
+        let c = demo_campaign(8);
+        let out = c.run(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_profile()
+                .executor(),
+            |cell| {
+                let _g = simtrace::prof::span("cell/work");
+                // Make the span worth at least a few microseconds.
+                let mut acc = 0u64;
+                for i in 0..20_000 {
+                    acc = acc.wrapping_add(std::hint::black_box(i ^ cell.seed));
+                }
+                acc % 2
+            },
+        );
+        let m = &out.manifest;
+        assert!(!m.prof.is_empty(), "profiled run must record spans");
+        assert!(
+            m.prof.spans.iter().any(|s| s.path == "cell/work"),
+            "spans: {:?}",
+            m.prof.spans
+        );
+        let work = m.prof.spans.iter().find(|s| s.path == "cell/work").unwrap();
+        assert_eq!(work.calls, 8, "one span entry per cell");
+        assert!(m.wall_ms_p50 > 0.0);
+        assert!(m.wall_ms_p99 >= m.wall_ms_p50);
+        // An unprofiled run of the same campaign records nothing.
+        let off = c.run(&RunnerOpts::default().with_workers(2).executor(), |cell| {
+            cell.seed
+        });
+        assert!(off.manifest.prof.is_empty());
+    }
+
+    #[test]
+    fn scope_annotations_flow_into_the_manifest_sorted() {
+        let c = demo_campaign(4);
+        let out = c.run(&RunnerOpts::default().with_workers(2).executor(), |cell| {
+            simtrace::runtime::add_scope_annotation(simtrace::ScopeAnnotation {
+                label: format!("scope/{}/queue_depth", cell.label),
+                n: 10 + cell.seed,
+                p50: 0.001,
+                p90: 0.002,
+                p99: 0.003,
+                p999: 0.004,
+            });
+            cell.seed
+        });
+        assert_eq!(out.manifest.scope_annotations.len(), 4);
+        let labels: Vec<&str> = out
+            .manifest
+            .scope_annotations
+            .iter()
+            .map(|a| a.label.as_str())
+            .collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(
+            labels, sorted,
+            "scope annotations must be canonically ordered"
+        );
+        assert!(out
+            .manifest
+            .scope_annotations
+            .iter()
+            .any(|a| a.label == "scope/cell-2/queue_depth" && a.n == 12));
+    }
+
+    #[test]
+    fn terminal_panic_dumps_the_flight_recorder() {
+        let dir =
+            std::env::temp_dir().join(format!("simrunner-flightrec-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = demo_campaign(5);
+        let out = c.run(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_cell_retries(1)
+                .with_flightrec_dir(&dir)
+                .record_failures()
+                .executor(),
+            |cell| {
+                simtrace::flightrec::record_with(|| {
+                    simtrace::TraceRecord::metric(42, simtrace::kind::COUNTER, "unit.marker", 7)
+                });
+                if cell.seed == 3 {
+                    panic!("terminal");
+                }
+                cell.seed
+            },
+        );
+        assert!(!out.all_ok());
+        let rec = &out.manifest.cells[3];
+        assert_eq!(rec.status, CellStatus::Panicked);
+        assert!(
+            rec.flightrec.ends_with("cell-3.jsonl"),
+            "dump path: {}",
+            rec.flightrec
+        );
+        let dump = std::fs::read_to_string(&rec.flightrec).expect("dump exists");
+        let parsed = simtrace::query::parse_jsonl(&dump).expect("dump parses");
+        // Seeded dispatch record (attempt 2 after one retry) plus the
+        // cell's own marker.
+        assert!(parsed
+            .iter()
+            .any(|r| r.name.as_deref() == Some("runner.dispatch") && r.value == Some(2.0)));
+        assert!(parsed
+            .iter()
+            .any(|r| r.name.as_deref() == Some("unit.marker")));
+        // Successful cells leave no dump.
+        for i in (0..5).filter(|&i| i != 3) {
+            assert!(out.manifest.cells[i].flightrec.is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timed_out_cell_dumps_the_flight_recorder_from_outside() {
+        let dir = std::env::temp_dir().join(format!(
+            "simrunner-flightrec-hang-unit-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = demo_campaign(3);
+        let out = c.run(
+            &RunnerOpts::default()
+                .with_workers(2)
+                .with_cell_timeout(Duration::from_millis(150))
+                .with_flightrec_dir(&dir)
+                .record_failures()
+                .executor(),
+            |cell| {
+                if cell.seed == 1 {
+                    std::thread::sleep(Duration::from_secs(4));
+                }
+                cell.seed
+            },
+        );
+        let rec = &out.manifest.cells[1];
+        assert_eq!(rec.status, CellStatus::TimedOut);
+        assert!(!rec.flightrec.is_empty(), "hung cell must leave a dump");
+        let dump = std::fs::read_to_string(&rec.flightrec).expect("dump exists");
+        assert!(
+            simtrace::query::parse_jsonl(&dump).is_ok_and(|r| !r.is_empty()),
+            "dump must parse non-empty"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- work-stealing executor ----
+
+    fn steal_opts() -> RunnerOpts {
+        RunnerOpts::default()
+            .with_workers(4)
+            .with_executor(ExecSpec::WorkStealing)
+    }
+
+    #[test]
+    fn steal_executor_matches_the_pool_byte_for_byte() {
+        let c = demo_campaign(24);
+        let work = |cell: &Cell| {
+            let spin = (cell.seed % 5) * 400;
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(std::hint::black_box(i * i));
+            }
+            simtrace::runtime::add_cell_events(cell.seed + acc % 1);
+            cell.seed as f64 * 1.5
+        };
+        let pool = c.run(&RunnerOpts::default().with_workers(4).executor(), work);
+        let steal = c.run(&steal_opts().executor(), work);
+        assert_eq!(steal.manifest.executor, "steal");
+        assert_eq!(steal.results, pool.results);
+        assert_eq!(
+            steal.manifest.results_digest, pool.manifest.results_digest,
+            "the digest is the value-level identity and must not see the engine"
+        );
+        assert_eq!(
+            steal.manifest.compute_fingerprint(),
+            pool.manifest.compute_fingerprint(),
+            "manifest fingerprints must match across executors"
+        );
+    }
+
+    #[test]
+    fn steal_executor_retries_and_records_failures() {
+        use std::sync::atomic::AtomicU32;
+        let c = demo_campaign(6);
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        let out = c.run(&steal_opts().with_cell_retries(2).executor(), move |cell| {
+            if cell.seed == 2 && t.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            cell.seed
+        });
+        assert!(out.all_ok());
+        assert_eq!(out.manifest.cell_retries, 1);
+        assert_eq!(out.manifest.cells[2].status, CellStatus::Retried);
+
+        let hurt = c.run(&steal_opts().record_failures().executor(), |cell| {
+            if cell.seed == 5 {
+                panic!("hard");
+            }
+            cell.seed
+        });
+        assert_eq!(hurt.manifest.cells_failed, 1);
+        assert_eq!(hurt.manifest.cells[5].status, CellStatus::Panicked);
+        assert_eq!(hurt.results[5], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 'cell-1' panicked: boom")]
+    fn steal_executor_raises_under_the_default_policy() {
+        let c = demo_campaign(3);
+        let _ = c.run(&steal_opts().executor(), |cell| {
+            if cell.seed == 1 {
+                panic!("boom");
+            }
+            cell.seed
+        });
+    }
+
+    // ---- shard worker ----
+
+    #[test]
+    fn shard_worker_computes_only_owned_cells() {
+        let dir =
+            std::env::temp_dir().join(format!("simrunner-shardworker-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = demo_campaign(7);
+        let opts = RunnerOpts::serial()
+            .with_cache(dir.join("cache"))
+            .with_manifest_stem(dir.join("unit"));
+        let worker = ShardWorker {
+            opts: opts.clone(),
+            shard: ShardInfo { index: 1, total: 3 },
+            exit: false,
+        };
+        let out = worker.execute(&c, |cell: &Cell| cell.seed * 2);
+        assert_eq!(out.manifest.executor, "shard 1/3");
+        assert_eq!(out.manifest.shard, Some(ShardInfo { index: 1, total: 3 }));
+        // Owns 1 and 4 (7 cells, stride 3).
+        assert_eq!(out.manifest.cells_skipped, 5);
+        assert_eq!(out.manifest.cache_misses, 2);
+        for i in 0..7 {
+            if i % 3 == 1 {
+                assert_eq!(out.results[i], Some(i as u64 * 2), "cell {i}");
+                assert_eq!(out.manifest.cells[i].status, CellStatus::Ok);
+            } else {
+                assert_eq!(out.results[i], None, "cell {i}");
+                assert_eq!(out.manifest.cells[i].status, CellStatus::Skipped);
+            }
+        }
+        let path = shard_manifest_path(&dir.join("unit"), 1, 3);
+        let written = RunManifest::read(&path).expect("shard manifest written");
+        assert_eq!(written.cells_skipped, 5);
+        assert_eq!(written.fingerprint, written.compute_fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

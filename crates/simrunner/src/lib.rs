@@ -8,27 +8,33 @@
 //! * [`Campaign`] expands an experiment into [`Cell`]s — one simulation
 //!   each, identified by a label, a canonical parameter string, and a
 //!   seed;
-//! * [`Campaign::run`] shards cells across a `std::thread` worker pool
-//!   fed by a bounded queue ([`pool`]). Each cell is seeded
-//!   independently and results are committed by cell index, so the
-//!   aggregated output is **byte-identical regardless of worker count or
-//!   scheduling order** — the core invariant, enforced by a regression
-//!   test;
-//! * [`Campaign::run_resilient`] adds crash-proofing for chaos-style
-//!   campaigns: per-cell panic isolation with bounded retries, a
-//!   wall-clock budget plus a simulator-progress watchdog that abandons
-//!   livelocked cells, and graceful degradation — the campaign always
-//!   completes, failed cells come back as `None`, and their
-//!   [`CellStatus`] and terminal error land in the manifest. Failures
-//!   are never cached, so a re-run against the warm cache re-executes
-//!   exactly the failed cells;
+//! * [`Campaign::run`] hands the campaign to a pluggable [`Executor`]
+//!   ([`exec`]). Three engines ship: the deterministic token-tracked
+//!   thread pool ([`PoolExecutor`], the default — panic isolation,
+//!   bounded retries, wall-clock and progress-stall watchdogs,
+//!   flight-recorder crash dumps), a work-stealing local executor
+//!   ([`WorkStealingExecutor`]), and the sharded path
+//!   ([`ShardWorker`] / [`ShardCoordinator`] / [`ShardMerge`]) that
+//!   splits a campaign across processes sharing one cache and merges
+//!   the shard manifests back into a single [`RunManifest`]. All
+//!   engines commit results by cell index, so the aggregated output is
+//!   **byte-identical regardless of engine, worker count, scheduling
+//!   order, or shard count** — the core invariant, enforced by
+//!   regression tests;
+//! * failures follow [`FailurePolicy`]: raise on first terminal failure
+//!   (the default) or record — the campaign completes, failed cells
+//!   come back as `None`, and their [`CellStatus`] and terminal error
+//!   land in the manifest. Failures are never cached, so a re-run
+//!   against the warm cache re-executes exactly the failed cells;
 //! * results are memoized in a content-addressed cache ([`cache`]) keyed
-//!   by a stable hash of (experiment id, version tag, cell params, seed),
-//!   so re-running a campaign after touching one scenario recomputes only
-//!   that scenario's cells;
+//!   by a stable hash of (experiment id, version tag, cell params, seed).
+//!   The key is shard-independent, which is what lets N shard processes
+//!   share one cache dir and the coordinator reassemble the full result
+//!   set afterwards;
 //! * every run produces a serde-derived [`RunManifest`] (workers, wall
-//!   time, cache hits/misses, per-cell timings) that the figure binaries
-//!   write next to their `results/*.txt` artifacts;
+//!   time, cache hits/misses, per-cell timings, a results digest and a
+//!   content fingerprint) that the figure binaries write next to their
+//!   `results/*.txt` artifacts;
 //! * progress (cells done / total, cells/sec, ETA) streams to stderr
 //!   ([`progress`]).
 //!
@@ -41,9 +47,29 @@
 //! for seed in 0..8 {
 //!     c.cell(format!("cell-{seed}"), format!("x={seed}"), seed);
 //! }
-//! let out = c.run(&RunnerOpts::default(), |cell| cell.seed as f64 * 2.0);
-//! assert_eq!(out.results[3], 6.0);
+//! let out = c.run(&RunnerOpts::default().executor(), |cell| cell.seed as f64 * 2.0);
+//! assert_eq!(out.results[3], Some(6.0));
 //! assert_eq!(out.manifest.total_cells, 8);
+//! assert_eq!(out.expect_all()[3], 6.0);
+//! ```
+//!
+//! ## Distributed campaigns
+//!
+//! ```no_run
+//! use simrunner::{Campaign, ExecSpec, RunnerOpts};
+//!
+//! let mut c = Campaign::new("demo", "v1");
+//! for seed in 0..28 {
+//!     c.cell(format!("cell-{seed}"), format!("x={seed}"), seed);
+//! }
+//! // Split into 2 shards against a shared cache; in-process here, or
+//! // pass `argv: Some(...)` to re-exec the current binary per shard
+//! // (`SUSS_SHARD=k/N` in each child selects its slice).
+//! let opts = RunnerOpts::default()
+//!     .with_cache("/tmp/suss-cache")
+//!     .with_executor(ExecSpec::Coordinator { shards: 2, argv: None });
+//! let out = c.run(&opts.executor(), |cell| cell.seed as f64);
+//! assert_eq!(out.manifest.total_cells, 28);
 //! ```
 
 #![warn(missing_docs)]
@@ -51,13 +77,22 @@
 
 pub mod cache;
 pub mod campaign;
+pub mod exec;
 pub mod manifest;
 pub mod pool;
 pub mod progress;
 
 pub use cache::{sweep_lru, Cache, CellIdentity, SweepStats};
-pub use campaign::{parse_bytes, Campaign, Cell, ResilientOutcome, RunOutcome, RunnerOpts};
-pub use manifest::{CellRecord, CellStatus, FctAnnotation, RunManifest};
+pub use campaign::{
+    parse_bytes, Campaign, CampaignReport, Cell, ExecSpec, FailurePolicy, RunnerOpts,
+};
+pub use exec::{
+    BuiltExecutor, Executor, PoolExecutor, ShardCoordinator, ShardMerge, ShardWorker,
+    WorkStealingExecutor, SHARD_FAILED_EXIT,
+};
+pub use manifest::{
+    shard_manifest_path, CellRecord, CellStatus, FctAnnotation, RunManifest, ShardInfo,
+};
 
 /// FNV-1a 64-bit hash over a byte string — the stable content hash behind
 /// cache keys. Stable across platforms, processes, and releases (never

@@ -46,11 +46,14 @@ fn render(results: &[f64]) -> String {
 fn one_vs_many_workers_byte_identical() {
     let c = campaign();
     let run = |workers: usize| {
-        let out = c.run(&RunnerOpts::default().with_workers(workers), |cell| {
-            // Uneven cost: cells finish out of order on multi-worker runs.
-            fake_sim(cell.seed, 1_000 + (cell.index as u64 % 5) * 7_000)
-        });
-        render(&out.results)
+        let out = c.run(
+            &RunnerOpts::default().with_workers(workers).executor(),
+            |cell| {
+                // Uneven cost: cells finish out of order on multi-worker runs.
+                fake_sim(cell.seed, 1_000 + (cell.index as u64 % 5) * 7_000)
+            },
+        );
+        render(&out.expect_all())
     };
     let serial = run(1);
     for workers in [2, 4, 8] {
@@ -68,20 +71,20 @@ fn cached_rerun_is_byte_identical_and_mostly_hits() {
     let c = campaign();
     let opts = RunnerOpts::default().with_workers(4).with_cache(&dir);
 
-    let cold = c.run(&opts, |cell| fake_sim(cell.seed, 5_000));
+    let cold = c.run(&opts.executor(), |cell| fake_sim(cell.seed, 5_000));
     assert_eq!(cold.manifest.cache_hits, 0);
     assert_eq!(cold.manifest.cache_misses, c.len());
 
-    let warm = c.run(&opts, |cell| fake_sim(cell.seed, 5_000));
-    assert_eq!(
-        render(&cold.results),
-        render(&warm.results),
-        "cache round-trip altered results"
-    );
+    let warm = c.run(&opts.executor(), |cell| fake_sim(cell.seed, 5_000));
     assert!(
         warm.manifest.hit_rate() >= 0.9,
         "second run should be >=90% cached, got {:.0}%",
         warm.manifest.hit_rate() * 100.0
+    );
+    assert_eq!(
+        render(&cold.expect_all()),
+        render(&warm.expect_all()),
+        "cache round-trip altered results"
     );
 
     std::fs::remove_dir_all(&dir).ok();
@@ -92,13 +95,13 @@ fn force_cold_recomputes_but_matches() {
     let dir = tempdir("simrunner-det-cold");
     let c = campaign();
     let opts = RunnerOpts::default().with_workers(2).with_cache(&dir);
-    let first = c.run(&opts, |cell| fake_sim(cell.seed, 2_000));
+    let first = c.run(&opts.executor(), |cell| fake_sim(cell.seed, 2_000));
 
     let mut cold_opts = opts.clone();
     cold_opts.force_cold = true;
-    let second = c.run(&cold_opts, |cell| fake_sim(cell.seed, 2_000));
+    let second = c.run(&cold_opts.executor(), |cell| fake_sim(cell.seed, 2_000));
     assert_eq!(second.manifest.cache_hits, 0, "force_cold must not read");
-    assert_eq!(render(&first.results), render(&second.results));
+    assert_eq!(render(&first.expect_all()), render(&second.expect_all()));
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -108,7 +111,7 @@ fn force_cold_recomputes_but_matches() {
 #[test]
 fn manifest_records_follow_campaign_order() {
     let c = campaign();
-    let out = c.run(&RunnerOpts::default().with_workers(3), |cell| {
+    let out = c.run(&RunnerOpts::default().with_workers(3).executor(), |cell| {
         fake_sim(cell.seed, 1_000)
     });
     assert_eq!(out.manifest.cells.len(), c.len());

@@ -369,6 +369,37 @@ mod tests {
         assert_eq!(ab.total_ns(), 122);
     }
 
+    /// Shard-manifest merging folds per-shard snapshots in shard-index
+    /// order; for the merged profile to be byte-identical to a
+    /// single-process run, merge must be associative and leave the spans
+    /// in the canonical (self_ns desc, path) order regardless of fold
+    /// shape.
+    #[test]
+    fn merge_is_associative_with_canonical_span_order() {
+        let snap = |path: &str, self_ns: u64, calls: u64| ProfSnapshot {
+            spans: vec![ProfSpan {
+                path: path.into(),
+                self_ns,
+                calls,
+            }],
+        };
+        let (a, b, c) = (snap("x", 10, 1), snap("y", 10, 2), snap("x;y", 30, 3));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+        let order: Vec<&str> = ab_c.spans.iter().map(|s| s.path.as_str()).collect();
+        // Ties on self_ns break by path, so the order is fully canonical.
+        assert_eq!(order, ["x;y", "x", "y"]);
+    }
+
     #[test]
     fn snapshot_serde_roundtrips() {
         let snap = ProfSnapshot {

@@ -116,6 +116,47 @@ grep -o '"annotations":\[[^]]*\]' results/ext_quic_pacing.manifest.json \
 cmp -s "$SMOKE_DIR/quic-ann.1" "$SMOKE_DIR/quic-ann.2" \
     || { echo "quic annotations differ across worker counts" >&2; exit 1; }
 
+echo "== shard smoke (distributed campaign: split, merge, resume) =="
+# The shard-equivalence contract, end to end through a real binary: the
+# quick Fig. 17 campaign split across 2 shard child processes sharing a
+# cache must render byte-identical output and an identical manifest
+# fingerprint to the single-process run; a shard that died before
+# running must be recoverable by re-running the coordinator, with the
+# surviving shard's cells served warm from the shared cache.
+SHARD_CACHE="$SMOKE_DIR/shard-cache"
+SUSS_CACHE_DIR="$SHARD_CACHE-ref" \
+    cargo run --release -q -p suss-bench --bin fig17 -- --quick --no-progress \
+    >"$SMOKE_DIR/fig17-single.txt"
+cp results/fig17.manifest.json "$SMOKE_DIR/fig17-single.manifest.json"
+SUSS_CACHE_DIR="$SHARD_CACHE" \
+    cargo run --release -q -p suss-bench --bin fig17 -- --quick --no-progress --shards 2 \
+    >"$SMOKE_DIR/fig17-sharded.txt"
+cmp -s "$SMOKE_DIR/fig17-single.txt" "$SMOKE_DIR/fig17-sharded.txt" \
+    || { echo "sharded fig17 output differs from single-process" >&2; exit 1; }
+fp() { grep -o '"fingerprint":"[^"]*"' "$1" | head -1; }
+[ -n "$(fp results/fig17.manifest.json | cut -d'"' -f4)" ] \
+    || { echo "merged manifest is missing its fingerprint" >&2; exit 1; }
+[ "$(fp "$SMOKE_DIR/fig17-single.manifest.json")" = "$(fp results/fig17.manifest.json)" ] \
+    || { echo "sharded manifest fingerprint differs from single-process" >&2; exit 1; }
+[ -f results/fig17.shard0of2.manifest.json ] \
+    && [ -f results/fig17.shard1of2.manifest.json ] \
+    || { echo "shard manifests not written" >&2; exit 1; }
+# Killed-shard resume: only shard 0 ran before the "crash"; re-running
+# the coordinator must finish the campaign with shard 0's cells warm.
+rm -rf "$SHARD_CACHE" results/fig17.shard*of2.manifest.json
+SUSS_CACHE_DIR="$SHARD_CACHE" \
+    cargo run --release -q -p suss-bench --bin fig17 -- --quick --no-progress --shard 0/2 \
+    >/dev/null
+SUSS_CACHE_DIR="$SHARD_CACHE" \
+    cargo run --release -q -p suss-bench --bin fig17 -- --quick --no-progress --shards 2 \
+    >"$SMOKE_DIR/fig17-resumed.txt"
+cmp -s "$SMOKE_DIR/fig17-single.txt" "$SMOKE_DIR/fig17-resumed.txt" \
+    || { echo "resumed sharded run differs from single-process" >&2; exit 1; }
+[ "$(fp "$SMOKE_DIR/fig17-single.manifest.json")" = "$(fp results/fig17.manifest.json)" ] \
+    || { echo "resumed manifest fingerprint differs from single-process" >&2; exit 1; }
+grep -q '"cache_hits":0,' results/fig17.manifest.json \
+    && { echo "resume did not reuse the dead run's cached cells" >&2; exit 1; }
+
 echo "== perf-regression gate (quick bench vs committed baseline) =="
 # Diff a fresh quick A/B snapshot against the committed baseline; any
 # criterion group more than 25% slower fails the gate.

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run one campaign binary split across N shard processes, then merge the
+# shard manifests into the final results/<bin>.manifest.json — the
+# decoupled flavour of `--shards N`, for when shards should run as
+# separately driven processes (different terminals, machines sharing the
+# cache dir, a cluster scheduler) rather than children of a coordinator.
+#
+# Usage: scripts/shard_run.sh <bin> <shards> [extra bench args...]
+#   scripts/shard_run.sh fig17 4 --quick
+#   SUSS_CACHE_DIR=/nfs/suss-cache scripts/shard_run.sh table1 8
+#
+# Every shard writes results/<bin>.shard<k>of<N>.manifest.json and exits
+# without rendering figures; the final merge invocation reloads the full
+# result set from the shared cache and renders the normal output. A shard
+# that dies can simply be re-run — completed cells are served warm.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 2 ]; then
+    echo "usage: scripts/shard_run.sh <bin> <shards> [extra bench args...]" >&2
+    exit 2
+fi
+bin=$1
+shards=$2
+shift 2
+
+cargo build --release -q -p suss-bench --bin "$bin"
+
+for ((k = 0; k < shards; k++)); do
+    echo "shard $k/$shards:" >&2
+    cargo run --release -q -p suss-bench --bin "$bin" -- \
+        --no-progress --shard "$k/$shards" "$@"
+done
+
+echo "merging $shards shard manifests:" >&2
+cargo run --release -q -p suss-bench --bin "$bin" -- \
+    --no-progress --merge-shards "$shards" "$@"
