@@ -11,9 +11,10 @@
 //! `--cold`, `--no-progress`), the executor flags (`--executor
 //! pool|steal`, `--shards N` to coordinate N shard child processes,
 //! `--shard K/N` to run one shard, `--merge-shards N` to merge
-//! already-written shard manifests), caches results under
-//! `results/cache/`, and writes a run manifest to
-//! `results/<name>.manifest.json`.
+//! already-written shard manifests, `--shard-lease-ms N` /
+//! `--shard-restarts N` to tune the coordinator's heartbeat lease and
+//! dead-shard restart budget), caches results under `results/cache/`,
+//! and writes a run manifest to `results/<name>.manifest.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -113,6 +114,12 @@ pub struct BenchCli {
     pub shard: Option<(usize, usize)>,
     /// Merge already-written shard manifests (`--merge-shards N`).
     pub merge_shards: Option<usize>,
+    /// Coordinator heartbeat lease in milliseconds (`--shard-lease-ms N`;
+    /// 0 disables lease monitoring).
+    pub shard_lease_ms: Option<u64>,
+    /// Per-shard restart budget for dead shard children
+    /// (`--shard-restarts N`).
+    pub shard_restarts: Option<u32>,
     /// The arguments a shard child should re-run with: this invocation's
     /// argv minus the shard-orchestration flags.
     child_args: Vec<String>,
@@ -135,6 +142,8 @@ impl BenchCli {
             shards: None,
             shard: None,
             merge_shards: None,
+            shard_lease_ms: None,
+            shard_restarts: None,
             child_args: Vec::new(),
         };
         let mut args = std::env::args().skip(1).peekable();
@@ -211,6 +220,26 @@ impl BenchCli {
                         n => n,
                     }
                 }
+                // Coordinator-side supervision knobs: children inherit
+                // neither (the coordinator watches them, not vice versa).
+                "--shard-lease-ms" => {
+                    o.shard_lease_ms = match args.next().and_then(|v| v.parse().ok()) {
+                        Some(ms) => Some(ms),
+                        None => {
+                            eprintln!("--shard-lease-ms needs milliseconds (0 disables)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--shard-restarts" => {
+                    o.shard_restarts = match args.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => Some(n),
+                        None => {
+                            eprintln!("--shard-restarts needs a restart budget");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--trace" => {
                     // Optional operand: `--trace out.jsonl` or bare
                     // `--trace` for the binary's default path.
@@ -225,7 +254,7 @@ impl BenchCli {
                         "usage: {name} [--quick] [--csv] [--workers N] [--no-cache] \
                          [--cold] [--no-progress] [--trace [PATH]] \
                          [--executor pool|steal] [--shards N] [--shard K/N] \
-                         [--merge-shards N]"
+                         [--merge-shards N] [--shard-lease-ms N] [--shard-restarts N]"
                     );
                     std::process::exit(0);
                 }
@@ -329,6 +358,12 @@ impl BenchCli {
             r.executor = ExecSpec::MergeShards { shards };
         } else if self.steal {
             r.executor = ExecSpec::WorkStealing;
+        }
+        if let Some(ms) = self.shard_lease_ms {
+            r.shard_lease = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(n) = self.shard_restarts {
+            r.shard_restarts = n;
         }
         r.env_overrides()
     }

@@ -111,11 +111,14 @@ pub enum ExecSpec {
 /// | `SUSS_FLIGHTREC_DIR` | crash-dump directory (empty disables) |
 /// | `SUSS_EXECUTOR` | `pool` or `steal` |
 /// | `SUSS_SHARD` | `k/N`: run as shard `k` of `N` and exit afterwards |
+/// | `SUSS_SHARD_LEASE_MS` | heartbeat lease on shard children (`0` disables) |
+/// | `SUSS_SHARD_RESTARTS` | dead-shard restart budget before inline reassignment |
+/// | `SUSS_CHAOS_KILL_SHARD` | `k:after_cells` — shard `k` SIGKILLs itself mid-run |
 ///
 /// (`SUSS_TRACE` — the event-trace output path — is consumed by the
 /// bench CLI and `suss-sim`, not by the runner; it selects where traces
 /// go, not how cells execute.)
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunnerOpts {
     /// Worker threads; `0` means `std::thread::available_parallelism()`.
     pub workers: usize,
@@ -166,6 +169,49 @@ pub struct RunnerOpts {
     /// In-process shard executors (tests, the in-process coordinator)
     /// leave this `false`.
     pub shard_exit: bool,
+    /// Heartbeat lease for shard children (coordinator): a shard whose
+    /// progress epoch has not advanced for this long is declared dead —
+    /// killed, then restarted or reassigned. Stall-aware like the
+    /// per-cell watchdog: a slow shard that keeps advancing its epoch is
+    /// never expired. `None` disables the lease (abnormal exits are
+    /// still detected via the child's exit status).
+    pub shard_lease: Option<Duration>,
+    /// How many times the coordinator restarts a dead shard child (with
+    /// linear backoff) before giving up and reassigning its remaining
+    /// cells inline. `0` skips straight to reassignment.
+    pub shard_restarts: u32,
+    /// Chaos injection `(shard_index, after_cells)`: the matching shard
+    /// child SIGKILLs itself after computing that many cache-miss cells.
+    /// Armed only in processes whose shard came from `SUSS_SHARD`
+    /// ([`shard_exit`](Self::shard_exit)), so a coordinator or inline
+    /// recovery pass sharing the environment never kills itself.
+    pub chaos_kill_shard: Option<(usize, u64)>,
+}
+
+impl Default for RunnerOpts {
+    fn default() -> Self {
+        RunnerOpts {
+            workers: 0,
+            cache_dir: None,
+            force_cold: false,
+            progress: false,
+            cache_max_bytes: None,
+            cell_timeout: None,
+            stall_timeout: None,
+            cell_retries: 0,
+            profile: false,
+            flightrec_dir: None,
+            on_failure: FailurePolicy::default(),
+            executor: ExecSpec::default(),
+            manifest_stem: None,
+            shard_exit: false,
+            shard_lease: None,
+            // One free restart by default: a transient death (OOM kill,
+            // operator mistake) recovers without any knob-turning.
+            shard_restarts: 1,
+            chaos_kill_shard: None,
+        }
+    }
 }
 
 impl RunnerOpts {
@@ -255,6 +301,19 @@ impl RunnerOpts {
     /// Set the manifest path stem (see [`RunnerOpts::manifest_stem`]).
     pub fn with_manifest_stem(mut self, stem: impl Into<PathBuf>) -> Self {
         self.manifest_stem = Some(stem.into());
+        self
+    }
+
+    /// Set the shard heartbeat lease (see [`RunnerOpts::shard_lease`]).
+    pub fn with_shard_lease(mut self, lease: Duration) -> Self {
+        self.shard_lease = Some(lease);
+        self
+    }
+
+    /// Set the dead-shard restart budget
+    /// (see [`RunnerOpts::shard_restarts`]).
+    pub fn with_shard_restarts(mut self, restarts: u32) -> Self {
+        self.shard_restarts = restarts;
         self
     }
 
@@ -353,6 +412,24 @@ impl RunnerOpts {
                 None => warn("SUSS_SHARD", &s, "`k/N` with k < N"),
             }
         }
+        if let Some(ms) = get("SUSS_SHARD_LEASE_MS") {
+            match ms.parse::<u64>() {
+                Ok(ms) => self.shard_lease = (ms > 0).then(|| Duration::from_millis(ms)),
+                Err(_) => warn("SUSS_SHARD_LEASE_MS", &ms, "milliseconds (0 disables)"),
+            }
+        }
+        if let Some(r) = get("SUSS_SHARD_RESTARTS") {
+            match r.parse() {
+                Ok(r) => self.shard_restarts = r,
+                Err(_) => warn("SUSS_SHARD_RESTARTS", &r, "a restart budget"),
+            }
+        }
+        if let Some(spec) = get("SUSS_CHAOS_KILL_SHARD") {
+            match parse_kill_shard(&spec) {
+                Some(v) => self.chaos_kill_shard = Some(v),
+                None => warn("SUSS_CHAOS_KILL_SHARD", &spec, "`k:after_cells`"),
+            }
+        }
         (self, warnings)
     }
 
@@ -374,6 +451,12 @@ impl RunnerOpts {
             .clone()
             .unwrap_or_else(|| Path::new("results").join(experiment))
     }
+}
+
+/// Parse `SUSS_CHAOS_KILL_SHARD`-style `k:after_cells` chaos specs.
+fn parse_kill_shard(s: &str) -> Option<(usize, u64)> {
+    let (k, after) = s.split_once(':')?;
+    Some((k.trim().parse().ok()?, after.trim().parse().ok()?))
 }
 
 /// Parse `SUSS_SHARD`-style `k/N` shard coordinates.
@@ -598,6 +681,11 @@ impl Campaign {
             cell_retries: parts.cell_retries,
             cell_timeouts: parts.cell_timeouts,
             cache_quarantined: parts.cache_quarantined,
+            // Recovery counters are stamped by the coordinator after the
+            // merge; a freshly assembled single-process manifest has none.
+            shard_restarts: 0,
+            cells_reassigned: 0,
+            lease_expiries: 0,
             results_digest: parts.results_digest,
             fingerprint: String::new(),
             annotations: Vec::new(),
@@ -774,6 +862,9 @@ mod tests {
             ("SUSS_PROF", "1"),
             ("SUSS_FLIGHTREC_DIR", "/tmp/frec"),
             ("SUSS_EXECUTOR", "steal"),
+            ("SUSS_SHARD_LEASE_MS", "2000"),
+            ("SUSS_SHARD_RESTARTS", "3"),
+            ("SUSS_CHAOS_KILL_SHARD", "1:5"),
         ]));
         assert!(warnings.is_empty(), "{warnings:?}");
         assert_eq!(opts.workers, 3);
@@ -788,6 +879,17 @@ mod tests {
         assert_eq!(opts.flightrec_dir.as_deref(), Some(Path::new("/tmp/frec")));
         assert_eq!(opts.executor, ExecSpec::WorkStealing);
         assert!(!opts.shard_exit);
+        assert_eq!(opts.shard_lease, Some(Duration::from_millis(2000)));
+        assert_eq!(opts.shard_restarts, 3);
+        assert_eq!(opts.chaos_kill_shard, Some((1, 5)));
+    }
+
+    #[test]
+    fn apply_env_lease_zero_disables() {
+        let base = RunnerOpts::default().with_shard_lease(Duration::from_secs(5));
+        let (opts, warnings) = base.apply_env(env_of(&[("SUSS_SHARD_LEASE_MS", "0")]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(opts.shard_lease, None, "0 must disable the lease");
     }
 
     #[test]
@@ -815,8 +917,11 @@ mod tests {
             ("SUSS_CELL_RETRIES", "2.5"),
             ("SUSS_EXECUTOR", "quantum"),
             ("SUSS_SHARD", "4/4"),
+            ("SUSS_SHARD_LEASE_MS", "soonish"),
+            ("SUSS_SHARD_RESTARTS", "-1"),
+            ("SUSS_CHAOS_KILL_SHARD", "whenever"),
         ]));
-        assert_eq!(warnings.len(), 7, "{warnings:?}");
+        assert_eq!(warnings.len(), 10, "{warnings:?}");
         for w in &warnings {
             assert!(w.starts_with("ignoring SUSS_"), "{w}");
         }
@@ -826,6 +931,9 @@ mod tests {
         assert_eq!(opts.cell_timeout, None);
         assert_eq!(opts.executor, ExecSpec::Pool);
         assert!(!opts.shard_exit);
+        assert_eq!(opts.shard_lease, None);
+        assert_eq!(opts.shard_restarts, 1, "default restart budget survives");
+        assert_eq!(opts.chaos_kill_shard, None);
     }
 
     #[test]
@@ -837,6 +945,15 @@ mod tests {
         assert_eq!(parse_shard("2"), None);
         assert_eq!(parse_shard("a/b"), None);
         assert_eq!(parse_shard("1/0"), None);
+    }
+
+    #[test]
+    fn chaos_kill_spec_parses_index_and_cell_count() {
+        assert_eq!(parse_kill_shard("1:3"), Some((1, 3)));
+        assert_eq!(parse_kill_shard(" 0 : 12 "), Some((0, 12)));
+        assert_eq!(parse_kill_shard("1"), None);
+        assert_eq!(parse_kill_shard("a:3"), None);
+        assert_eq!(parse_kill_shard("1:soon"), None);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   watchdogs, and flight-recorder crash dumps (the default);
 //! * [`WorkStealingExecutor`] — workers pull cells from per-worker
 //!   deques and steal from idle neighbours' backs; retries run inline on
-//!   the worker. No watchdog (abandonment needs detached threads);
+//!   the worker, under the same wall-clock/stall watchdog as the pool;
 //! * [`ShardWorker`] / [`ShardCoordinator`] / [`ShardMerge`] — the
 //!   distributed path. A worker computes only the cells its shard owns
 //!   (round-robin by index, see [`ShardInfo::owns`]) against the shared
@@ -19,6 +19,14 @@
 //!   cache, and returns a report indistinguishable from a single-process
 //!   run — same results, same manifest fingerprint.
 //!
+//! The coordinator is self-healing: each shard child writes a heartbeat
+//! file ticked from its progress epoch, a stall-aware [`LeaseClock`]
+//! declares shards dead (lease expiry or abnormal exit), dead shards are
+//! restarted on a bounded budget with linear backoff, and whatever still
+//! has no usable shard manifest at merge time has its remaining cells
+//! reassigned inline — so a SIGKILLed shard costs only its unfinished
+//! cells, never the campaign.
+//!
 //! [`RunnerOpts::executor`](crate::RunnerOpts::executor) builds the
 //! engine selected by [`ExecSpec`](crate::ExecSpec), so call sites
 //! uniformly write `campaign.run(&opts.executor(), f)`.
@@ -27,11 +35,13 @@ use crate::campaign::{
     dump_flightrec, panic_message, run_bracketed, Campaign, CampaignReport, Cell, CellTelemetry,
     ExecSpec, FailurePolicy, ManifestParts, RunnerOpts,
 };
-use crate::manifest::{shard_manifest_path, CellRecord, CellStatus, RunManifest, ShardInfo};
+use crate::manifest::{
+    shard_heartbeat_path, shard_manifest_path, CellRecord, CellStatus, RunManifest, ShardInfo,
+};
 use crate::pool::{BoundedQueue, StealQueues};
-use crate::progress::Progress;
+use crate::progress::{read_heartbeat, Heartbeat, Progress};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -42,6 +52,11 @@ use std::time::{Duration, Instant};
 const TICK: Duration = Duration::from_millis(20);
 /// Backoff unit: attempt `k` waits `k × RETRY_BACKOFF` before re-running.
 const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+/// Poll interval of the coordinator's shard-child monitor.
+const SHARD_POLL: Duration = Duration::from_millis(40);
+/// Backoff unit for dead-shard restarts: restart `r` of a shard waits
+/// `r × SHARD_RESTART_BACKOFF` before respawning.
+const SHARD_RESTART_BACKOFF: Duration = Duration::from_millis(200);
 /// Exit code of a shard child whose cells failed (manifest still written).
 pub const SHARD_FAILED_EXIT: i32 = 3;
 
@@ -75,6 +90,11 @@ struct Prepared<T> {
     cache_hits: usize,
     skipped: usize,
     progress: Progress,
+    /// The shard this run covers, when any.
+    shard: Option<ShardInfo>,
+    /// Liveness publisher for shard runs (see [`Heartbeat`]); `None` for
+    /// unsharded executors.
+    heartbeat: Option<Heartbeat>,
 }
 
 /// Failure/observability tallies from an executor's compute phase.
@@ -103,6 +123,15 @@ fn prepare<T: Deserialize>(
     let owns = |i: usize| shard.is_none_or(|s| s.owns(i));
     let owned_total = (0..n).filter(|&i| owns(i)).count();
     let mut progress = Progress::new(&campaign.experiment, owned_total, opts.progress);
+    // Publish liveness as early as possible: the coordinator's lease
+    // starts counting at spawn time.
+    let mut heartbeat = shard.map(|s| {
+        Heartbeat::new(shard_heartbeat_path(
+            &opts.stem_for(&campaign.experiment),
+            s.index,
+            s.total,
+        ))
+    });
     let mut pending: Vec<usize> = Vec::new();
     let mut skipped = 0usize;
     for cell in &campaign.cells {
@@ -128,6 +157,9 @@ fn prepare<T: Deserialize>(
         }
     }
     let cache_hits = owned_total - pending.len();
+    if let Some(hb) = heartbeat.as_mut() {
+        hb.beat(progress.done() as u64);
+    }
     Prepared {
         started,
         workers,
@@ -138,6 +170,8 @@ fn prepare<T: Deserialize>(
         cache_hits,
         skipped,
         progress,
+        shard,
+        heartbeat,
     }
 }
 
@@ -293,10 +327,26 @@ where
         return tallies;
     }
     let n = campaign.cells.len();
+    // `SUSS_CHAOS_KILL_SHARD` propagates to every process in the tree
+    // (children inherit the environment); arm it only in a real shard
+    // child (`shard_exit`) whose index matches, so the coordinator and
+    // the inline recovery pass never kill themselves.
+    let chaos_kill_after = match (opts.chaos_kill_shard, prep.shard) {
+        (Some((k, after)), Some(s)) if opts.shard_exit && s.index == k => Some(after),
+        _ => None,
+    };
+    let shard = prep.shard;
     let results = &mut prep.results;
     let records = &mut prep.records;
     let cache = &prep.cache;
     let progress = &mut prep.progress;
+    let heartbeat = &mut prep.heartbeat;
+    // The heartbeat epoch is `cells done + hb_base + Σ live in-flight
+    // sinks`: hb_base folds in each attempt's final sink reading when it
+    // leaves the in-flight map, keeping the epoch monotone as sinks come
+    // and go.
+    let mut hb_base = 0u64;
+    let mut computed = 0u64;
 
     struct Dispatch {
         token: u64,
@@ -478,6 +528,7 @@ where
                 let Some(fl) = inflight.remove(&token) else {
                     continue;
                 };
+                hb_base += fl.sink.load(Ordering::Relaxed);
                 let idx = fl.index;
                 match outcome {
                     Ok((v, tel)) => {
@@ -497,6 +548,10 @@ where
                         results[idx] = Some(v);
                         outstanding -= 1;
                         progress.tick(false);
+                        computed += 1;
+                        if chaos_kill_after.is_some_and(|after| computed >= after) {
+                            chaos_sigkill_self(shard, computed);
+                        }
                     }
                     Err(msg) => {
                         if attempts[idx] <= opts.cell_retries {
@@ -554,6 +609,7 @@ where
             let Some(fl) = inflight.remove(&token) else {
                 continue;
             };
+            hb_base += fl.sink.load(Ordering::Relaxed);
             records[fl.index].status = CellStatus::TimedOut;
             records[fl.index].error = msg;
             // The hung worker can never drain its own ring; the
@@ -570,6 +626,14 @@ where
             // The abandoned worker thread is stuck in the cell; restore
             // pool capacity with a fresh thread.
             spawn_worker();
+        }
+
+        if let Some(hb) = heartbeat.as_mut() {
+            let live: u64 = inflight
+                .values()
+                .map(|fl| fl.sink.load(Ordering::Relaxed))
+                .sum();
+            hb.beat(progress.done() as u64 + hb_base + live);
         }
     }
     work.close();
@@ -599,9 +663,11 @@ where
 /// cell index on the main thread, so output is byte-identical to the
 /// pool executor.
 ///
-/// Not supported here: watchdog abandonment (requires detached threads —
-/// a hung cell hangs the campaign) and flight-recorder dumps. Campaigns
-/// that need those use [`PoolExecutor`].
+/// Workers are detached threads under the same wall-clock/stall watchdog
+/// as the pool: a cell over budget is recorded
+/// [`TimedOut`](CellStatus::TimedOut), its thread abandoned (a detached
+/// sentinel that dies with the process), and a replacement worker takes
+/// over the deque. Flight-recorder dumps are still pool-only.
 #[derive(Debug, Clone)]
 pub struct WorkStealingExecutor {
     /// Execution options.
@@ -633,8 +699,12 @@ impl Executor for WorkStealingExecutor {
     }
 }
 
-/// Phase 2 of the work-stealing executor: scoped workers over
-/// [`StealQueues`], inline retries, in-order commit on the main thread.
+/// Phase 2 of the work-stealing executor: detached workers over
+/// [`StealQueues`], inline retries on the worker, in-order commit on the
+/// main thread — under the same wall-clock/stall watchdog as the pool.
+/// Abandoning a hung cell leaves its thread behind as a detached
+/// sentinel (it dies with the process) and spawns a replacement worker
+/// on the same deque, so the remaining cells keep flowing.
 fn run_steal_phase<T, F>(
     campaign: &Campaign,
     opts: &RunnerOpts,
@@ -649,80 +719,236 @@ where
     if prep.pending.is_empty() {
         return tallies;
     }
-    if opts.cell_timeout.is_some() || opts.stall_timeout.is_some() {
+    if opts.flightrec_dir.is_some() {
         eprintln!(
-            "warning: the work-stealing executor has no watchdog; \
-             cell/stall timeouts are ignored (use the pool executor)"
+            "warning: the work-stealing executor does not dump flight \
+             records (use the pool executor)"
         );
     }
     let workers = prep.workers.min(prep.pending.len());
-    let queues = StealQueues::new(workers, prep.pending.iter().copied());
-    type Done<T> = (usize, Result<(T, CellTelemetry), String>, u32);
-    let (tx, rx) = mpsc::channel::<Done<T>>();
-    let retries = opts.cell_retries;
-    let profile = opts.profile;
-    let results = &mut prep.results;
-    let records = &mut prep.records;
-    let cache = &prep.cache;
-    let progress = &mut prep.progress;
-    thread::scope(|s| {
-        for w in 0..workers {
+    let queues = Arc::new(StealQueues::new(workers, prep.pending.iter().copied()));
+    let cells = Arc::new(campaign.cells.clone());
+    let f = Arc::new(f);
+
+    enum Msg<T> {
+        Started {
+            token: u64,
+            worker: usize,
+            index: usize,
+            attempt: u32,
+            sink: Arc<AtomicU64>,
+        },
+        Done {
+            token: u64,
+            outcome: Result<(T, CellTelemetry), String>,
+            attempts: u32,
+        },
+    }
+    struct InFlight {
+        worker: usize,
+        index: usize,
+        sink: Arc<AtomicU64>,
+        started: Instant,
+        progress_seen: u64,
+        progress_at: Instant,
+    }
+
+    let (tx, rx) = mpsc::channel::<Msg<T>>();
+    // One token per cell claim: lets the main thread drop messages from
+    // attempts the watchdog already abandoned.
+    let tokens = Arc::new(AtomicU64::new(0));
+    let spawn_worker = {
+        let queues = Arc::clone(&queues);
+        let cells = Arc::clone(&cells);
+        let f = Arc::clone(&f);
+        let tx = tx.clone();
+        let tokens = Arc::clone(&tokens);
+        let profile = opts.profile;
+        let retries = opts.cell_retries;
+        move |w: usize| {
+            let queues = Arc::clone(&queues);
+            let cells = Arc::clone(&cells);
+            let f = Arc::clone(&f);
             let tx = tx.clone();
-            let (queues, f, cells) = (&queues, &f, &campaign.cells);
-            s.spawn(move || {
+            let tokens = Arc::clone(&tokens);
+            thread::spawn(move || {
                 while let Some(idx) = queues.take(w) {
+                    let token = tokens.fetch_add(1, Ordering::Relaxed);
                     let mut attempt = 0u32;
                     loop {
                         attempt += 1;
+                        let sink = Arc::new(AtomicU64::new(0));
+                        simtrace::runtime::set_progress_sink(Some(Arc::clone(&sink)));
+                        if tx
+                            .send(Msg::Started {
+                                token,
+                                worker: w,
+                                index: idx,
+                                attempt,
+                                sink,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
                         let (out, tel) = run_bracketed(profile, || f(&cells[idx]));
+                        simtrace::runtime::set_progress_sink(None);
                         match out {
                             Ok(v) => {
-                                let _ = tx.send((idx, Ok((v, tel)), attempt));
+                                let _ = tx.send(Msg::Done {
+                                    token,
+                                    outcome: Ok((v, tel)),
+                                    attempts: attempt,
+                                });
                                 break;
                             }
                             Err(p) => {
                                 let msg = panic_message(&*p);
                                 if attempt > retries {
-                                    let _ = tx.send((idx, Err(msg), attempt));
+                                    let _ = tx.send(Msg::Done {
+                                        token,
+                                        outcome: Err(msg),
+                                        attempts: attempt,
+                                    });
                                     break;
                                 }
-                                thread::sleep(RETRY_BACKOFF * attempt);
                             }
                         }
+                        thread::sleep(RETRY_BACKOFF * attempt);
                     }
                 }
             });
         }
-        drop(tx);
-        for _ in 0..prep.pending.len() {
-            let (idx, outcome, attempts) = rx.recv().expect("steal pool hung up early");
-            records[idx].attempts = attempts;
-            tallies.retries += u64::from(attempts.saturating_sub(1));
-            match outcome {
-                Ok((v, tel)) => {
-                    if let Some(c) = cache {
-                        let _ = c.store(&campaign.identity(&campaign.cells[idx]), &v);
-                    }
-                    records[idx].wall_ms = tel.wall_ms;
-                    records[idx].events = tel.events;
-                    records[idx].status = if attempts > 1 {
-                        CellStatus::Retried
-                    } else {
-                        CellStatus::Ok
-                    };
-                    tallies.prof.merge(&tel.prof);
-                    tallies.scopes.extend(tel.scopes);
-                    results[idx] = Some(v);
+    };
+    for w in 0..workers {
+        spawn_worker(w);
+    }
+
+    let results = &mut prep.results;
+    let records = &mut prep.records;
+    let cache = &prep.cache;
+    let progress = &mut prep.progress;
+    let mut inflight: HashMap<u64, InFlight> = HashMap::new();
+    let mut abandoned: HashSet<u64> = HashSet::new();
+    let mut outstanding = prep.pending.len();
+    while outstanding > 0 {
+        match rx.recv_timeout(TICK) {
+            Ok(Msg::Started {
+                token,
+                worker,
+                index,
+                attempt,
+                sink,
+            }) => {
+                // A Started from an expired token is a retry of an
+                // abandoned attempt: the cell's fate is already sealed.
+                if abandoned.contains(&token) {
+                    continue;
                 }
-                Err(msg) => {
-                    records[idx].status = CellStatus::Panicked;
-                    records[idx].error = msg;
-                    tallies.failed += 1;
+                records[index].attempts = attempt;
+                if attempt > 1 {
+                    tallies.retries += 1;
+                }
+                let now = Instant::now();
+                inflight.insert(
+                    token,
+                    InFlight {
+                        worker,
+                        index,
+                        sink,
+                        started: now,
+                        progress_seen: 0,
+                        progress_at: now,
+                    },
+                );
+            }
+            Ok(Msg::Done {
+                token,
+                outcome,
+                attempts,
+            }) => {
+                // An unknown token is a late result from an abandoned
+                // attempt: drop it (and never cache it).
+                let Some(fl) = inflight.remove(&token) else {
+                    continue;
+                };
+                let idx = fl.index;
+                match outcome {
+                    Ok((v, tel)) => {
+                        if let Some(c) = cache {
+                            let _ = c.store(&campaign.identity(&campaign.cells[idx]), &v);
+                        }
+                        records[idx].wall_ms = tel.wall_ms;
+                        records[idx].events = tel.events;
+                        records[idx].status = if attempts > 1 {
+                            CellStatus::Retried
+                        } else {
+                            CellStatus::Ok
+                        };
+                        tallies.prof.merge(&tel.prof);
+                        tallies.scopes.extend(tel.scopes);
+                        results[idx] = Some(v);
+                    }
+                    Err(msg) => {
+                        records[idx].status = CellStatus::Panicked;
+                        records[idx].error = msg;
+                        tallies.failed += 1;
+                    }
+                }
+                outstanding -= 1;
+                progress.tick(false);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Watchdog: identical policy to the pool executor.
+        let now = Instant::now();
+        let mut expired: Vec<(u64, String)> = Vec::new();
+        for (&token, fl) in inflight.iter_mut() {
+            if let Some(limit) = opts.cell_timeout {
+                if now.duration_since(fl.started) > limit {
+                    expired.push((token, format!("wall-clock budget exceeded ({limit:?})")));
+                    continue;
                 }
             }
-            progress.tick(false);
+            if let Some(stall) = opts.stall_timeout {
+                let cur = fl.sink.load(Ordering::Relaxed);
+                if cur != fl.progress_seen {
+                    fl.progress_seen = cur;
+                    fl.progress_at = now;
+                } else if now.duration_since(fl.progress_at) > stall {
+                    expired.push((token, format!("no simulator progress for {stall:?}")));
+                }
+            }
         }
-    });
+        for (token, msg) in expired {
+            let Some(fl) = inflight.remove(&token) else {
+                continue;
+            };
+            abandoned.insert(token);
+            records[fl.index].status = CellStatus::TimedOut;
+            records[fl.index].error = msg;
+            tallies.timeouts += 1;
+            tallies.failed += 1;
+            outstanding -= 1;
+            progress.tick(false);
+            // The hung thread keeps its cell; a replacement takes over
+            // the abandoned worker's deque (and keeps stealing).
+            spawn_worker(fl.worker);
+        }
+    }
+    drop(tx);
+
+    // Defensive: if the channel disconnected early (no live workers),
+    // account for whatever never resolved.
+    for &idx in &prep.pending {
+        if results[idx].is_none() && records[idx].status.succeeded() {
+            records[idx].status = CellStatus::Panicked;
+            records[idx].error = "steal pool disconnected".to_string();
+            tallies.failed += 1;
+        }
+    }
     tallies
 }
 
@@ -798,10 +1024,16 @@ impl Executor for ShardWorker {
 /// returning a report whose results and manifest fingerprint are
 /// identical to a single-process run.
 ///
-/// A shard that dies without writing its manifest has its cells recorded
-/// as `Panicked` ("shard died"); because successful cells are already in
-/// the shared cache, simply re-running the coordinator resumes the
-/// campaign, recomputing only what the dead shard never finished.
+/// The coordinator is self-healing. Child shards are supervised through
+/// their heartbeat files: a shard whose progress epoch freezes past the
+/// lease ([`RunnerOpts::with_shard_lease`]) is killed, and a dead shard
+/// (lease expiry or abnormal exit — [`SHARD_FAILED_EXIT`] is *normal*)
+/// is restarted with linear backoff up to its restart budget. Whatever
+/// still has no usable manifest at merge time has its remaining cells
+/// reassigned: they re-run inline against the warm shared cache, so the
+/// merged manifest gets exactly-one-owner coverage and the fingerprint
+/// stays byte-identical to a single-shard run. Recovery is visible as
+/// `shard_restarts` / `lease_expiries` / `cells_reassigned`.
 #[derive(Debug, Clone)]
 pub struct ShardCoordinator {
     /// Execution options (must carry a `cache_dir`; without one the
@@ -838,14 +1070,16 @@ impl Executor for ShardCoordinator {
         let total = self.shards.max(1);
         let stem = self.opts.stem_for(&campaign.experiment);
         write_shard_plan(&stem, campaign, total, &self.opts);
-        // Remove leftover shard manifests first: a stale one would
-        // masquerade as this run's output if its shard died.
+        // Remove leftover shard manifests and heartbeats first: a stale
+        // one would masquerade as this run's output (or liveness) if its
+        // shard died.
         for k in 0..total {
             let _ = std::fs::remove_file(shard_manifest_path(&stem, k, total));
+            let _ = std::fs::remove_file(shard_heartbeat_path(&stem, k, total));
         }
         let f = Arc::new(f);
-        match &self.argv {
-            Some(argv) => spawn_shard_children(total, argv, &self.opts),
+        let sup = match &self.argv {
+            Some(argv) => run_shard_children(total, argv, &self.opts, &stem),
             None => {
                 for k in 0..total {
                     let worker = ShardWorker {
@@ -856,24 +1090,33 @@ impl Executor for ShardCoordinator {
                     let fk = Arc::clone(&f);
                     let _ = worker.execute(campaign, move |cell: &Cell| fk(cell));
                 }
+                ShardSupervision::default()
             }
-        }
-        merge_and_load(
+        };
+        let report = merge_and_load(
             campaign,
             &self.opts,
             started,
             &stem,
             total,
             self.label(),
-            &*f,
-        )
+            Arc::clone(&f),
+            sup,
+        );
+        if report.manifest.all_ok() {
+            cleanup_shard_scratch(&stem, total);
+        }
+        report
     }
 }
 
 /// Merges already-written shard manifests (e.g. from shard runs driven
-/// by `scripts/shard_run.sh` or on other machines sharing the cache)
-/// without executing anything. Missing shards are recorded as failed,
-/// exactly like a coordinator whose child died.
+/// by `scripts/shard_run.sh` or on other machines sharing the cache).
+/// A shard whose manifest is missing, corrupt, or from a different
+/// campaign has its cells reassigned: they run inline against the warm
+/// shared cache (so a dead shard's *completed* cells are cache hits and
+/// only its orphans recompute), exactly like a coordinator whose child
+/// died.
 #[derive(Debug, Clone)]
 pub struct ShardMerge {
     /// Execution options (cache dir locates the shard results).
@@ -895,36 +1138,126 @@ impl Executor for ShardMerge {
         let started = Instant::now();
         let total = self.shards.max(1);
         let stem = self.opts.stem_for(&campaign.experiment);
-        merge_and_load(
+        let report = merge_and_load(
             campaign,
             &self.opts,
             started,
             &stem,
             total,
             self.label(),
-            &f,
-        )
+            Arc::new(f),
+            ShardSupervision::default(),
+        );
+        if report.manifest.all_ok() {
+            cleanup_shard_scratch(&stem, total);
+        }
+        report
     }
+}
+
+/// SIGKILL the current process — the chaos hook behind
+/// `SUSS_CHAOS_KILL_SHARD=k:after_cells`. Emits a marker line first so
+/// chaos runs are auditable in the coordinator's stderr. SIGKILL (not a
+/// clean exit) is the point: the shard dies without flushing its
+/// manifest, exactly like an OOM kill or a node reboot.
+fn chaos_sigkill_self(shard: Option<ShardInfo>, computed: u64) -> ! {
+    let label = shard
+        .map(|s| format!("{}/{}", s.index, s.total))
+        .unwrap_or_else(|| "?".to_string());
+    eprintln!("chaos: shard {label} SIGKILLing itself after {computed} computed cells");
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    // SIGKILL is not catchable; if the spawn itself failed, fall back to
+    // an abort so the chaos run still dies without writing a manifest.
+    std::process::abort();
+}
+
+/// Stall-aware liveness lease over a shard's heartbeat epoch: the lease
+/// window restarts on every epoch *change* (including the first
+/// observation), so a slow-but-advancing shard never expires — only one
+/// whose epoch froze for longer than the lease.
+#[derive(Debug)]
+pub struct LeaseClock {
+    lease: Option<Duration>,
+    last_epoch: Option<u64>,
+    last_advance: Instant,
+}
+
+impl LeaseClock {
+    /// Start the clock at `now`; `None` disables expiry entirely.
+    pub fn new(lease: Option<Duration>, now: Instant) -> Self {
+        LeaseClock {
+            lease,
+            last_epoch: None,
+            last_advance: now,
+        }
+    }
+
+    /// Feed the latest heartbeat observation (`None` = no heartbeat file
+    /// yet); returns `true` when the lease has expired.
+    pub fn observe(&mut self, epoch: Option<u64>, now: Instant) -> bool {
+        if epoch != self.last_epoch {
+            self.last_epoch = epoch;
+            self.last_advance = now;
+        }
+        self.lease
+            .is_some_and(|l| now.duration_since(self.last_advance) > l)
+    }
+}
+
+/// What shard supervision observed: stamped into the merged manifest as
+/// the `runner.shard_restarts` / `runner.lease_expiries` counters.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardSupervision {
+    restarts: u64,
+    lease_expiries: u64,
+}
+
+/// Per-shard supervision state in [`run_shard_children`]'s poll loop.
+enum Slot {
+    Running {
+        child: std::process::Child,
+        lease: LeaseClock,
+    },
+    Backoff {
+        at: Instant,
+    },
+    Finished,
+    Dead,
 }
 
 /// Spawn one child per shard (the current executable with `argv` plus
 /// `SUSS_SHARD=k/N` and the shared `SUSS_CACHE_DIR` in the environment)
-/// and wait for all of them. Spawn or exit failures only warn: the merge
-/// phase records a missing shard manifest as that shard having died.
-fn spawn_shard_children(total: usize, argv: &[String], opts: &RunnerOpts) {
+/// and supervise them: heartbeats are polled against the lease, an
+/// expired or abnormally-exited shard is restarted with linear backoff
+/// up to `opts.shard_restarts`, and a shard that exhausts its budget is
+/// left for the merge phase to reassign. [`SHARD_FAILED_EXIT`] is a
+/// *normal* exit (cells failed but the manifest was written) and is
+/// never restarted. Spawn failures only warn, for the same reason.
+fn run_shard_children(
+    total: usize,
+    argv: &[String],
+    opts: &RunnerOpts,
+    stem: &Path,
+) -> ShardSupervision {
+    let mut sup = ShardSupervision::default();
     let exe = match std::env::current_exe() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("warning: cannot locate current executable for shard children: {e}");
-            return;
+            return sup;
         }
     };
     let cache = opts
         .cache_dir
         .as_ref()
         .expect("coordinator requires a cache dir");
-    let mut children = Vec::new();
-    for k in 0..total {
+    let spawn = |k: usize| -> Slot {
+        // A stale heartbeat from the previous incarnation would feed the
+        // fresh lease a frozen epoch; start from no-signal instead.
+        let _ = std::fs::remove_file(shard_heartbeat_path(stem, k, total));
         let mut cmd = std::process::Command::new(&exe);
         cmd.args(argv);
         cmd.env("SUSS_SHARD", format!("{k}/{total}"));
@@ -933,30 +1266,113 @@ fn spawn_shard_children(total: usize, argv: &[String], opts: &RunnerOpts) {
         // manifest); its stdout is only table noise.
         cmd.stdout(std::process::Stdio::null());
         match cmd.spawn() {
-            Ok(child) => children.push((k, child)),
-            Err(e) => eprintln!("warning: shard {k}/{total} failed to spawn: {e}"),
-        }
-    }
-    for (k, mut child) in children {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => match status.code() {
-                Some(SHARD_FAILED_EXIT) => eprintln!(
-                    "warning: shard {k}/{total} completed with failed cells \
-                     (see its shard manifest)"
-                ),
-                _ => eprintln!("warning: shard {k}/{total} exited abnormally: {status}"),
+            Ok(child) => Slot::Running {
+                child,
+                lease: LeaseClock::new(opts.shard_lease, Instant::now()),
             },
-            Err(e) => eprintln!("warning: waiting for shard {k}/{total} failed: {e}"),
+            Err(e) => {
+                eprintln!("warning: shard {k}/{total} failed to spawn: {e}");
+                Slot::Dead
+            }
         }
+    };
+    let mut restarts_used = vec![0u32; total];
+    // Grant a restart (with linear backoff) while the budget allows,
+    // else give the shard up to merge-time reassignment.
+    let next_after_death = |k: usize, restarts_used: &mut [u32], sup: &mut ShardSupervision| {
+        if restarts_used[k] < opts.shard_restarts {
+            restarts_used[k] += 1;
+            sup.restarts += 1;
+            let backoff = SHARD_RESTART_BACKOFF * restarts_used[k];
+            eprintln!(
+                "warning: restarting shard {k}/{total} in {backoff:?} \
+                 (restart {} of {})",
+                restarts_used[k], opts.shard_restarts
+            );
+            Slot::Backoff {
+                at: Instant::now() + backoff,
+            }
+        } else {
+            eprintln!(
+                "warning: shard {k}/{total} is out of restarts; \
+                 its remaining cells will be reassigned at merge"
+            );
+            Slot::Dead
+        }
+    };
+    let mut slots: Vec<Slot> = (0..total).map(&spawn).collect();
+    loop {
+        let mut live = 0usize;
+        for (k, slot) in slots.iter_mut().enumerate() {
+            let next: Option<Slot> = match slot {
+                Slot::Running { child, lease } => match child.try_wait() {
+                    Ok(Some(status)) => {
+                        if status.success() {
+                            Some(Slot::Finished)
+                        } else if status.code() == Some(SHARD_FAILED_EXIT) {
+                            eprintln!(
+                                "warning: shard {k}/{total} completed with failed cells \
+                                 (see its shard manifest)"
+                            );
+                            Some(Slot::Finished)
+                        } else {
+                            eprintln!("warning: shard {k}/{total} exited abnormally: {status}");
+                            Some(next_after_death(k, &mut restarts_used, &mut sup))
+                        }
+                    }
+                    Ok(None) => {
+                        let now = Instant::now();
+                        let hb = read_heartbeat(&shard_heartbeat_path(stem, k, total));
+                        if lease.observe(hb.map(|h| h.epoch), now) {
+                            eprintln!(
+                                "warning: shard {k}/{total} heartbeat lease expired \
+                                 (epoch frozen past {:?}); killing it",
+                                opts.shard_lease.unwrap_or_default()
+                            );
+                            sup.lease_expiries += 1;
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            Some(next_after_death(k, &mut restarts_used, &mut sup))
+                        } else {
+                            None
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("warning: waiting for shard {k}/{total} failed: {e}");
+                        Some(Slot::Dead)
+                    }
+                },
+                Slot::Backoff { at } => {
+                    if Instant::now() >= *at {
+                        Some(spawn(k))
+                    } else {
+                        None
+                    }
+                }
+                Slot::Finished | Slot::Dead => None,
+            };
+            if let Some(next) = next {
+                *slot = next;
+            }
+            if matches!(slot, Slot::Running { .. } | Slot::Backoff { .. }) {
+                live += 1;
+            }
+        }
+        if live == 0 {
+            return sup;
+        }
+        thread::sleep(SHARD_POLL);
     }
 }
 
-/// The coordinator's back half: read the shard manifests (synthesizing a
-/// dead-shard manifest for any that are missing), merge them, reload the
-/// full result set from the shared cache (recomputing inline on a cache
-/// miss — eviction must not corrupt the campaign), stamp digest,
-/// fingerprint, and coordinator wall time, and apply the failure policy.
+/// The coordinator's back half: read the shard manifests (reassigning
+/// any shard whose manifest is missing, corrupt, or from a different
+/// campaign — its cells re-run inline against the warm shared cache),
+/// merge them, reload the full result set from the cache (recomputing
+/// inline on a cache miss — eviction must not corrupt the campaign),
+/// stamp digest, fingerprint, recovery counters, and coordinator wall
+/// time, and apply the failure policy.
+#[allow(clippy::too_many_arguments)]
 fn merge_and_load<T, F>(
     campaign: &Campaign,
     opts: &RunnerOpts,
@@ -964,23 +1380,44 @@ fn merge_and_load<T, F>(
     stem: &Path,
     total: usize,
     exec_label: String,
-    f: &F,
+    f: Arc<F>,
+    sup: ShardSupervision,
 ) -> CampaignReport<T>
 where
     T: Serialize + Deserialize + Send + 'static,
-    F: Fn(&Cell) -> T,
+    F: Fn(&Cell) -> T + Send + Sync + 'static,
 {
+    let mut cells_reassigned = 0u64;
     let mut shard_manifests = Vec::with_capacity(total);
     for k in 0..total {
         let path = shard_manifest_path(stem, k, total);
-        match RunManifest::read(&path) {
-            Ok(m) => shard_manifests.push(m),
+        let read = match RunManifest::read(&path) {
+            Ok(m) => match validate_shard_manifest(&m, campaign, k, total) {
+                Ok(()) => Some(m),
+                Err(why) => {
+                    quarantine_shard_manifest(&path, &why);
+                    None
+                }
+            },
             Err(e) => {
+                if path.exists() {
+                    quarantine_shard_manifest(&path, &e.to_string());
+                } else {
+                    eprintln!("warning: shard {k}/{total} left no manifest ({e})");
+                }
+                None
+            }
+        };
+        match read {
+            Some(m) => shard_manifests.push(m),
+            None => {
                 eprintln!(
-                    "warning: shard {k}/{total} left no manifest ({e}); \
-                     recording its cells as failed"
+                    "warning: reassigning shard {k}/{total}'s cells inline \
+                     (completed cells resume from the shared cache)"
                 );
-                shard_manifests.push(dead_shard_manifest(campaign, k, total, &e.to_string()));
+                let recovered = recover_shard(campaign, opts, k, total, Arc::clone(&f));
+                cells_reassigned += recovered.cache_misses as u64;
+                shard_manifests.push(recovered);
             }
         }
     }
@@ -1016,6 +1453,12 @@ where
     }
     manifest.executor = exec_label;
     manifest.results_digest = results_digest_of(&results, &manifest.cells);
+    // Recovery counters are additive on top of whatever the shard
+    // manifests carried (in-process recovery stamps nothing there).
+    // None of them enter the fingerprint: recovery must not move it.
+    manifest.shard_restarts += sup.restarts;
+    manifest.lease_expiries += sup.lease_expiries;
+    manifest.cells_reassigned += cells_reassigned;
     let wall = started.elapsed().as_secs_f64();
     manifest.wall_secs = wall;
     manifest.cells_per_sec = n as f64 / wall.max(1e-9);
@@ -1033,39 +1476,123 @@ where
     CampaignReport { results, manifest }
 }
 
-/// A shard manifest standing in for a shard that never wrote one: every
-/// owned cell is `Panicked` with a "shard died" error, the rest skipped.
-fn dead_shard_manifest(campaign: &Campaign, index: usize, total: usize, err: &str) -> RunManifest {
+/// Check that a shard manifest parsed from disk actually belongs to this
+/// campaign and shard slot — a stale file from another run, a shard
+/// manifest copied to the wrong slot, or a mismatched `CAMPAIGN_VERSION`
+/// must be quarantined and reassigned, not merged.
+fn validate_shard_manifest(
+    m: &RunManifest,
+    campaign: &Campaign,
+    index: usize,
+    total: usize,
+) -> Result<(), String> {
     let shard = ShardInfo { index, total };
-    let mut records = campaign.blank_records();
-    let mut failed = 0usize;
-    let mut skipped = 0usize;
-    for r in records.iter_mut() {
-        if shard.owns(r.index) {
-            r.status = CellStatus::Panicked;
-            r.error = format!("shard {index}/{total} died without a manifest: {err}");
-            failed += 1;
-        } else {
-            r.status = CellStatus::Skipped;
-            skipped += 1;
+    match m.shard {
+        Some(s) if s.index == index && s.total == total => {}
+        Some(s) => {
+            return Err(format!(
+                "claims shard {}/{} but sits in slot {index}/{total}",
+                s.index, s.total
+            ))
+        }
+        None => return Err("carries no shard stamp".to_string()),
+    }
+    if m.experiment != campaign.experiment
+        || m.version != campaign.version
+        || m.total_cells != campaign.cells.len()
+    {
+        return Err(format!(
+            "belongs to campaign '{}' v{} ({} cells), not '{}' v{} ({} cells)",
+            m.experiment,
+            m.version,
+            m.total_cells,
+            campaign.experiment,
+            campaign.version,
+            campaign.cells.len()
+        ));
+    }
+    if m.cells.len() != campaign.cells.len() {
+        return Err(format!(
+            "has {} cell records for a {}-cell campaign",
+            m.cells.len(),
+            campaign.cells.len()
+        ));
+    }
+    for (i, r) in m.cells.iter().enumerate() {
+        if r.index != i {
+            return Err(format!("cell record {i} is out of position"));
+        }
+        let owned = shard.owns(i);
+        if !owned && r.status != CellStatus::Skipped {
+            return Err(format!("executed cell {i}, which it does not own"));
+        }
+        if owned && r.status == CellStatus::Skipped {
+            return Err(format!("skipped cell {i}, which it owns"));
         }
     }
-    campaign.assemble_manifest(ManifestParts {
-        executor: format!("shard {index}/{total} (dead)"),
-        shard: Some(shard),
-        workers: 0,
-        cache_hits: 0,
-        cells_skipped: skipped,
-        started: Instant::now(),
-        records,
-        cells_failed: failed,
-        cell_retries: 0,
-        cell_timeouts: 0,
-        cache_quarantined: 0,
-        results_digest: String::new(),
-        prof: simtrace::ProfSnapshot::default(),
-        scope_annotations: Vec::new(),
-    })
+    Ok(())
+}
+
+/// Move a hostile shard manifest aside as `<path>.quarantine` (same
+/// policy as cache corruption: preserved for forensics, never merged).
+fn quarantine_shard_manifest(path: &Path, why: &str) {
+    let mut q = path.as_os_str().to_os_string();
+    q.push(".quarantine");
+    let outcome = std::fs::rename(path, &q);
+    match outcome {
+        Ok(()) => eprintln!(
+            "warning: shard manifest {} {why}; quarantined to {}",
+            path.display(),
+            std::path::Path::new(&q).display()
+        ),
+        Err(e) => eprintln!(
+            "warning: shard manifest {} {why}; quarantine failed ({e}), ignoring it",
+            path.display()
+        ),
+    }
+}
+
+/// Re-run a dead shard's slice inline (in-process, no exit) against the
+/// warm shared cache: the cells the dead shard completed are cache hits,
+/// only its orphans recompute. Rewrites the shard manifest on disk as a
+/// side effect, so a re-driven merge sees the recovered shard. The
+/// returned manifest's `cache_misses` is the number of cells that
+/// actually had to be recomputed — the `cells_reassigned` counter.
+fn recover_shard<T, F>(
+    campaign: &Campaign,
+    opts: &RunnerOpts,
+    index: usize,
+    total: usize,
+    f: Arc<F>,
+) -> RunManifest
+where
+    T: Serialize + Deserialize + Send + 'static,
+    F: Fn(&Cell) -> T + Send + Sync + 'static,
+{
+    let worker = ShardWorker {
+        opts: opts.clone(),
+        shard: ShardInfo { index, total },
+        // In-process: the chaos kill hook is armed only for `SUSS_SHARD`
+        // child processes, so recovery cannot chaos-kill the
+        // coordinator even with the env var still set.
+        exit: false,
+    };
+    let report: CampaignReport<T> = worker.execute(campaign, move |cell: &Cell| f(cell));
+    report.manifest
+}
+
+/// Remove the coordination scratch files (heartbeats and the shard
+/// plan) after a fully-successful merge. Shard manifests stay — they
+/// are run artifacts, not scratch.
+fn cleanup_shard_scratch(stem: &Path, total: usize) {
+    for k in 0..total {
+        let _ = std::fs::remove_file(shard_heartbeat_path(stem, k, total));
+    }
+    let name = stem
+        .file_name()
+        .map(|s| s.to_string_lossy())
+        .unwrap_or_default();
+    let _ = std::fs::remove_file(stem.with_file_name(format!("{name}.shardplan.json")));
 }
 
 /// The machine-readable shard plan written by the coordinator to
@@ -1689,6 +2216,141 @@ mod tests {
             }
             cell.seed
         });
+    }
+
+    #[test]
+    fn steal_watchdog_abandons_a_hung_cell() {
+        let c = demo_campaign(5);
+        let started = Instant::now();
+        let out = c.run(
+            &steal_opts()
+                .with_workers(2)
+                .with_cell_timeout(Duration::from_millis(150))
+                .record_failures()
+                .executor(),
+            |cell| {
+                if cell.seed == 1 {
+                    // Outlives the watchdog by far; the abandoned thread
+                    // becomes a detached sentinel and dies on its own.
+                    std::thread::sleep(Duration::from_secs(4));
+                }
+                cell.seed
+            },
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "campaign must not wait out the hang"
+        );
+        assert_eq!(out.manifest.cells_failed, 1);
+        assert_eq!(out.manifest.cell_timeouts, 1);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::TimedOut);
+        assert!(out.manifest.cells[1].error.contains("wall-clock"));
+        assert_eq!(out.results[1], None);
+        for i in [0usize, 2, 3, 4] {
+            assert_eq!(out.results[i], Some(i as u64), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn steal_stall_watchdog_spares_slow_but_advancing_cells() {
+        let c = demo_campaign(4);
+        let out = c.run(
+            &steal_opts()
+                .with_workers(2)
+                .with_stall_timeout(Duration::from_millis(200))
+                .record_failures()
+                .executor(),
+            |cell| {
+                if cell.seed == 0 {
+                    // Slower than the stall window end to end, but
+                    // progressing the whole time: must survive.
+                    for _ in 0..8 {
+                        std::thread::sleep(Duration::from_millis(60));
+                        simtrace::runtime::tick_progress();
+                    }
+                } else if cell.seed == 1 {
+                    // Livelocked: wall clock advances, simulator doesn't.
+                    std::thread::sleep(Duration::from_secs(4));
+                }
+                cell.seed
+            },
+        );
+        assert_eq!(out.results[0], Some(0), "advancing cell must survive");
+        assert_eq!(out.manifest.cells[0].status, CellStatus::Ok);
+        assert_eq!(out.results[1], None);
+        assert_eq!(out.manifest.cells[1].status, CellStatus::TimedOut);
+        assert!(
+            out.manifest.cells[1]
+                .error
+                .contains("no simulator progress"),
+            "error: {}",
+            out.manifest.cells[1].error
+        );
+    }
+
+    // ---- shard supervision ----
+
+    #[test]
+    fn lease_clock_expires_only_frozen_epochs() {
+        let t0 = Instant::now();
+        let lease = Duration::from_millis(100);
+        let mut clock = LeaseClock::new(Some(lease), t0);
+        // No heartbeat yet: the window runs from construction...
+        assert!(!clock.observe(None, t0 + Duration::from_millis(90)));
+        // ...and the first observation counts as an advance (slow start).
+        assert!(!clock.observe(Some(0), t0 + Duration::from_millis(150)));
+        // Advancing epochs keep resetting the window indefinitely, even
+        // with every gap longer than half the lease.
+        for i in 1..10u64 {
+            assert!(
+                !clock.observe(Some(i), t0 + Duration::from_millis(150 + i * 90)),
+                "epoch {i} was advancing"
+            );
+        }
+        // Frozen epoch: expires once the lease elapses with no change.
+        let frozen_at = t0 + Duration::from_millis(150 + 9 * 90);
+        assert!(!clock.observe(Some(9), frozen_at + Duration::from_millis(90)));
+        assert!(clock.observe(Some(9), frozen_at + Duration::from_millis(101)));
+
+        // A shard that never writes a heartbeat at all expires too.
+        let mut silent = LeaseClock::new(Some(lease), t0);
+        assert!(silent.observe(None, t0 + Duration::from_millis(101)));
+
+        // No lease configured: never expires, however stale.
+        let mut off = LeaseClock::new(None, t0);
+        assert!(!off.observe(None, t0 + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn shard_manifest_validation_rejects_imposters() {
+        let dir =
+            std::env::temp_dir().join(format!("simrunner-shardval-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = demo_campaign(6);
+        let opts = RunnerOpts::serial()
+            .with_cache(dir.join("cache"))
+            .with_manifest_stem(dir.join("unit"));
+        let worker = ShardWorker {
+            opts: opts.clone(),
+            shard: ShardInfo { index: 0, total: 2 },
+            exit: false,
+        };
+        let m = worker.execute(&c, |cell: &Cell| cell.seed).manifest;
+        assert!(validate_shard_manifest(&m, &c, 0, 2).is_ok());
+        // Wrong slot: a shard-0 manifest cannot stand in for shard 1.
+        assert!(validate_shard_manifest(&m, &c, 1, 2).is_err_and(|e| e.contains("slot")));
+        // Wrong campaign version.
+        let mut stale = m.clone();
+        stale.version = "other".to_string();
+        assert!(validate_shard_manifest(&stale, &c, 0, 2)
+            .is_err_and(|e| e.contains("belongs to campaign")));
+        // Executed a cell it does not own.
+        let mut greedy = m.clone();
+        greedy.cells[1].status = CellStatus::Ok;
+        assert!(
+            validate_shard_manifest(&greedy, &c, 0, 2).is_err_and(|e| e.contains("does not own"))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // ---- shard worker ----

@@ -13,11 +13,17 @@
 //!   thread pool ([`PoolExecutor`], the default — panic isolation,
 //!   bounded retries, wall-clock and progress-stall watchdogs,
 //!   flight-recorder crash dumps), a work-stealing local executor
-//!   ([`WorkStealingExecutor`]), and the sharded path
+//!   ([`WorkStealingExecutor`], same watchdogs, detached workers), and
+//!   the sharded path
 //!   ([`ShardWorker`] / [`ShardCoordinator`] / [`ShardMerge`]) that
 //!   splits a campaign across processes sharing one cache and merges
-//!   the shard manifests back into a single [`RunManifest`]. All
-//!   engines commit results by cell index, so the aggregated output is
+//!   the shard manifests back into a single [`RunManifest`]. The
+//!   coordinator is self-healing: shard children write heartbeat files
+//!   ([`Heartbeat`]) monitored under a stall-aware lease
+//!   ([`LeaseClock`]), a dead shard is restarted with bounded backoff,
+//!   and whatever still has no usable manifest at merge time has its
+//!   remaining cells reassigned inline through the warm shared cache.
+//!   All engines commit results by cell index, so the aggregated output is
 //!   **byte-identical regardless of engine, worker count, scheduling
 //!   order, or shard count** — the core invariant, enforced by
 //!   regression tests;
@@ -87,12 +93,14 @@ pub use campaign::{
     parse_bytes, Campaign, CampaignReport, Cell, ExecSpec, FailurePolicy, RunnerOpts,
 };
 pub use exec::{
-    BuiltExecutor, Executor, PoolExecutor, ShardCoordinator, ShardMerge, ShardWorker,
+    BuiltExecutor, Executor, LeaseClock, PoolExecutor, ShardCoordinator, ShardMerge, ShardWorker,
     WorkStealingExecutor, SHARD_FAILED_EXIT,
 };
 pub use manifest::{
-    shard_manifest_path, CellRecord, CellStatus, FctAnnotation, RunManifest, ShardInfo,
+    shard_heartbeat_path, shard_manifest_path, CellRecord, CellStatus, FctAnnotation, RunManifest,
+    ShardInfo,
 };
+pub use progress::{read_heartbeat, Heartbeat, HeartbeatRecord};
 
 /// FNV-1a 64-bit hash over a byte string — the stable content hash behind
 /// cache keys. Stable across platforms, processes, and releases (never

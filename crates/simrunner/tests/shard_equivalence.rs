@@ -1,14 +1,16 @@
 //! Shard-equivalence regression suite: splitting a campaign into N shard
 //! processes against a shared cache and merging their manifests must
 //! produce results and a manifest fingerprint byte-identical to a
-//! single-process run — cold and warm, for any shard count — and a
-//! killed shard must resume cleanly through the cache.
+//! single-process run — cold and warm, for any shard count — and a dead,
+//! corrupt, or mismatched shard must be recovered at merge time by
+//! reassigning its cells through the cache, never by voiding the run.
 
 use simrunner::{
-    shard_manifest_path, Campaign, CampaignReport, ExecSpec, Executor, RunManifest, RunnerOpts,
-    ShardInfo, ShardWorker,
+    read_heartbeat, shard_heartbeat_path, shard_manifest_path, Campaign, CampaignReport, ExecSpec,
+    Executor, Heartbeat, LeaseClock, RunManifest, RunnerOpts, ShardInfo, ShardWorker,
 };
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// A seed- and parameter-sensitive stand-in simulation with uneven cost.
 fn fake_sim(seed: u64, rounds: u64) -> f64 {
@@ -139,15 +141,26 @@ fn shard_manifests_carry_ownership_and_merge_covers_everything() {
             );
         }
     }
-    // The shard plan documents the split.
-    let plan = std::fs::read_to_string(dir.join("run.shardplan.json")).expect("shard plan");
-    assert!(plan.contains("\"shards\":2"), "plan: {plan}");
-    assert!(plan.contains("shard-eq-it"), "plan: {plan}");
+    // Coordination scratch (shard plan, heartbeats) is cleaned up after
+    // a fully-successful merge; the shard manifests above are artifacts
+    // and stay.
+    assert!(
+        !dir.join("run.shardplan.json").exists(),
+        "shard plan must be removed on success"
+    );
+    for k in 0..2usize {
+        let hb = shard_heartbeat_path(&stem, k, 2);
+        assert!(
+            !hb.exists(),
+            "heartbeat {} must be removed on success",
+            hb.display()
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
-fn killed_shard_resumes_through_the_shared_cache() {
+fn killed_shard_is_reassigned_at_merge_time() {
     let dir = tempdir("simrunner-shardeq-resume");
     let c = campaign();
     let opts = coordinator_opts(&dir, 2);
@@ -163,45 +176,146 @@ fn killed_shard_resumes_through_the_shared_cache() {
     let owned = c.len() / 2;
     assert_eq!(half.manifest.cache_misses, owned);
 
-    // A merge over the partial state records shard 1 as dead but must
-    // not lose shard 0's work.
+    // A merge over the partial state reassigns the missing shard's cells
+    // inline instead of recording them dead: the merged run is complete,
+    // with the recovery visible in the counters.
     let merge_opts = opts
         .clone()
-        .with_executor(ExecSpec::MergeShards { shards: 2 })
-        .record_failures();
-    let partial = c.run(&merge_opts.executor(), cell_value);
-    assert!(!partial.all_ok());
-    assert_eq!(partial.manifest.cells_failed, c.len() - owned);
-    for rec in &partial.manifest.cells {
-        if rec.index % 2 == 0 {
-            assert!(rec.status.succeeded(), "shard-0 cell {} lost", rec.index);
-        } else {
-            assert!(
-                rec.error.contains("died"),
-                "cell {}: {}",
-                rec.index,
-                rec.error
-            );
-        }
-    }
-    assert!(
-        partial.manifest.results_digest.is_empty(),
-        "a dead shard must void the results digest"
+        .with_executor(ExecSpec::MergeShards { shards: 2 });
+    let recovered = c.run(&merge_opts.executor(), cell_value);
+    assert!(recovered.all_ok(), "merge must absorb the dead shard");
+    assert_eq!(
+        recovered.manifest.cells_reassigned,
+        (c.len() - owned) as u64,
+        "every orphaned cell recomputes inline"
     );
+    assert_eq!(recovered.manifest.cells_failed, 0);
 
-    // Phase 2: re-running the full coordinator resumes — shard 0's cells
-    // come from the warm cache, shard 1 computes only its own.
-    let resumed = run_sharded(&c, &dir, 2);
-    assert!(resumed.all_ok());
-    assert_eq!(resumed.manifest.cache_hits, owned);
-    assert_eq!(resumed.manifest.cache_misses, c.len() - owned);
+    // The recovery rewrote shard 1's manifest, so a later merge (or an
+    // external driver) sees a complete shard set on disk.
+    let stem = dir.join("run");
+    let m1 = RunManifest::read(&shard_manifest_path(&stem, 1, 2)).expect("recovered manifest");
+    assert_eq!(m1.shard, Some(ShardInfo { index: 1, total: 2 }));
 
-    // And the resumed run is indistinguishable from a never-killed one.
+    // And the recovered run is indistinguishable from a never-killed one.
     let fresh_dir = tempdir("simrunner-shardeq-resume-fresh");
     let fresh = run_sharded(&c, &fresh_dir, 2);
+    assert_eq!(recovered.manifest.fingerprint, fresh.manifest.fingerprint);
+    assert_eq!(
+        recovered.manifest.results_digest,
+        fresh.manifest.results_digest
+    );
+    assert_eq!(render(&recovered.results), render(&fresh.results));
+    assert_eq!(fresh.manifest.cells_reassigned, 0);
+
+    // Phase 2: re-running the full coordinator over the now-warm cache
+    // is a pure resume — every cell is a hit, nothing is reassigned.
+    let resumed = run_sharded(&c, &dir, 2);
+    assert!(resumed.all_ok());
+    assert_eq!(resumed.manifest.cache_hits, c.len());
+    assert_eq!(resumed.manifest.cells_reassigned, 0);
     assert_eq!(resumed.manifest.fingerprint, fresh.manifest.fingerprint);
-    assert_eq!(render(&resumed.results), render(&fresh.results));
     std::fs::remove_dir_all(&fresh_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_shard_manifest_is_quarantined_and_reassigned() {
+    let dir = tempdir("simrunner-shardeq-corrupt");
+    let c = campaign();
+    let healthy = run_sharded(&c, &dir, 2);
+    let stem = dir.join("run");
+
+    // Truncated JSON where shard 1's manifest should be.
+    let path = shard_manifest_path(&stem, 1, 2);
+    std::fs::write(&path, "{\"experiment\":\"shard-eq-it\",\"cells\":[tru").unwrap();
+
+    let merge_opts = coordinator_opts(&dir, 2).with_executor(ExecSpec::MergeShards { shards: 2 });
+    let merged = c.run(&merge_opts.executor(), cell_value);
+    assert!(
+        merged.all_ok(),
+        "corrupt shard manifest must not sink the merge"
+    );
+    assert_eq!(merged.manifest.fingerprint, healthy.manifest.fingerprint);
+    // Warm cache: reassignment found every cell cached, so nothing
+    // actually recomputed.
+    assert_eq!(merged.manifest.cells_reassigned, 0);
+
+    // The hostile file is preserved for forensics, like cache corruption.
+    let mut q = path.clone().into_os_string();
+    q.push(".quarantine");
+    assert!(
+        PathBuf::from(&q).exists(),
+        "corrupt shard manifest must be quarantined, not deleted"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_campaign_version_shard_is_quarantined_and_reassigned() {
+    let dir = tempdir("simrunner-shardeq-version");
+    let c = campaign();
+    let healthy = run_sharded(&c, &dir, 2);
+    let stem = dir.join("run");
+
+    // Shard 0's slot holds a manifest from a different CAMPAIGN_VERSION
+    // (an external driver raced an old binary, say).
+    let path = shard_manifest_path(&stem, 0, 2);
+    let mut stale = RunManifest::read(&path).expect("healthy shard manifest");
+    stale.version = "v0-stale".to_string();
+    stale.write(&path).expect("rewrite stale manifest");
+
+    let merge_opts = coordinator_opts(&dir, 2).with_executor(ExecSpec::MergeShards { shards: 2 });
+    let merged = c.run(&merge_opts.executor(), cell_value);
+    assert!(merged.all_ok());
+    assert_eq!(merged.manifest.fingerprint, healthy.manifest.fingerprint);
+
+    let mut q = path.clone().into_os_string();
+    q.push(".quarantine");
+    assert!(
+        PathBuf::from(&q).exists(),
+        "version-mismatched shard manifest must be quarantined"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lease_never_expires_a_healthy_but_slow_shard() {
+    let dir = tempdir("simrunner-shardeq-lease");
+    let stem = dir.join("run");
+    let path = shard_heartbeat_path(&stem, 0, 2);
+    let mut hb = Heartbeat::new(path.clone());
+
+    // A lease much shorter than the shard's total runtime, but longer
+    // than its inter-beat gap: slow-but-advancing must be spared.
+    let lease = Duration::from_millis(250);
+    let mut clock = LeaseClock::new(Some(lease), Instant::now());
+    let started = Instant::now();
+    let mut epoch = 0u64;
+    while started.elapsed() < Duration::from_millis(900) {
+        epoch += 1;
+        hb.beat(epoch);
+        let seen = read_heartbeat(&path).map(|h| h.epoch);
+        assert!(
+            !clock.observe(seen, Instant::now()),
+            "lease expired on a shard whose epoch was still advancing"
+        );
+        std::thread::sleep(Duration::from_millis(120));
+    }
+
+    // Now freeze the epoch (livelock / SIGSTOP): the same clock must
+    // expire once the frozen observation outlives the lease.
+    let frozen = read_heartbeat(&path).map(|h| h.epoch);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut expired = false;
+    while Instant::now() < deadline {
+        if clock.observe(frozen, Instant::now()) {
+            expired = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(expired, "a frozen epoch must expire the lease");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -157,6 +157,31 @@ cmp -s "$SMOKE_DIR/fig17-single.txt" "$SMOKE_DIR/fig17-resumed.txt" \
 grep -q '"cache_hits":0,' results/fig17.manifest.json \
     && { echo "resume did not reuse the dead run's cached cells" >&2; exit 1; }
 
+echo "== shard-chaos smoke (SIGKILLed shard child, self-healing coordinator) =="
+# The self-healing contract, end to end: shard 1 SIGKILLs itself after 3
+# computed cells (no manifest flush — a real crash), the coordinator
+# restarts it once, and the campaign must still complete with stdout and
+# manifest fingerprint byte-identical to the single-process run, the
+# recovery visible in the manifest counters, and the coordination scratch
+# files (heartbeats, shard plan) cleaned up on success.
+SUSS_CACHE_DIR="$SMOKE_DIR/shard-chaos-cache" \
+    SUSS_CHAOS_KILL_SHARD=1:3 \
+    SUSS_SHARD_RESTARTS=1 \
+    cargo run --release -q -p suss-bench --bin fig17 -- --quick --no-progress --shards 2 \
+    >"$SMOKE_DIR/fig17-chaos.txt" 2>"$SMOKE_DIR/fig17-chaos.err"
+grep -q 'chaos: shard 1/2 SIGKILLing itself' "$SMOKE_DIR/fig17-chaos.err" \
+    || { echo "chaos kill never fired (stage is vacuous)" >&2; exit 1; }
+cmp -s "$SMOKE_DIR/fig17-single.txt" "$SMOKE_DIR/fig17-chaos.txt" \
+    || { echo "chaos-recovered fig17 output differs from single-process" >&2; exit 1; }
+[ "$(fp "$SMOKE_DIR/fig17-single.manifest.json")" = "$(fp results/fig17.manifest.json)" ] \
+    || { echo "chaos-recovered manifest fingerprint differs from single-process" >&2; exit 1; }
+grep -Eq '"shard_restarts":[1-9]' results/fig17.manifest.json \
+    || { echo "manifest does not record the shard restart" >&2; exit 1; }
+ls results/fig17.shard*.heartbeat.json >/dev/null 2>&1 \
+    && { echo "heartbeat files not cleaned up after success" >&2; exit 1; }
+[ -f results/fig17.shardplan.json ] \
+    && { echo "shard plan not cleaned up after success" >&2; exit 1; }
+
 echo "== perf-regression gate (quick bench vs committed baseline) =="
 # Diff a fresh quick A/B snapshot against the committed baseline; any
 # criterion group more than 25% slower fails the gate.

@@ -11,8 +11,15 @@
 #
 # Every shard writes results/<bin>.shard<k>of<N>.manifest.json and exits
 # without rendering figures; the final merge invocation reloads the full
-# result set from the shared cache and renders the normal output. A shard
-# that dies can simply be re-run — completed cells are served warm.
+# result set from the shared cache and renders the normal output.
+#
+# Fault tolerance: a shard that exits SHARD_FAILED_EXIT (3: cells failed
+# but its manifest was written) or dies outright does NOT abort the
+# script — the loop continues, and the merge always runs (trap-guarded,
+# so even a mid-loop interrupt still attempts it). The merge reassigns a
+# dead shard's remaining cells inline through the shared cache, so the
+# final manifest is complete either way; the script still exits non-zero
+# with a summary when any shard was unhealthy, so schedulers notice.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,14 +31,45 @@ bin=$1
 shards=$2
 shift 2
 
+SHARD_FAILED_EXIT=3
+dead=()
+merged=0
+merge_rc=0
+
+run_merge() {
+    if [ "$merged" -eq 0 ]; then
+        merged=1
+        echo "merging $shards shard manifests:" >&2
+        cargo run --release -q -p suss-bench --bin "$bin" -- \
+            --no-progress --merge-shards "$shards" "$@" || merge_rc=$?
+    fi
+}
+
+finish() {
+    trap - EXIT
+    run_merge "$@"
+    if [ "${#dead[@]}" -gt 0 ]; then
+        echo "unhealthy shards: ${dead[*]} (merge reassigned their remaining cells)" >&2
+        exit 1
+    fi
+    exit "$merge_rc"
+}
+
 cargo build --release -q -p suss-bench --bin "$bin"
+trap 'finish "$@"' EXIT
 
 for ((k = 0; k < shards; k++)); do
     echo "shard $k/$shards:" >&2
+    rc=0
     cargo run --release -q -p suss-bench --bin "$bin" -- \
-        --no-progress --shard "$k/$shards" "$@"
+        --no-progress --shard "$k/$shards" "$@" || rc=$?
+    if [ "$rc" -eq "$SHARD_FAILED_EXIT" ]; then
+        echo "shard $k/$shards completed with failed cells (see its shard manifest)" >&2
+        dead+=("$k:failed-cells")
+    elif [ "$rc" -ne 0 ]; then
+        echo "shard $k/$shards died (exit $rc); its cells will be reassigned at merge" >&2
+        dead+=("$k:exit-$rc")
+    fi
 done
 
-echo "merging $shards shard manifests:" >&2
-cargo run --release -q -p suss-bench --bin "$bin" -- \
-    --no-progress --merge-shards "$shards" "$@"
+finish "$@"
